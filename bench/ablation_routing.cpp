@@ -1,0 +1,74 @@
+// Ablation: why is the Fig. 6 bandwidth reduction *limited*?
+//
+// The paper attributes it to Voltrino's "many redundant links and
+// adaptive routing". Our network model folds both into the inter-switch
+// trunk capacity. This ablation re-runs the Fig. 6 experiment (8 MB
+// messages, 0..3 netoccupy pairs) on three interconnects:
+//   rich   -- the Voltrino-like trunk (1.8x one NIC): redundancy present;
+//   minimal-- a single-link trunk (1.0x one NIC): no redundancy, i.e.
+//             what static minimal routing over one path would give;
+//   star   -- the Chameleon-like single switch, where the OSU pair and
+//             the anomaly pairs only share the central switch.
+// Expected: the rich fabric degrades gracefully; the minimal fabric
+// collapses to 1/(pairs+1); the star shows no cross-pair contention.
+#include <cstdio>
+
+#include "apps/osu_bw.hpp"
+#include "sim/world.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+double osu_bw_gbs(hpas::sim::Topology topology, int osu_src, int osu_dst,
+                  int anomaly_pairs, int pair_stride) {
+  hpas::sim::World world(hpas::sim::NodeConfig{}, std::move(topology),
+                         hpas::sim::FsConfig{});
+  for (int pair = 0; pair < anomaly_pairs; ++pair) {
+    hpas::simanom::inject_netoccupy(world, 1 + pair, 1 + pair + pair_stride,
+                                    /*ntasks=*/1, 100.0 * 1024 * 1024,
+                                    /*duration=*/1e6);
+  }
+  hpas::apps::OsuBandwidth osu(world, {.src_node = osu_src,
+                                       .dst_node = osu_dst,
+                                       .message_sizes = {8.0 * 1024 * 1024},
+                                       .window = 16,
+                                       .msg_latency_s = 15e-6});
+  osu.run_to_completion();
+  return osu.results()[0] / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using hpas::sim::Topology;
+  std::printf(
+      "== Ablation: interconnect redundancy vs. netoccupy damage ==\n"
+      "(OSU bandwidth, GB/s, 8 MB messages)\n\n");
+  std::printf("%-28s %8s %8s %8s %8s\n", "fabric", "0 pairs", "1 pair",
+              "2 pairs", "3 pairs");
+
+  auto run_row = [](const char* label, auto make_topo, int dst, int stride) {
+    std::printf("%-28s", label);
+    for (int pairs = 0; pairs <= 3; ++pairs) {
+      std::printf(" %8.2f", osu_bw_gbs(make_topo(), 0, dst, pairs, stride));
+    }
+    std::printf("\n");
+  };
+
+  run_row("two-tier, redundant trunk",
+          [] { return Topology::two_tier(2, 4, 10e9, 18e9); }, 4, 4);
+  run_row("two-tier, single link",
+          [] { return Topology::two_tier(2, 4, 10e9, 10e9); }, 4, 4);
+  run_row("star (single switch)",
+          [] { return Topology::star(8, 10e9); }, 4, 4);
+  run_row("dragonfly (1 global link)",
+          [] { return Topology::dragonfly(2, 2, 2, 10e9, 40e9, 15e9); }, 4,
+          4);
+
+  std::printf(
+      "\ntakeaway: with a single inter-switch link the anomaly starves the\n"
+      "application (1/(n+1) scaling); the redundant, adaptively-routed\n"
+      "trunk keeps the reduction bounded (the paper's Fig. 6 result); a\n"
+      "star fabric isolates pairs entirely.\n");
+  return 0;
+}

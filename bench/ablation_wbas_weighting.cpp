@@ -1,0 +1,85 @@
+// Ablation: the WBAS load-blend weighting (paper Sec. 5.2).
+//
+// WBAS computes Load = 5/6 x current + 1/6 x 5-minute average. The paper
+// notes HPAS "enables a very systematic evaluation of the equation": with
+// injected anomalies the two components can be decoupled. This bench
+// builds the adversarial case for each extreme:
+//
+//   * a FLASH anomaly that started seconds before the job arrives
+//     (high current load, clean history) -- history-heavy weightings miss
+//     it and allocate onto the hogged node;
+//   * a PAUSED anomaly that hammered the node for minutes and just went
+//     idle, and resumes right after allocation -- current-only weightings
+//     forgive it too quickly.
+//
+// The sweep shows why a current-leaning blend (the paper's 5/6) is a good
+// default: it handles the flash case at full strength and still carries
+// enough history for the paused case.
+#include <cstdio>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "sched/monitor.hpp"
+#include "sched/policies.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+enum class Scenario { kFlash, kPaused };
+
+double job_time(const hpas::sched::AllocationPolicy& policy,
+                Scenario scenario) {
+  auto world = hpas::sim::make_voltrino_world();
+  hpas::sched::NodeMonitor monitor(*world, 10.0);
+  monitor.start();
+
+  if (scenario == Scenario::kFlash) {
+    // Background: nodes 0-4 carry persistent moderate hogs, so the
+    // policy must rank among contaminated nodes. Node 5's full-strength
+    // hog appears only 15 s before the job: history-heavy weightings
+    // rate node 5 *better* than the persistently-loaded nodes and land
+    // the job on it.
+    for (int node = 0; node <= 4; ++node) {
+      hpas::simanom::inject_cpuoccupy(*world, node, 0, 40.0, 1e6);
+    }
+    world->run_until(600.0);
+    hpas::simanom::inject_cpuoccupy(*world, 5, 0, 100.0, 1e6);
+    world->run_until(615.0);
+  } else {
+    // Ten minutes of hammering, a quiet minute, then it resumes as the
+    // job starts.
+    hpas::simanom::inject_cpuoccupy(*world, 0, 0, 100.0, 540.0);
+    world->run_until(600.0);
+    world->simulator().schedule_in(15.0, [&world] {
+      hpas::simanom::inject_cpuoccupy(*world, 0, 0, 100.0, 1e6);
+    });
+  }
+
+  const auto nodes = policy.select_nodes(monitor.status(), 4);
+  hpas::apps::AppSpec spec = hpas::apps::app_by_name("sw4lite");
+  spec.iterations = 60;
+  hpas::apps::BspApp app(*world, spec,
+                         {.nodes = nodes, .ranks_per_node = 4,
+                          .first_core = 0});
+  return app.run_to_completion();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: WBAS current-vs-average load weighting ==\n"
+      "(SW4lite on 4 of 8 nodes; flash = fresh hog hiding behind a clean\n"
+      "history, paused = old hog hiding behind an idle minute)\n\n");
+  std::printf("%-12s %16s %16s\n", "weight w", "flash hog (s)",
+              "paused hog (s)");
+  for (const double w : {0.0, 0.25, 0.5, 5.0 / 6.0, 1.0}) {
+    const hpas::sched::WeightedCpPolicy policy(w);
+    std::printf("%-12.2f %16.1f %16.1f%s\n", w,
+                job_time(policy, Scenario::kFlash),
+                job_time(policy, Scenario::kPaused),
+                w == 5.0 / 6.0 ? "   <- WBAS default" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4: membw / cachecopy effect on STREAM memory bandwidth.
+//
+// Paper setup: STREAM runs on core 0; membw instances occupy 1, 3, 7,
+// then 15 of the other cores; a 15-instance cachecopy run is the control.
+// Paper shape: membw collapses STREAM's best rate roughly in proportion
+// to the instance count, while cachecopy x15 has no significant impact.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/stream.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+double stream_best_rate_gbs(const std::string& anomaly, int instances) {
+  auto world = hpas::sim::make_voltrino_world();
+  for (int i = 0; i < instances; ++i) {
+    const int core = 1 + i;  // STREAM holds core 0
+    if (anomaly == "membw") {
+      hpas::simanom::inject_membw(*world, 0, core, /*duration=*/1e6);
+    } else if (anomaly == "cachecopy") {
+      hpas::simanom::inject_cachecopy(*world, 0, core,
+                                      hpas::simanom::SimCacheLevel::kL3,
+                                      1.0, /*duration=*/1e6);
+    }
+  }
+  hpas::apps::StreamBench stream(*world, {.node = 0, .core = 0,
+                                          .bytes_per_pass = 2.0e9,
+                                          .passes = 10});
+  return stream.run_to_completion() / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 4: membw & cachecopy vs. STREAM best rate (GB/s) ==\n"
+      "paper shape: membw 1x > 3x > 7x > 15x (large drop); cachecopy 15x\n"
+      "~= none\n\n");
+  std::printf("%-16s %14s\n", "anomaly", "BestRate GB/s");
+  const double none = stream_best_rate_gbs("none", 0);
+  std::printf("%-16s %14.2f\n", "none", none);
+  std::vector<double> membw_rates;
+  for (const int n : {1, 3, 7, 15}) {
+    const std::string label = "membw " + std::to_string(n) + "x";
+    membw_rates.push_back(stream_best_rate_gbs("membw", n));
+    std::printf("%-16s %14.2f\n", label.c_str(), membw_rates.back());
+  }
+  const double cachecopy = stream_best_rate_gbs("cachecopy", 15);
+  std::printf("%-16s %14.2f\n", "cachecopy 15x", cachecopy);
+
+  bool shape_ok = membw_rates[0] < none;
+  for (std::size_t i = 1; i < membw_rates.size(); ++i)
+    shape_ok = shape_ok && membw_rates[i] < membw_rates[i - 1];
+  shape_ok = shape_ok && membw_rates.back() < 0.25 * none;  // "large drop"
+  shape_ok = shape_ok && cachecopy > 0.95 * none;           // "no impact"
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "FAILED");
+  return shape_ok ? 0 : 1;
+}

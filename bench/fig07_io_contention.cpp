@@ -1,0 +1,80 @@
+// Figure 7: impact of the I/O anomalies on IOR, on the Chameleon-like NFS
+// setup (one storage server, single disk, no dedicated metadata server).
+//
+// Paper setup: IOR on one client node; iometadata or iobandwidth runs on
+// four other nodes. Paper shape: iobandwidth clogs the disk and cuts
+// IOR's write/read bandwidth hardest; iometadata also reduces bandwidth
+// (metadata ops eat disk time on this MDS-less filesystem) but less.
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "apps/ior.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+struct IorResult {
+  double write_mbs;
+  double access_ops;
+  double read_mbs;
+};
+
+IorResult run_ior(const std::string& anomaly) {
+  auto world = hpas::sim::make_chameleon_world();
+  // Anomalies on nodes 1..4. The paper ran 48 instances per node; our
+  // filesystem model shares service max-min fairly *per client*, whereas
+  // a real NFS server keeps favouring an established stream, so we use 2
+  // clients per node to land in the paper's observed contention ratio
+  // (the model's share is 1/(clients+1) exactly).
+  for (int node = 1; node <= 4; ++node) {
+    if (anomaly == "iometadata") {
+      hpas::simanom::inject_iometadata(*world, node, /*ntasks=*/2,
+                                       /*duration=*/1e6);
+    } else if (anomaly == "iobandwidth") {
+      hpas::simanom::inject_iobandwidth(*world, node, /*ntasks=*/2,
+                                        64.0 * 1024 * 1024, /*duration=*/1e6);
+    }
+  }
+  hpas::apps::IorBench ior(*world, {.node = 0,
+                                    .write_bytes = 512.0 * 1024 * 1024,
+                                    .metadata_ops = 3000.0,
+                                    .read_bytes = 512.0 * 1024 * 1024});
+  ior.run_to_completion();
+  return {ior.write_rate() / 1e6, ior.access_rate(), ior.read_rate() / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 7: I/O anomaly impact on IOR (Chameleon NFS) ==\n"
+      "paper shape: iobandwidth reduces write/read most; iometadata also\n"
+      "hurts (no dedicated MDS); access (metadata) rate collapses under\n"
+      "iometadata\n\n");
+  std::printf("%-14s %14s %14s %14s\n", "anomaly", "write MB/s",
+              "access ops/s", "read MB/s");
+  const IorResult none = run_ior("none");
+  const IorResult iobw = run_ior("iobandwidth");
+  const IorResult iomd = run_ior("iometadata");
+  for (const auto& [name, r] :
+       {std::pair<const char*, const IorResult&>{"none", none},
+        {"iobandwidth", iobw},
+        {"iometadata", iomd}}) {
+    std::printf("%-14s %14.1f %14.1f %14.1f\n", name, r.write_mbs,
+                r.access_ops, r.read_mbs);
+  }
+
+  // Shape: iobandwidth hurts bandwidth most; iometadata also hurts
+  // (shared disk, no dedicated MDS) but less; iometadata crushes the
+  // metadata (access) rate hardest.
+  const bool shape_ok = iobw.write_mbs < iomd.write_mbs &&
+                        iomd.write_mbs < none.write_mbs &&
+                        iobw.read_mbs < iomd.read_mbs &&
+                        iomd.read_mbs < none.read_mbs &&
+                        iomd.access_ops < iobw.access_ops &&
+                        iobw.access_ops < none.access_ops;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "FAILED");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Figure 13: 3D stencil time-per-iteration vs. cpuoccupy intensity for
+// two Charm++ load balancers.
+//
+// Paper setup: one 32-core node; cpuoccupy intensity sweeps 0..3200% of
+// one CPU (i.e., 0..32 fully-occupied cores). Paper shape: the balancers
+// tie at intensity 0 and at high intensities (> ~1600%, when more than
+// half the cores are occupied there is nowhere left to move work), while
+// in between GreedyRefineLB -- which measures available CPU capacity --
+// beats the object-count-only balancer.
+#include <cstdio>
+
+#include "lb/balancers.hpp"
+#include "lb/stencil.hpp"
+
+int main() {
+  std::printf(
+      "== Figure 13: stencil load balancing under cpuoccupy ==\n"
+      "paper shape: equal at 0%% and >1600%%; GreedyRefineLB wins between\n\n");
+
+  const hpas::lb::StencilExperiment experiment;
+  const hpas::lb::LbObjOnly obj_only;
+  const hpas::lb::GreedyRefineLb greedy;
+
+  std::printf("%14s %18s %18s\n", "intensity(%)", "LBObjOnly (s/iter)",
+              "GreedyRefineLB (s/iter)");
+  double tie_ratio_at_zero = 0.0, win_ratio_mid = 1.0, end_ratio = 0.0;
+  for (int intensity = 0; intensity <= 3200; intensity += 200) {
+    const double t_obj = experiment.time_per_iteration(obj_only, intensity);
+    const double t_greedy = experiment.time_per_iteration(greedy, intensity);
+    std::printf("%14d %18.4f %18.4f\n", intensity, t_obj, t_greedy);
+    if (intensity == 0) tie_ratio_at_zero = t_greedy / t_obj;
+    if (intensity == 800) win_ratio_mid = t_greedy / t_obj;
+    if (intensity == 3200) end_ratio = t_greedy / t_obj;
+  }
+
+  // Shape: tie at zero, clear greedy win in the middle, convergence at
+  // the top of the sweep.
+  const bool shape_ok = tie_ratio_at_zero > 0.85 && tie_ratio_at_zero < 1.1 &&
+                        win_ratio_mid < 0.75 && end_ratio > 0.85;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "FAILED");
+  return shape_ok ? 0 : 1;
+}

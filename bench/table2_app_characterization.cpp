@@ -1,0 +1,70 @@
+// Table 2: characterization of the benchmark applications.
+//
+// The paper derives CPU-intensiveness from INST_RETIRED:ANY::spapiHASW
+// (instructions/s), memory-intensiveness from L2_RQSTS:MISS::spapiHASW
+// (cache misses/s), and network-intensiveness from the Aries NIC flit
+// counter. We run every app clean (no anomalies) on the simulated
+// Voltrino, measure the same three metrics, and threshold them into the
+// check-mark table, verifying against the paper's ground truth.
+#include <cstdio>
+#include <string>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+struct Characterization {
+  double giga_ips = 0.0;       ///< instructions/s per node (1e9)
+  double l2_miss_mps = 0.0;    ///< L2 misses/s per node (1e6)
+  double net_mbps = 0.0;       ///< NIC TX bytes/s per node (1e6)
+};
+
+Characterization characterize(const std::string& app_name) {
+  auto world = hpas::sim::make_voltrino_world();
+  hpas::apps::BspApp app(*world, hpas::apps::app_by_name(app_name),
+                         {.nodes = {0, 4}, .ranks_per_node = 4,
+                          .first_core = 0});
+  const double elapsed = app.run_to_completion();
+  const auto& counters = world->node(0).counters();
+  return {counters.instructions / elapsed / 1e9,
+          counters.l2_misses / elapsed / 1e6,
+          counters.nic_tx_bytes / elapsed / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  // Thresholds between the observed clusters (units as in the struct).
+  constexpr double kCpuThreshold = 4.3;    // G-instructions/s/node
+  constexpr double kMemThreshold = 30.0;   // M-L2-misses/s/node
+  constexpr double kNetThreshold = 10.0;   // MB/s/node
+
+  std::printf(
+      "== Table 2: application characterization from monitoring data ==\n"
+      "(thresholded on INST_RETIRED, L2_RQSTS:MISS, NIC flits -- same\n"
+      "metrics as the paper)\n\n");
+  std::printf("%-12s %9s %12s %9s  %-5s %-5s %-5s %s\n", "app", "GIPS",
+              "L2miss M/s", "net MB/s", "CPU", "Mem", "Net", "matches");
+
+  bool all_match = true;
+  for (const auto& app : hpas::apps::proxy_apps()) {
+    const Characterization c = characterize(app.name);
+    const bool cpu = c.giga_ips > kCpuThreshold;
+    const bool mem = c.l2_miss_mps > kMemThreshold;
+    const bool net = c.net_mbps > kNetThreshold;
+    const bool match = cpu == app.cpu_intensive &&
+                       mem == app.memory_intensive &&
+                       net == app.network_intensive;
+    all_match = all_match && match;
+    std::printf("%-12s %9.2f %12.1f %9.2f  %-5s %-5s %-5s %s\n",
+                app.name.c_str(), c.giga_ips, c.l2_miss_mps, c.net_mbps,
+                cpu ? "x" : "", mem ? "x" : "", net ? "x" : "",
+                match ? "yes" : "NO");
+  }
+  std::printf("\nresult: %s\n",
+              all_match ? "all characterizations match Table 2"
+                        : "MISMATCH vs Table 2");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// resilience_demo: make an application resilient to performance
+// variability -- the paper's use case 3 (Sec. 5.3).
+//
+// Two parts:
+//  1. Probe an application's sensitivity per subsystem: run miniGhost
+//     against each simulated anomaly and report the slowdown. This tells
+//     a developer *which* contention to defend against.
+//  2. Defend: switch the over-decomposed stencil from an object-count
+//     balancer to the capacity-measuring GreedyRefineLB and quantify the
+//     win under increasing cpuoccupy pressure.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "lb/balancers.hpp"
+#include "lb/stencil.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+double minighost_time(const std::string& anomaly) {
+  auto world = hpas::sim::make_voltrino_world();
+  if (anomaly != "none") {
+    const int core = (anomaly == "cpuoccupy" || anomaly == "cachecopy") ? 0 : 8;
+    hpas::simanom::inject_by_name(*world, anomaly, 0, core, 1e6);
+  }
+  hpas::apps::AppSpec spec = hpas::apps::app_by_name("miniGhost");
+  spec.iterations = 50;
+  hpas::apps::BspApp app(*world, spec,
+                         {.nodes = {0, 4}, .ranks_per_node = 4,
+                          .first_core = 0});
+  return app.run_to_completion();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- 1. sensitivity probe: miniGhost slowdown per anomaly --\n");
+  const double baseline = minighost_time("none");
+  for (const std::string anomaly :
+       {"cpuoccupy", "cachecopy", "membw", "memeater", "memleak"}) {
+    const double t = minighost_time(anomaly);
+    std::printf("  %-11s %6.1fs  (%.2fx)\n", anomaly.c_str(), t,
+                t / baseline);
+  }
+  std::printf("  baseline    %6.1fs\n\n", baseline);
+
+  std::printf("-- 2. defense: capacity-aware load balancing --\n");
+  const hpas::lb::StencilExperiment experiment;
+  const hpas::lb::LbObjOnly naive;
+  const hpas::lb::GreedyRefineLb aware;
+  std::printf("  %12s %12s %14s %8s\n", "intensity(%)", "naive s/it",
+              "capacity-aware", "win");
+  for (const int pct : {0, 400, 800, 1600}) {
+    const double t_naive = experiment.time_per_iteration(naive, pct);
+    const double t_aware = experiment.time_per_iteration(aware, pct);
+    std::printf("  %12d %12.4f %14.4f %7.0f%%\n", pct, t_naive, t_aware,
+                (1.0 - t_aware / t_naive) * 100.0);
+  }
+  std::printf(
+      "\ntakeaway: miniGhost is memory/cache-sensitive, and measuring\n"
+      "capacity before balancing absorbs most of the CPU interference.\n");
+  return 0;
+}

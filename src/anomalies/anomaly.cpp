@@ -1,0 +1,82 @@
+#include "anomalies/anomaly.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hpas::anomalies {
+
+Anomaly::Anomaly(CommonOptions opts) : opts_(opts) {}
+
+void Anomaly::pace(double seconds) const {
+  // Sleep in slices so a stop request is honoured within ~50 ms even in
+  // the middle of a long pause.
+  constexpr double kSliceSeconds = 0.05;
+  Stopwatch sw;
+  while (!stop_requested()) {
+    const double remaining = seconds - sw.elapsed_seconds();
+    if (remaining <= 0.0) break;
+    const double nap = std::min(remaining, kSliceSeconds);
+    std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+  }
+  idle_seconds_.fetch_add(sw.elapsed_seconds(), std::memory_order_relaxed);
+}
+
+void Anomaly::pin_current_thread(int offset) const {
+  if (opts_.pin_cpu < 0) return;
+#if defined(__linux__)
+  const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (online <= 0) return;
+  const int cpu = (opts_.pin_cpu + offset) % static_cast<int>(online);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  if (::sched_setaffinity(0, sizeof(set), &set) != 0) {
+    log_warn(name(), ": failed to pin to CPU ", cpu);
+  }
+#else
+  (void)offset;
+  log_warn(name(), ": CPU pinning not supported on this platform");
+#endif
+}
+
+RunStats Anomaly::run() {
+  RunStats stats;
+  Stopwatch total;
+
+  pin_current_thread();
+  if (opts_.start_delay_s > 0.0) pace(opts_.start_delay_s);
+
+  if (!stop_requested()) {
+    setup();
+    Stopwatch active_window;
+    while (!stop_requested()) {
+      if (opts_.duration_s > 0.0 &&
+          active_window.elapsed_seconds() >= opts_.duration_s) {
+        break;
+      }
+      Stopwatch iter;
+      const double idle_before =
+          idle_seconds_.load(std::memory_order_relaxed);
+      const bool keep_going = iterate(stats);
+      const double idle_during =
+          idle_seconds_.load(std::memory_order_relaxed) - idle_before;
+      stats.active_seconds +=
+          std::max(0.0, iter.elapsed_seconds() - idle_during);
+      ++stats.iterations;
+      if (!keep_going) break;
+    }
+    teardown();
+  }
+
+  stats.elapsed_seconds = total.elapsed_seconds();
+  return stats;
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,99 @@
+// Base machinery for the native anomaly generators (paper Sec. 3).
+//
+// Design constraints carried over from the paper:
+//  * pure userspace -- no kernel modules, no root, no modification of the
+//    victim application;
+//  * every anomaly has configurable start/end times and intensity knobs
+//    (Table 1);
+//  * each anomaly minimizes interference with subsystems it does not
+//    target;
+//  * generators terminate cleanly on SIGINT/SIGTERM or when their duration
+//    elapses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hpas::anomalies {
+
+/// Knobs shared by all anomalies ("Every anomaly has configurable
+/// start/end times as well", Table 1 caption).
+struct CommonOptions {
+  double start_delay_s = 0.0;  ///< idle time before the anomaly activates
+  double duration_s = 10.0;    ///< active time; <= 0 means run until stopped
+  std::uint64_t seed = 0x48504153;  ///< "HPAS"; randomness is reproducible
+  /// Pin the generator to this CPU (and worker threads to subsequent
+  /// CPUs, wrapping). -1 = unpinned. The paper's experiments depend on
+  /// placement: Fig. 3 colocates cachecopy with the victim's core,
+  /// Fig. 4 keeps membw *off* STREAM's core.
+  int pin_cpu = -1;
+};
+
+/// Counters reported after a run; `work_amount` is anomaly-specific
+/// (arithmetic ops for cpuoccupy, bytes copied for cachecopy/membw, bytes
+/// allocated for memeater/memleak, bytes sent for netoccupy, metadata ops
+/// for iometadata, bytes written for iobandwidth).
+struct RunStats {
+  std::uint64_t iterations = 0;
+  double work_amount = 0.0;
+  double active_seconds = 0.0;   ///< time spent in iterate()
+  double elapsed_seconds = 0.0;  ///< wall time of the whole run
+};
+
+/// Abstract anomaly generator. Concrete generators implement setup() /
+/// iterate() / teardown(); the base class owns timing, the start delay,
+/// duty-cycling via pace(), and cooperative stop.
+class Anomaly {
+ public:
+  explicit Anomaly(CommonOptions opts);
+  virtual ~Anomaly() = default;
+
+  Anomaly(const Anomaly&) = delete;
+  Anomaly& operator=(const Anomaly&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Blocks until the configured duration elapses, iterate() reports
+  /// completion, or request_stop() is called (possibly from a signal
+  /// handler or another thread).
+  RunStats run();
+
+  /// Cooperative, async-signal-safe stop request.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  const CommonOptions& common_options() const { return opts_; }
+
+ protected:
+  /// One bounded unit of work (aim for <= ~100 ms so stop stays
+  /// responsive). Return false to end the run early (e.g. memeater reached
+  /// its size limit).
+  virtual bool iterate(RunStats& stats) = 0;
+
+  virtual void setup() {}
+  virtual void teardown() {}
+
+  /// Sleeps `seconds`, waking early if stop is requested. Used by
+  /// rate-limited anomalies ("a variable amount of sleep is inserted
+  /// between periods of activity", Sec. 3). Time spent here is accounted
+  /// as idle, so RunStats::active_seconds reflects actual work.
+  void pace(double seconds) const;
+
+  /// Pins the calling thread to `options.pin_cpu + offset` (mod online
+  /// CPUs); no-op when unpinned. Worker-thread generators (netoccupy,
+  /// io*) call this with their task index as offset.
+  void pin_current_thread(int offset = 0) const;
+
+ private:
+  CommonOptions opts_;
+  std::atomic<bool> stop_{false};
+  // Accumulated pace() time; atomic because netoccupy/io generators call
+  // pace() from worker threads.
+  mutable std::atomic<double> idle_seconds_{0.0};
+};
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,57 @@
+#include "anomalies/cachecopy.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+
+CacheCopy::CacheCopy(CacheCopyOptions opts)
+    : Anomaly(opts.common), opts_(opts), rng_(opts.common.seed) {
+  require(opts.multiplier > 0.0, "cachecopy: multiplier must be positive");
+  require(opts.sleep_between_copies_s >= 0.0,
+          "cachecopy: sleep must be non-negative");
+  const double level_bytes =
+      static_cast<double>(opts_.topology.level_bytes(opts_.level));
+  array_bytes_ = static_cast<std::uint64_t>(level_bytes * opts_.multiplier / 2.0);
+  // Keep at least one cache line per array so the copy loop is meaningful.
+  array_bytes_ = std::max<std::uint64_t>(array_bytes_, 64);
+}
+
+CacheCopy::~CacheCopy() { teardown(); }
+
+void CacheCopy::setup() {
+  // One contiguous, page-aligned block for both arrays, as in the paper
+  // ("the two arrays are contiguous in memory and are allocated using
+  // posix_memalign()").
+  void* mem = nullptr;
+  const std::size_t total = 2 * static_cast<std::size_t>(array_bytes_);
+  const int rc = ::posix_memalign(&mem, 4096, total);
+  if (rc != 0 || mem == nullptr)
+    throw SystemError("cachecopy: posix_memalign failed");
+  block_ = static_cast<unsigned char*>(mem);
+  rng_.fill_bytes(block_, total);
+}
+
+bool CacheCopy::iterate(RunStats& stats) {
+  unsigned char* src = block_;
+  unsigned char* dst = block_ + array_bytes_;
+  // Alternate direction each iteration so both arrays stay hot and the
+  // hardware prefetcher cannot settle into a read-only pattern.
+  if (stats.iterations % 2 == 1) std::swap(src, dst);
+  std::memcpy(dst, src, array_bytes_);
+  // The copy itself is the observable effect; prevent dead-store
+  // elimination of the entire loop.
+  asm volatile("" : : "r"(dst) : "memory");
+  stats.work_amount += static_cast<double>(array_bytes_);
+  if (opts_.sleep_between_copies_s > 0.0) pace(opts_.sleep_between_copies_s);
+  return true;
+}
+
+void CacheCopy::teardown() {
+  std::free(block_);
+  block_ = nullptr;
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,52 @@
+// cachecopy -- cache-contention anomaly (paper Sec. 3.2).
+//
+// "The anomaly generator allocates two arrays, each of which are half the
+// size of the L1, L2 or L3 caches [...] and repeatedly copies the contents
+// of one array to the other one. The two arrays are contiguous in memory
+// and are allocated using posix_memalign()."
+//
+// Because the combined working set matches the chosen cache level, the
+// copy loop keeps that level fully occupied and evicts colocated
+// applications' lines, while generating almost no main-memory traffic once
+// the arrays are resident (contrast with membw).
+#pragma once
+
+#include <cstdint>
+
+#include "anomalies/anomaly.hpp"
+#include "anomalies/cache_topology.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+
+struct CacheCopyOptions {
+  CommonOptions common;
+  CacheLevel level = CacheLevel::kL3;  ///< which cache to occupy
+  double multiplier = 1.0;  ///< scales the working set relative to the level
+  double sleep_between_copies_s = 0.0;  ///< "rate" knob of Table 1
+  CacheTopology topology = {};          ///< defaults; detect_cache_topology()
+};
+
+class CacheCopy final : public Anomaly {
+ public:
+  explicit CacheCopy(CacheCopyOptions opts);
+  ~CacheCopy() override;
+
+  std::string name() const override { return "cachecopy"; }
+
+  /// Size of EACH of the two arrays (= level size x multiplier / 2).
+  std::uint64_t array_bytes() const { return array_bytes_; }
+
+ protected:
+  void setup() override;
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  CacheCopyOptions opts_;
+  Rng rng_;
+  std::uint64_t array_bytes_ = 0;
+  unsigned char* block_ = nullptr;  ///< one aligned block holding both arrays
+};
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,49 @@
+#include "anomalies/cpuoccupy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hpas::anomalies {
+
+CpuOccupy::CpuOccupy(CpuOccupyOptions opts)
+    : Anomaly(opts.common), opts_(opts), rng_(opts.common.seed) {
+  require(opts.utilization_pct >= 0.0 && opts.utilization_pct <= 100.0,
+          "cpuoccupy: utilization must be in [0,100]");
+  require(opts.period_s > 0.0, "cpuoccupy: period must be positive");
+}
+
+std::uint64_t CpuOccupy::burn(double seconds) {
+  // Integer multiply-add chain on values seeded from the RNG. Everything
+  // lives in registers: no memory traffic beyond the instruction stream,
+  // honouring the "negligible impact on the cache or memory" design goal.
+  std::uint64_t a = rng_.next() | 1;
+  std::uint64_t b = rng_.next();
+  std::uint64_t ops = 0;
+  Stopwatch sw;
+  // Check the clock only every `kBatch` operations; a per-op syscall-free
+  // clock read would still dominate the loop.
+  constexpr std::uint64_t kBatch = 20000;
+  while (sw.elapsed_seconds() < seconds) {
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      a = a * 6364136223846793005ULL + 1442695040888963407ULL;
+      b ^= a >> 17;
+      b *= 0x2545f4914f6cdd1dULL;
+    }
+    ops += kBatch;
+    if (stop_requested()) break;
+  }
+  checksum_ ^= a ^ b;
+  return ops;
+}
+
+bool CpuOccupy::iterate(RunStats& stats) {
+  const double busy = opts_.period_s * opts_.utilization_pct / 100.0;
+  const double idle = opts_.period_s - busy;
+  if (busy > 0.0) stats.work_amount += static_cast<double>(burn(busy));
+  if (idle > 0.0) pace(idle);
+  return true;
+}
+
+}  // namespace hpas::anomalies

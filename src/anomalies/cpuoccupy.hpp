@@ -1,0 +1,51 @@
+// cpuoccupy -- CPU-intensive process anomaly (paper Sec. 3.1).
+//
+// "This anomaly performs arithmetic operations on random values in a loop
+// and sleeps for a given percentage of the time [...] the activity of the
+// anomaly has negligible impact on the cache or memory, and the
+// utilization of the CPU can be adjusted to a given percentage."
+//
+// The paper implements the duty cycle with setitimer(); we use a
+// steady-clock duty cycle with the same period granularity, which gives
+// identical observable behaviour (a process consuming u% of one CPU) while
+// staying signal-free and thread-safe. Use cases: orphan CPU-hog processes
+// (utilization near 100%) and OS jitter (low utilization, short period).
+#pragma once
+
+#include <cstdint>
+
+#include "anomalies/anomaly.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+
+struct CpuOccupyOptions {
+  CommonOptions common;
+  double utilization_pct = 100.0;  ///< [0, 100]: CPU share of one core
+  double period_s = 0.10;          ///< duty-cycle period (work+sleep)
+};
+
+class CpuOccupy final : public Anomaly {
+ public:
+  explicit CpuOccupy(CpuOccupyOptions opts);
+
+  std::string name() const override { return "cpuoccupy"; }
+
+  /// Checksum over all arithmetic performed; consumed so the optimizer
+  /// cannot elide the busy loop, and handy for determinism tests.
+  std::uint64_t checksum() const { return checksum_; }
+
+ protected:
+  bool iterate(RunStats& stats) override;
+
+ private:
+  /// Runs arithmetic on register-resident values for ~`seconds`;
+  /// returns the number of operations executed.
+  std::uint64_t burn(double seconds);
+
+  CpuOccupyOptions opts_;
+  Rng rng_;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace hpas::anomalies

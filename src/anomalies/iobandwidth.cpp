@@ -1,0 +1,167 @@
+#include "anomalies/iobandwidth.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+namespace fs = std::filesystem;
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+struct IoBandwidth::Impl {
+  std::vector<std::thread> workers;
+  std::vector<fs::path> task_dirs;
+  std::atomic<std::uint64_t> written{0};
+  std::atomic<bool> failed{false};
+};
+
+IoBandwidth::IoBandwidth(IoBandwidthOptions opts)
+    : Anomaly(opts.common), opts_(opts), impl_(std::make_unique<Impl>()) {
+  require(opts.ntasks >= 1, "iobandwidth: ntasks must be >= 1");
+  require(opts.file_bytes > 0, "iobandwidth: file size must be positive");
+  require(opts.block_bytes > 0, "iobandwidth: block size must be positive");
+}
+
+IoBandwidth::~IoBandwidth() { teardown(); }
+
+void IoBandwidth::setup() {
+  for (unsigned task = 0; task < opts_.ntasks; ++task) {
+    const fs::path dir = fs::path(opts_.directory) /
+                         ("hpas_iobandwidth_" + std::to_string(::getpid()) +
+                          "_t" + std::to_string(task));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+      throw SystemError("iobandwidth: cannot create " + dir.string() + ": " +
+                        ec.message());
+    impl_->task_dirs.push_back(dir);
+  }
+
+  for (unsigned task = 0; task < opts_.ntasks; ++task) {
+    const fs::path dir = impl_->task_dirs[task];
+    impl_->workers.emplace_back([this, dir, task] {
+      pin_current_thread(static_cast<int>(task));
+      std::vector<char> block(static_cast<std::size_t>(
+          std::min<std::uint64_t>(opts_.block_bytes, opts_.file_bytes)));
+      Rng rng(common_options().seed + task);
+      rng.fill_bytes(block.data(), block.size());
+
+      // Seed file: "dd copies random data into a file".
+      const fs::path file_a = dir / "chain_a";
+      const fs::path file_b = dir / "chain_b";
+      {
+        Fd out(::open(file_a.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+        if (!out.valid()) {
+          impl_->failed.store(true);
+          return;
+        }
+        std::uint64_t remaining = opts_.file_bytes;
+        while (remaining > 0 && !stop_requested()) {
+          const std::size_t chunk = static_cast<std::size_t>(
+              std::min<std::uint64_t>(remaining, block.size()));
+          const ssize_t put = ::write(out.fd(), block.data(), chunk);
+          if (put <= 0) {
+            impl_->failed.store(true);
+            return;
+          }
+          impl_->written.fetch_add(static_cast<std::uint64_t>(put),
+                                   std::memory_order_relaxed);
+          remaining -= static_cast<std::uint64_t>(put);
+        }
+        if (opts_.sync_each_copy) ::fsync(out.fd());
+      }
+
+      // Copy chain: a -> b -> a -> ... ("copies that file to another file
+      // and so on").
+      fs::path src = file_a, dst = file_b;
+      while (!stop_requested()) {
+        Fd in(::open(src.c_str(), O_RDONLY));
+        Fd out(::open(dst.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+        if (!in.valid() || !out.valid()) {
+          impl_->failed.store(true);
+          return;
+        }
+        while (!stop_requested()) {
+          const ssize_t got = ::read(in.fd(), block.data(), block.size());
+          if (got < 0) {
+            impl_->failed.store(true);
+            return;
+          }
+          if (got == 0) break;  // end of file
+          const ssize_t put =
+              ::write(out.fd(), block.data(), static_cast<std::size_t>(got));
+          if (put != got) {
+            impl_->failed.store(true);
+            return;
+          }
+          impl_->written.fetch_add(static_cast<std::uint64_t>(put),
+                                   std::memory_order_relaxed);
+        }
+        if (opts_.sync_each_copy) ::fsync(out.fd());
+        std::swap(src, dst);
+        if (opts_.sleep_between_copies_s > 0.0)
+          pace(opts_.sleep_between_copies_s);
+      }
+    });
+  }
+}
+
+bool IoBandwidth::iterate(RunStats& stats) {
+  pace(0.05);
+  stats.work_amount =
+      static_cast<double>(impl_->written.load(std::memory_order_relaxed));
+  return !impl_->failed.load(std::memory_order_relaxed);
+}
+
+void IoBandwidth::teardown() {
+  request_stop();
+  for (auto& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl_->workers.clear();
+  bytes_written_ = impl_->written.load();
+  for (const auto& dir : impl_->task_dirs) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  impl_->task_dirs.clear();
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,54 @@
+// iobandwidth -- storage-bandwidth contention anomaly (paper Sec. 3.5).
+//
+// "The iobandwidth anomaly uses dd to copy random data into a file. It
+// then copies that file to another file and so on. This anomaly causes
+// contention in the disks of the storage servers, as well as the
+// interconnect between the filesystem and compute nodes."
+//
+// We implement dd's behaviour directly (block-wise read/write with a
+// configurable block size) instead of shelling out, which removes the
+// external dependency while generating the identical I/O pattern. Each of
+// the `ntasks` workers owns a private file chain, matching the paper's
+// "separate files for each rank" when launched with MPI.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "anomalies/anomaly.hpp"
+
+namespace hpas::anomalies {
+
+struct IoBandwidthOptions {
+  CommonOptions common;
+  std::string directory = ".";
+  std::uint64_t file_bytes = 256ULL * 1024 * 1024;  ///< "file size" knob
+  std::uint64_t block_bytes = 1ULL * 1024 * 1024;   ///< dd bs= equivalent
+  double sleep_between_copies_s = 0.0;              ///< pacing
+  unsigned ntasks = 1;
+  bool sync_each_copy = true;  ///< fsync so traffic reaches the device
+};
+
+class IoBandwidth final : public Anomaly {
+ public:
+  explicit IoBandwidth(IoBandwidthOptions opts);
+  ~IoBandwidth() override;
+
+  std::string name() const override { return "iobandwidth"; }
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ protected:
+  void setup() override;
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  struct Impl;
+  IoBandwidthOptions opts_;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hpas::anomalies

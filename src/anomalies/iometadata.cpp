@@ -1,0 +1,108 @@
+#include "anomalies/iometadata.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+namespace fs = std::filesystem;
+
+struct IoMetadata::Impl {
+  std::vector<std::thread> workers;
+  std::vector<fs::path> task_dirs;
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<bool> failed{false};
+};
+
+IoMetadata::IoMetadata(IoMetadataOptions opts)
+    : Anomaly(opts.common), opts_(opts), impl_(std::make_unique<Impl>()) {
+  require(opts.ntasks >= 1, "iometadata: ntasks must be >= 1");
+  require(opts.files_per_iteration >= 1,
+          "iometadata: files per iteration must be >= 1");
+  require(opts.delete_every >= 1, "iometadata: delete_every must be >= 1");
+}
+
+IoMetadata::~IoMetadata() { teardown(); }
+
+void IoMetadata::setup() {
+  for (unsigned task = 0; task < opts_.ntasks; ++task) {
+    const fs::path dir = fs::path(opts_.directory) /
+                         ("hpas_iometadata_" + std::to_string(::getpid()) +
+                          "_t" + std::to_string(task));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+      throw SystemError("iometadata: cannot create " + dir.string() + ": " +
+                        ec.message());
+    impl_->task_dirs.push_back(dir);
+  }
+
+  for (unsigned task = 0; task < opts_.ntasks; ++task) {
+    const fs::path dir = impl_->task_dirs[task];
+    impl_->workers.emplace_back([this, dir, task] {
+      pin_current_thread(static_cast<int>(task));
+      std::vector<fs::path> live_files;
+      unsigned iteration = 0;
+      while (!stop_requested()) {
+        // Create/open a batch, write one character to each, close.
+        for (unsigned i = 0; i < opts_.files_per_iteration; ++i) {
+          const fs::path file =
+              dir / ("f" + std::to_string(iteration) + "_" + std::to_string(i));
+          std::FILE* fp = std::fopen(file.c_str(), "w");
+          if (fp == nullptr) {
+            impl_->failed.store(true);
+            return;
+          }
+          std::fputc('x', fp);
+          std::fclose(fp);
+          live_files.push_back(file);
+          impl_->ops.fetch_add(3, std::memory_order_relaxed);  // create+write+close
+          if (stop_requested()) break;
+        }
+        ++iteration;
+        // Paper: "deletes them after 10 iterations".
+        if (iteration % opts_.delete_every == 0) {
+          for (const auto& file : live_files) {
+            std::error_code ec;
+            fs::remove(file, ec);
+            impl_->ops.fetch_add(1, std::memory_order_relaxed);  // unlink
+          }
+          live_files.clear();
+        }
+        if (opts_.sleep_between_iterations_s > 0.0)
+          pace(opts_.sleep_between_iterations_s);
+      }
+      for (const auto& file : live_files) {  // leave the FS clean on exit
+        std::error_code ec;
+        fs::remove(file, ec);
+      }
+    });
+  }
+}
+
+bool IoMetadata::iterate(RunStats& stats) {
+  pace(0.05);
+  stats.work_amount =
+      static_cast<double>(impl_->ops.load(std::memory_order_relaxed));
+  return !impl_->failed.load(std::memory_order_relaxed);
+}
+
+void IoMetadata::teardown() {
+  request_stop();
+  for (auto& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl_->workers.clear();
+  ops_ = impl_->ops.load();
+  for (const auto& dir : impl_->task_dirs) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  impl_->task_dirs.clear();
+}
+
+}  // namespace hpas::anomalies

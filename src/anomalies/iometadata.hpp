@@ -1,0 +1,52 @@
+// iometadata -- filesystem metadata-server contention anomaly (Sec. 3.5).
+//
+// "The metadata server is stressed using the iometadata anomaly that
+// creates and opens files, writes one character to each in a loop, closes
+// all open files, and deletes them after 10 iterations."
+//
+// Every operation in the loop (create, open, close, unlink) is a metadata
+// operation; the single-character write keeps data traffic negligible so
+// the anomaly stresses the metadata path in isolation. On a parallel
+// filesystem each MPI rank uses its own files; here `ntasks` worker
+// threads each use a private subdirectory for the same effect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "anomalies/anomaly.hpp"
+
+namespace hpas::anomalies {
+
+struct IoMetadataOptions {
+  CommonOptions common;
+  std::string directory = ".";    ///< target (shared) filesystem directory
+  unsigned files_per_iteration = 20;
+  unsigned delete_every = 10;     ///< paper: delete after 10 iterations
+  double sleep_between_iterations_s = 0.0;  ///< "rate" knob
+  unsigned ntasks = 1;
+};
+
+class IoMetadata final : public Anomaly {
+ public:
+  explicit IoMetadata(IoMetadataOptions opts);
+  ~IoMetadata() override;
+
+  std::string name() const override { return "iometadata"; }
+
+  std::uint64_t metadata_ops() const { return ops_; }
+
+ protected:
+  void setup() override;
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  struct Impl;
+  IoMetadataOptions opts_;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace hpas::anomalies

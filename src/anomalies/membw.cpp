@@ -1,0 +1,85 @@
+#include "anomalies/membw.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace hpas::anomalies {
+namespace {
+
+// Writes the transpose of `src` into `dst` (both n x n doubles,
+// row-major). The store to dst uses the non-temporal hint, replicating the
+// paper's Fig. 1 kernel (which used MOVNTQ on __m64; on x86-64 we use the
+// SSE2 _mm_stream_si64 form -- same hint, no EMMS needed).
+void temporal_transpose(const double* src, double* dst, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const double value = src[i * n + j];
+#if defined(__SSE2__) && defined(__x86_64__)
+      long long bits;
+      static_assert(sizeof(bits) == sizeof(value));
+      __builtin_memcpy(&bits, &value, sizeof(bits));
+      _mm_stream_si64(reinterpret_cast<long long*>(&dst[j * n + i]), bits);
+#else
+      // Fallback: a volatile store cannot be elided, though it does pollute
+      // the cache on targets without non-temporal stores.
+      *const_cast<volatile double*>(&dst[j * n + i]) = value;
+#endif
+    }
+  }
+#if defined(__SSE2__) && defined(__x86_64__)
+  _mm_sfence();  // make the streaming stores globally visible
+#endif
+}
+
+}  // namespace
+
+MemBw::MemBw(MemBwOptions opts)
+    : Anomaly(opts.common), opts_(opts), rng_(opts.common.seed) {
+  require(opts.matrix_bytes >= 64 * sizeof(double),
+          "membw: matrix size too small");
+  require(opts.sleep_between_passes_s >= 0.0,
+          "membw: sleep must be non-negative");
+  n_ = static_cast<std::uint64_t>(
+      std::sqrt(static_cast<double>(opts_.matrix_bytes / sizeof(double))));
+}
+
+bool MemBw::uses_nontemporal_stores() {
+#if defined(__SSE2__) && defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void MemBw::setup() {
+  src_.resize(n_ * n_);
+  dst_.resize(n_ * n_);
+  rng_.fill_bytes(src_.data(), src_.size() * sizeof(double));
+  // NaN bit patterns are harmless here (data is only moved, never used in
+  // arithmetic), matching the paper's "fills one of them with random
+  // values".
+}
+
+bool MemBw::iterate(RunStats& stats) {
+  temporal_transpose(src_.data(), dst_.data(), n_);
+  stats.work_amount += static_cast<double>(n_ * n_ * sizeof(double));
+  // Alternate direction so both matrices are touched and the source is
+  // re-read from DRAM rather than staying cache-resident.
+  src_.swap(dst_);
+  if (opts_.sleep_between_passes_s > 0.0) pace(opts_.sleep_between_passes_s);
+  return true;
+}
+
+void MemBw::teardown() {
+  src_.clear();
+  src_.shrink_to_fit();
+  dst_.clear();
+  dst_.shrink_to_fit();
+}
+
+}  // namespace hpas::anomalies

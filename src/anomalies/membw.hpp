@@ -1,0 +1,55 @@
+// membw -- memory-bandwidth contention anomaly (paper Sec. 3.3.3).
+//
+// "We model memory bandwidth contention by using the x86 SSE non-temporal
+// memory instructions such as MOVNT*. [...] membw first allocates two 2D
+// matrices [...] and fills one of them with random values. Then, it writes
+// the transpose of the first matrix into the second matrix using the
+// non-temporal hint" (Fig. 1 of the paper shows the MOVNTQ variant).
+//
+// Non-temporal stores bypass the cache hierarchy entirely, so the anomaly
+// saturates DRAM write bandwidth while leaving the caches almost untouched
+// -- the exact opposite footprint of cachecopy, which is what lets Fig. 4
+// separate the two. On non-SSE2 targets a volatile-store fallback keeps
+// the generator functional (with cache pollution as the documented cost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anomalies/anomaly.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+
+struct MemBwOptions {
+  CommonOptions common;
+  std::uint64_t matrix_bytes = 64ULL * 1024 * 1024;  ///< per matrix
+  double sleep_between_passes_s = 0.0;               ///< "rate" knob
+};
+
+class MemBw final : public Anomaly {
+ public:
+  explicit MemBw(MemBwOptions opts);
+
+  std::string name() const override { return "membw"; }
+
+  /// Matrix dimension N (matrices are N x N doubles).
+  std::uint64_t dimension() const { return n_; }
+
+  /// True when the build uses real MOVNT* non-temporal stores.
+  static bool uses_nontemporal_stores();
+
+ protected:
+  void setup() override;
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  MemBwOptions opts_;
+  Rng rng_;
+  std::uint64_t n_ = 0;
+  std::vector<double> src_;
+  std::vector<double> dst_;
+};
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,54 @@
+#include "anomalies/memeater.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace hpas::anomalies {
+
+MemEater::MemEater(MemEaterOptions opts)
+    : Anomaly(opts.common), opts_(opts), rng_(opts.common.seed) {
+  require(opts.step_bytes > 0, "memeater: step size must be positive");
+  require(opts.sleep_between_steps_s >= 0.0,
+          "memeater: sleep must be non-negative");
+}
+
+MemEater::~MemEater() { teardown(); }
+
+bool MemEater::iterate(RunStats& stats) {
+  if (opts_.max_bytes > 0 && allocated_ >= opts_.max_bytes) {
+    // Size limit reached: hold the plateau (stay memory-intensive) until
+    // the duration elapses, without growing further.
+    pace(opts_.sleep_between_steps_s > 0 ? opts_.sleep_between_steps_s : 0.1);
+    return true;
+  }
+
+  const std::uint64_t new_size = allocated_ + opts_.step_bytes;
+  auto* grown = static_cast<unsigned char*>(
+      std::realloc(buffer_, new_size));  // NOLINT: realloc per the paper
+  if (grown == nullptr) {
+    // Allocation failure is an expected runtime condition for a memory
+    // hog (the paper notes apps get killed when memory runs out); stop
+    // growing but keep what we have.
+    log_warn("memeater: realloc to ", new_size, " bytes failed; holding at ",
+             allocated_, " bytes");
+    pace(1.0);
+    return true;
+  }
+  buffer_ = grown;
+  // Fill only the newly grown tail with random values, as the paper does.
+  rng_.fill_bytes(buffer_ + allocated_, opts_.step_bytes);
+  allocated_ = new_size;
+  stats.work_amount = static_cast<double>(allocated_);
+  if (opts_.sleep_between_steps_s > 0.0) pace(opts_.sleep_between_steps_s);
+  return true;
+}
+
+void MemEater::teardown() {
+  std::free(buffer_);
+  buffer_ = nullptr;
+  allocated_ = 0;
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,49 @@
+// memeater -- memory-intensive process anomaly (paper Sec. 3.3.1).
+//
+// "The memeater anomaly allocates an array of a given size (35MB by
+// default, but adjustable) and fills it with random values. Later, it uses
+// realloc() to increase the array's size by the same amount, fills the
+// remaining area with random values, and repeats until the time or size
+// limit given by the user is reached."
+//
+// Unlike memleak, memeater models a legitimate memory-hungry neighbour:
+// the footprint grows to a plateau and is released on exit.
+#pragma once
+
+#include <cstdint>
+
+#include "anomalies/anomaly.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+
+struct MemEaterOptions {
+  CommonOptions common;
+  std::uint64_t step_bytes = 35ULL * 1024 * 1024;  ///< 35 MB paper default
+  std::uint64_t max_bytes = 0;      ///< 0 = no size limit (time-limited)
+  double sleep_between_steps_s = 1.0;  ///< growth pacing ("rate")
+};
+
+class MemEater final : public Anomaly {
+ public:
+  explicit MemEater(MemEaterOptions opts);
+  ~MemEater() override;
+
+  std::string name() const override { return "memeater"; }
+
+  std::uint64_t allocated_bytes() const { return allocated_; }
+
+ protected:
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  MemEaterOptions opts_;
+  Rng rng_;
+  // realloc() is the faithful mechanism here (the paper names it), so the
+  // buffer is a raw C allocation owned by this class; teardown() frees it.
+  unsigned char* buffer_ = nullptr;
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace hpas::anomalies

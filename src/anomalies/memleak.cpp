@@ -1,0 +1,45 @@
+#include "anomalies/memleak.hpp"
+
+#include <new>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace hpas::anomalies {
+
+MemLeak::MemLeak(MemLeakOptions opts)
+    : Anomaly(opts.common), opts_(opts), rng_(opts.common.seed) {
+  require(opts.chunk_bytes > 0, "memleak: chunk size must be positive");
+  require(opts.sleep_between_chunks_s >= 0.0,
+          "memleak: sleep must be non-negative");
+}
+
+bool MemLeak::iterate(RunStats& stats) {
+  if (opts_.max_bytes > 0 && leaked_ >= opts_.max_bytes) {
+    pace(opts_.sleep_between_chunks_s > 0 ? opts_.sleep_between_chunks_s : 0.1);
+    return true;
+  }
+  std::unique_ptr<unsigned char[]> chunk(
+      new (std::nothrow) unsigned char[opts_.chunk_bytes]);
+  if (chunk == nullptr) {
+    log_warn("memleak: allocation of ", opts_.chunk_bytes,
+             " bytes failed; holding at ", leaked_, " bytes");
+    pace(1.0);
+    return true;
+  }
+  if (opts_.touch_all) rng_.fill_bytes(chunk.get(), opts_.chunk_bytes);
+  chunks_.push_back(std::move(chunk));  // never freed during the run
+  leaked_ += opts_.chunk_bytes;
+  stats.work_amount = static_cast<double>(leaked_);
+  if (opts_.sleep_between_chunks_s > 0.0) pace(opts_.sleep_between_chunks_s);
+  return true;
+}
+
+void MemLeak::teardown() {
+  // The "leak" ends with the anomaly process, as in the paper ("both
+  // anomalies terminate after the given duration").
+  chunks_.clear();
+  leaked_ = 0;
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,52 @@
+// memleak -- memory-leak anomaly (paper Sec. 3.3.2).
+//
+// "We model memory leaks using the memleak anomaly, which allocates an
+// array of characters of a given size (20 MB by default) and fills it with
+// random characters in each iteration. The addresses of the arrays are not
+// stored and are not freed at each iteration, causing a memory leak."
+//
+// The observable signature -- the one the diagnosis models key on -- is a
+// monotonically growing resident set for the life of the anomaly. We keep
+// the allocations in an internal list that is only released at teardown;
+// during the run nothing is freed, which reproduces the paper's pattern
+// while still letting the generator be embedded in long-lived processes
+// (tests, benches) without genuinely leaking the host.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anomalies/anomaly.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::anomalies {
+
+struct MemLeakOptions {
+  CommonOptions common;
+  std::uint64_t chunk_bytes = 20ULL * 1024 * 1024;  ///< 20 MB paper default
+  std::uint64_t max_bytes = 0;   ///< safety cap; 0 = unlimited
+  double sleep_between_chunks_s = 1.0;  ///< leak pacing ("rate")
+  bool touch_all = true;  ///< fill pages so the leak shows up in RSS
+};
+
+class MemLeak final : public Anomaly {
+ public:
+  explicit MemLeak(MemLeakOptions opts);
+
+  std::string name() const override { return "memleak"; }
+
+  std::uint64_t leaked_bytes() const { return leaked_; }
+
+ protected:
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  MemLeakOptions opts_;
+  Rng rng_;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::uint64_t leaked_ = 0;
+};
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,231 @@
+#include "anomalies/netoccupy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+constexpr std::size_t kChunkBytes = 256 * 1024;
+
+/// RAII socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void set_io_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw ConfigError("netoccupy: invalid IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+NetMode parse_net_mode(const std::string& text) {
+  if (text == "send") return NetMode::kSend;
+  if (text == "recv" || text == "receive") return NetMode::kRecv;
+  if (text == "loopback") return NetMode::kLoopback;
+  throw ConfigError("netoccupy: unknown mode '" + text +
+                    "' (expected send/recv/loopback)");
+}
+
+struct NetOccupy::Impl {
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<bool> failed{false};
+};
+
+NetOccupy::NetOccupy(NetOccupyOptions opts)
+    : Anomaly(opts.common), opts_(opts), impl_(std::make_unique<Impl>()) {
+  require(opts.ntasks >= 1, "netoccupy: ntasks must be >= 1");
+  require(opts.message_bytes > 0, "netoccupy: message size must be positive");
+  require(opts.sleep_between_messages_s >= 0.0,
+          "netoccupy: sleep must be non-negative");
+}
+
+NetOccupy::~NetOccupy() { teardown(); }
+
+void NetOccupy::setup() {
+  const bool run_recv =
+      opts_.mode == NetMode::kRecv || opts_.mode == NetMode::kLoopback;
+  const bool run_send =
+      opts_.mode == NetMode::kSend || opts_.mode == NetMode::kLoopback;
+  const std::string send_host =
+      opts_.mode == NetMode::kLoopback ? "127.0.0.1" : opts_.host;
+
+  if (run_recv) {
+    for (unsigned task = 0; task < opts_.ntasks; ++task) {
+      const auto port = static_cast<std::uint16_t>(opts_.port + task);
+      // Bind in the launching thread so senders started right after can
+      // already connect (the accept happens in the worker).
+      Socket listener(::socket(AF_INET, SOCK_STREAM, 0));
+      if (!listener.valid()) throw SystemError("netoccupy: socket() failed");
+      const int one = 1;
+      ::setsockopt(listener.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      sockaddr_in addr = make_addr("0.0.0.0", port);
+      if (::bind(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                 sizeof addr) != 0)
+        throw SystemError("netoccupy: bind to port " + std::to_string(port) +
+                          " failed: " + std::strerror(errno));
+      if (::listen(listener.fd(), 1) != 0)
+        throw SystemError("netoccupy: listen failed");
+      set_io_timeout(listener.fd(), 0.1);
+
+      impl_->workers.emplace_back(
+          [this, listener = std::move(listener)]() mutable {
+            // Accept one peer (retrying on timeout until stop).
+            Socket conn;
+            while (!stop_requested() && !conn.valid()) {
+              const int fd = ::accept(listener.fd(), nullptr, nullptr);
+              if (fd >= 0) {
+                conn = Socket(fd);
+                set_io_timeout(conn.fd(), 0.1);
+              } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR) {
+                impl_->failed.store(true);
+                return;
+              }
+            }
+            std::vector<char> scratch(kChunkBytes);
+            while (!stop_requested() && conn.valid()) {
+              const ssize_t got =
+                  ::recv(conn.fd(), scratch.data(), scratch.size(), 0);
+              if (got > 0) {
+                impl_->received.fetch_add(static_cast<std::uint64_t>(got),
+                                          std::memory_order_relaxed);
+              } else if (got == 0) {
+                return;  // peer closed
+              } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR) {
+                return;
+              }
+            }
+          });
+    }
+  }
+
+  if (run_send) {
+    for (unsigned task = 0; task < opts_.ntasks; ++task) {
+      const auto port = static_cast<std::uint16_t>(opts_.port + task);
+      impl_->workers.emplace_back([this, send_host, port, task] {
+        pin_current_thread(static_cast<int>(task));
+        // Connect with retry: the paired receiver may come up later.
+        Socket conn;
+        while (!stop_requested() && !conn.valid()) {
+          Socket attempt(::socket(AF_INET, SOCK_STREAM, 0));
+          if (!attempt.valid()) {
+            impl_->failed.store(true);
+            return;
+          }
+          sockaddr_in addr = make_addr(send_host, port);
+          if (::connect(attempt.fd(), reinterpret_cast<sockaddr*>(&addr),
+                        sizeof addr) == 0) {
+            set_io_timeout(attempt.fd(), 0.1);
+            conn = std::move(attempt);
+          } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+        if (!conn.valid()) return;
+
+        // One message buffer of random bytes, reused for every send.
+        std::vector<char> message(
+            std::min<std::uint64_t>(opts_.message_bytes, kChunkBytes));
+        Rng rng(common_options().seed + port);
+        rng.fill_bytes(message.data(), message.size());
+
+        while (!stop_requested()) {
+          std::uint64_t remaining = opts_.message_bytes;
+          while (remaining > 0 && !stop_requested()) {
+            const std::size_t chunk =
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    remaining, message.size()));
+            const ssize_t put =
+                ::send(conn.fd(), message.data(), chunk, MSG_NOSIGNAL);
+            if (put > 0) {
+              impl_->sent.fetch_add(static_cast<std::uint64_t>(put),
+                                    std::memory_order_relaxed);
+              remaining -= static_cast<std::uint64_t>(put);
+            } else if (put < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+              return;  // connection gone
+            }
+          }
+          if (opts_.sleep_between_messages_s > 0.0)
+            pace(opts_.sleep_between_messages_s);
+        }
+      });
+    }
+  }
+}
+
+bool NetOccupy::iterate(RunStats& stats) {
+  // The traffic runs on the worker threads; the main loop just keeps the
+  // duration bookkeeping and surfaces progress.
+  pace(0.05);
+  stats.work_amount =
+      static_cast<double>(impl_->sent.load(std::memory_order_relaxed));
+  return !impl_->failed.load(std::memory_order_relaxed);
+}
+
+void NetOccupy::teardown() {
+  request_stop();
+  for (auto& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl_->workers.clear();
+  bytes_sent_ = impl_->sent.load();
+  bytes_received_ = impl_->received.load();
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,64 @@
+// netoccupy -- network contention anomaly (paper Sec. 3.4).
+//
+// In the paper, rank pairs on two nodes blast 100 MB messages at each
+// other with SHMEM shmem_putmem() over the Cray Aries. Neither SHMEM nor
+// Aries exists off a Cray, so this port substitutes TCP sockets: each of
+// the `ntasks` worker pairs keeps a stream of `message_bytes`-sized sends
+// in flight from the sender node to the receiver node. The observable
+// behaviour -- sustained pairwise bandwidth consumption on the path
+// between two nodes, tunable via message size / rate / ntasks -- is
+// preserved (see DESIGN.md substitution table). For the simulated Aries
+// interconnect, see simanom::NetOccupyInjector.
+//
+// Deployment mirrors the original: run `hpas netoccupy --mode recv` on one
+// node and `--mode send --host <peer>` on the other. A `--mode loopback`
+// runs both endpoints in one process (threads), which is what the tests
+// and single-machine demos use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "anomalies/anomaly.hpp"
+
+namespace hpas::anomalies {
+
+enum class NetMode { kSend, kRecv, kLoopback };
+
+NetMode parse_net_mode(const std::string& text);
+
+struct NetOccupyOptions {
+  CommonOptions common;
+  NetMode mode = NetMode::kLoopback;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 17119;  ///< base port; task i uses port + i
+  std::uint64_t message_bytes = 100ULL * 1024 * 1024;  ///< paper: 100 MB
+  double sleep_between_messages_s = 0.0;  ///< "rate" knob
+  unsigned ntasks = 1;                    ///< concurrent sender/receiver pairs
+};
+
+class NetOccupy final : public Anomaly {
+ public:
+  explicit NetOccupy(NetOccupyOptions opts);
+  ~NetOccupy() override;
+
+  std::string name() const override { return "netoccupy"; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ protected:
+  void setup() override;
+  bool iterate(RunStats& stats) override;
+  void teardown() override;
+
+ private:
+  struct Impl;
+  NetOccupyOptions opts_;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace hpas::anomalies

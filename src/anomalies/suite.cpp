@@ -1,0 +1,255 @@
+#include "anomalies/suite.hpp"
+
+#include "anomalies/cachecopy.hpp"
+#include "anomalies/cpuoccupy.hpp"
+#include "anomalies/iobandwidth.hpp"
+#include "anomalies/iometadata.hpp"
+#include "anomalies/membw.hpp"
+#include "anomalies/memeater.hpp"
+#include "anomalies/memleak.hpp"
+#include "anomalies/netoccupy.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+CommonOptions parse_common(const ParsedArgs& args) {
+  CommonOptions common;
+  common.duration_s = parse_duration_seconds(args.value("duration"));
+  common.start_delay_s = parse_duration_seconds(args.value("start-delay"));
+  common.seed = parse_u64(args.value("seed"));
+  const std::string pin = args.value("pin");
+  common.pin_cpu =
+      pin == "-1" ? -1 : static_cast<int>(parse_u64(pin));
+  return common;
+}
+
+void add_common_options(CliParser& parser) {
+  parser
+      .add({.long_name = "duration", .short_name = 'd',
+            .value_name = "TIME",
+            .help = "active duration (e.g. 30s, 5m); 0 = until signalled",
+            .default_value = "10s"})
+      .add({.long_name = "start-delay", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "idle delay before the anomaly starts",
+            .default_value = "0s"})
+      .add({.long_name = "seed", .short_name = '\0', .value_name = "N",
+            .help = "seed for the anomaly's pseudo-random data",
+            .default_value = "1212437843"})
+      .add({.long_name = "pin", .short_name = '\0', .value_name = "CPU",
+            .help = "pin to this CPU (workers use CPU+i); -1 = unpinned",
+            .default_value = "-1"});
+}
+
+}  // namespace
+
+const std::vector<AnomalyInfo>& anomaly_catalog() {
+  static const std::vector<AnomalyInfo> kCatalog = {
+      {"cpuoccupy", "CPU", "CPU intensive process",
+       "Arithmetic operations", "utilization%"},
+      {"cachecopy", "Cache hierarchy", "Cache contention",
+       "Cache read & write", "cache (L1/L2/L3), multiplier, rate"},
+      {"membw", "Memory", "Memory bandwidth contention",
+       "Not-cached memory write", "buffer size, rate"},
+      {"memeater", "Memory", "Memory intensive process",
+       "Allocate, fill, & release memory", "buffer size, rate"},
+      {"memleak", "Memory", "Memory leak",
+       "Increasingly allocate & fill memory", "buffer size, rate"},
+      {"netoccupy", "Network", "Network contention",
+       "Send messages between two nodes", "message size, rate, ntasks"},
+      {"iometadata", "Shared storage", "I/O metadata server contention",
+       "File creation & deletion", "rate, ntasks"},
+      {"iobandwidth", "Shared storage", "I/O bandwidth contention",
+       "File read & write", "file size, ntasks"},
+  };
+  return kCatalog;
+}
+
+bool is_known_anomaly(const std::string& name) {
+  for (const auto& info : anomaly_catalog())
+    if (info.name == name) return true;
+  return false;
+}
+
+CliParser make_anomaly_parser(const std::string& name) {
+  if (!is_known_anomaly(name))
+    throw ConfigError("unknown anomaly '" + name + "'");
+
+  CliParser parser("hpas " + name, [&] {
+    for (const auto& info : anomaly_catalog())
+      if (info.name == name) return info.type + " (" + info.behavior + ")";
+    return std::string();
+  }());
+  add_common_options(parser);
+
+  if (name == "cpuoccupy") {
+    parser
+        .add({.long_name = "utilization", .short_name = 'u',
+              .value_name = "PCT",
+              .help = "CPU utilization percentage of one core",
+              .default_value = "100"})
+        .add({.long_name = "period", .short_name = 'p', .value_name = "TIME",
+              .help = "duty-cycle period", .default_value = "100ms"});
+  } else if (name == "cachecopy") {
+    parser
+        .add({.long_name = "cache", .short_name = 'c', .value_name = "LEVEL",
+              .help = "target cache level: L1, L2 or L3",
+              .default_value = "L3"})
+        .add({.long_name = "multiplier", .short_name = 'm',
+              .value_name = "X",
+              .help = "working-set size as a multiple of the cache level",
+              .default_value = "1.0"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between copies", .default_value = "0s"});
+  } else if (name == "membw") {
+    parser
+        .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+              .help = "size of each matrix", .default_value = "64M"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between transpose passes",
+              .default_value = "0s"});
+  } else if (name == "memeater") {
+    parser
+        .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+              .help = "growth step (and initial allocation)",
+              .default_value = "35M"})
+        .add({.long_name = "max-size", .short_name = '\0',
+              .value_name = "BYTES",
+              .help = "size limit; 0 = grow until the duration ends",
+              .default_value = "0"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between growth steps", .default_value = "1s"});
+  } else if (name == "memleak") {
+    parser
+        .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+              .help = "leaked chunk size per iteration",
+              .default_value = "20M"})
+        .add({.long_name = "max-size", .short_name = '\0',
+              .value_name = "BYTES",
+              .help = "total leak cap; 0 = unlimited", .default_value = "0"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between leaked chunks", .default_value = "1s"});
+  } else if (name == "netoccupy") {
+    parser
+        .add({.long_name = "mode", .short_name = 'm', .value_name = "MODE",
+              .help = "send, recv, or loopback", .default_value = "loopback"})
+        .add({.long_name = "host", .short_name = '\0', .value_name = "ADDR",
+              .help = "peer IPv4 address (send mode)",
+              .default_value = "127.0.0.1"})
+        .add({.long_name = "port", .short_name = 'p', .value_name = "PORT",
+              .help = "base TCP port (task i uses port+i)",
+              .default_value = "17119"})
+        .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+              .help = "message size", .default_value = "100M"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between messages", .default_value = "0s"})
+        .add({.long_name = "ntasks", .short_name = 'n', .value_name = "N",
+              .help = "concurrent sender/receiver pairs",
+              .default_value = "1"});
+  } else if (name == "iometadata") {
+    parser
+        .add({.long_name = "dir", .short_name = '\0', .value_name = "PATH",
+              .help = "directory on the target (shared) filesystem",
+              .default_value = "."})
+        .add({.long_name = "files", .short_name = 'f', .value_name = "N",
+              .help = "files created per iteration", .default_value = "20"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between iterations", .default_value = "0s"})
+        .add({.long_name = "ntasks", .short_name = 'n', .value_name = "N",
+              .help = "worker threads (ranks)", .default_value = "1"});
+  } else if (name == "iobandwidth") {
+    parser
+        .add({.long_name = "dir", .short_name = '\0', .value_name = "PATH",
+              .help = "directory on the target (shared) filesystem",
+              .default_value = "."})
+        .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+              .help = "file size of the copy chain", .default_value = "256M"})
+        .add({.long_name = "block", .short_name = 'b', .value_name = "BYTES",
+              .help = "I/O block size (dd bs=)", .default_value = "1M"})
+        .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
+              .help = "sleep between file copies", .default_value = "0s"})
+        .add({.long_name = "ntasks", .short_name = 'n', .value_name = "N",
+              .help = "worker threads (ranks)", .default_value = "1"});
+  }
+  return parser;
+}
+
+std::unique_ptr<Anomaly> make_anomaly(const std::string& name,
+                                      const ParsedArgs& args) {
+  const CommonOptions common = parse_common(args);
+
+  if (name == "cpuoccupy") {
+    CpuOccupyOptions opts{.common = common,
+                          .utilization_pct = parse_percent(args.value("utilization")),
+                          .period_s = parse_duration_seconds(args.value("period"))};
+    return std::make_unique<CpuOccupy>(opts);
+  }
+  if (name == "cachecopy") {
+    CacheCopyOptions opts{
+        .common = common,
+        .level = parse_cache_level(args.value("cache")),
+        .multiplier = parse_double(args.value("multiplier")),
+        .sleep_between_copies_s = parse_duration_seconds(args.value("rate")),
+        .topology = detect_cache_topology()};
+    return std::make_unique<CacheCopy>(opts);
+  }
+  if (name == "membw") {
+    MemBwOptions opts{
+        .common = common,
+        .matrix_bytes = parse_bytes(args.value("size")),
+        .sleep_between_passes_s = parse_duration_seconds(args.value("rate"))};
+    return std::make_unique<MemBw>(opts);
+  }
+  if (name == "memeater") {
+    MemEaterOptions opts{
+        .common = common,
+        .step_bytes = parse_bytes(args.value("size")),
+        .max_bytes = parse_bytes(args.value("max-size")),
+        .sleep_between_steps_s = parse_duration_seconds(args.value("rate"))};
+    return std::make_unique<MemEater>(opts);
+  }
+  if (name == "memleak") {
+    MemLeakOptions opts{
+        .common = common,
+        .chunk_bytes = parse_bytes(args.value("size")),
+        .max_bytes = parse_bytes(args.value("max-size")),
+        .sleep_between_chunks_s = parse_duration_seconds(args.value("rate"))};
+    return std::make_unique<MemLeak>(opts);
+  }
+  if (name == "netoccupy") {
+    NetOccupyOptions opts{
+        .common = common,
+        .mode = parse_net_mode(args.value("mode")),
+        .host = args.value("host"),
+        .port = static_cast<std::uint16_t>(parse_u64(args.value("port"))),
+        .message_bytes = parse_bytes(args.value("size")),
+        .sleep_between_messages_s = parse_duration_seconds(args.value("rate")),
+        .ntasks = static_cast<unsigned>(parse_u64(args.value("ntasks")))};
+    return std::make_unique<NetOccupy>(opts);
+  }
+  if (name == "iometadata") {
+    IoMetadataOptions opts{
+        .common = common,
+        .directory = args.value("dir"),
+        .files_per_iteration = static_cast<unsigned>(parse_u64(args.value("files"))),
+        .delete_every = 10,
+        .sleep_between_iterations_s = parse_duration_seconds(args.value("rate")),
+        .ntasks = static_cast<unsigned>(parse_u64(args.value("ntasks")))};
+    return std::make_unique<IoMetadata>(opts);
+  }
+  if (name == "iobandwidth") {
+    IoBandwidthOptions opts{
+        .common = common,
+        .directory = args.value("dir"),
+        .file_bytes = parse_bytes(args.value("size")),
+        .block_bytes = parse_bytes(args.value("block")),
+        .sleep_between_copies_s = parse_duration_seconds(args.value("rate")),
+        .ntasks = static_cast<unsigned>(parse_u64(args.value("ntasks")))};
+    return std::make_unique<IoBandwidth>(opts);
+  }
+  throw ConfigError("unknown anomaly '" + name + "'");
+}
+
+}  // namespace hpas::anomalies

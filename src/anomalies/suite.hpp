@@ -1,0 +1,41 @@
+// The anomaly suite registry: Table 1 of the paper as code.
+//
+// Maps anomaly names to their catalog entry (subsystem, behaviour, knobs)
+// and to CLI-driven factories, so the `hpas` tool, the tests, and the
+// table1 bench all share one source of truth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anomalies/anomaly.hpp"
+#include "common/cli.hpp"
+
+namespace hpas::anomalies {
+
+struct AnomalyInfo {
+  std::string name;       ///< e.g. "cpuoccupy"
+  std::string subsystem;  ///< "CPU", "Cache hierarchy", "Memory", ...
+  std::string type;       ///< Table 1 "anomaly type" column
+  std::string behavior;   ///< Table 1 "anomaly behavior" column
+  std::string knobs;      ///< Table 1 "runtime configuration options" column
+};
+
+/// All eight anomalies in paper order (Table 1).
+const std::vector<AnomalyInfo>& anomaly_catalog();
+
+/// True when `name` is one of the eight anomalies.
+bool is_known_anomaly(const std::string& name);
+
+/// CLI parser for one anomaly, with that anomaly's knobs plus the common
+/// --duration/--start-delay/--seed options. Throws ConfigError for an
+/// unknown name.
+CliParser make_anomaly_parser(const std::string& name);
+
+/// Constructs a configured generator from parsed CLI args. Throws
+/// ConfigError on unknown names or invalid knob values.
+std::unique_ptr<Anomaly> make_anomaly(const std::string& name,
+                                      const ParsedArgs& args);
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,94 @@
+#include "apps/bsp_app.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::apps {
+
+using sim::Phase;
+using sim::PhaseKind;
+using sim::Task;
+
+BspApp::BspApp(sim::World& world, AppSpec spec, Placement placement)
+    : world_(world), spec_(std::move(spec)), placement_(std::move(placement)) {
+  require(!placement_.nodes.empty(), "BspApp: need at least one node");
+  require(placement_.ranks_per_node >= 1, "BspApp: ranks_per_node >= 1");
+  start_time_ = world_.now();
+
+  const int total_ranks = static_cast<int>(placement_.nodes.size()) *
+                          placement_.ranks_per_node;
+  ranks_.reserve(static_cast<std::size_t>(total_ranks));
+  for (int rank = 0; rank < total_ranks; ++rank) {
+    const int node =
+        placement_.nodes[static_cast<std::size_t>(rank) /
+                         static_cast<std::size_t>(placement_.ranks_per_node)];
+    const int core =
+        placement_.first_core + rank % placement_.ranks_per_node;
+    rank_nodes_.push_back(node);
+    Task* task = world_.spawn_task(
+        spec_.name + ".r" + std::to_string(rank), node, core,
+        spec_.rank_profile, Phase::compute(spec_.instr_per_iteration),
+        [this, rank](Task& t) { return on_rank_phase_done(rank, t); });
+    ranks_.push_back(task);
+  }
+}
+
+int BspApp::peer_rank(int rank) const {
+  return (rank + 1) % static_cast<int>(ranks_.size());
+}
+
+Phase BspApp::start_iteration_phase(int /*rank*/) const {
+  return Phase::compute(spec_.instr_per_iteration);
+}
+
+Phase BspApp::on_rank_phase_done(int rank, Task& /*task*/) {
+  switch (ranks_[static_cast<std::size_t>(rank)]->phase().kind) {
+    case PhaseKind::kCompute: {
+      // Halo exchange with the ring neighbor (skippable for apps with no
+      // communication).
+      if (spec_.comm_bytes_per_iteration > 0.0 && ranks_.size() > 1) {
+        const int peer = rank_nodes_[static_cast<std::size_t>(peer_rank(rank))];
+        return Phase::message(peer, spec_.comm_bytes_per_iteration);
+      }
+      [[fallthrough]];
+    }
+    case PhaseKind::kMessage: {
+      // Arrived at the barrier.
+      ++at_barrier_;
+      if (at_barrier_ < static_cast<int>(ranks_.size()))
+        return Phase::idle();
+      // Last rank releases the barrier.
+      at_barrier_ = 0;
+      ++iteration_;
+      if (iteration_ >= spec_.iterations) {
+        finished_ = true;
+        finish_time_ = world_.now();
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+          if (static_cast<int>(r) != rank)
+            ranks_[r]->set_phase(Phase::done());
+        }
+        return Phase::done();
+      }
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        if (static_cast<int>(r) != rank)
+          ranks_[r]->set_phase(start_iteration_phase(static_cast<int>(r)));
+      }
+      return start_iteration_phase(rank);
+    }
+    default:
+      throw InvariantError("BspApp: unexpected phase completion");
+  }
+}
+
+double BspApp::elapsed() const {
+  return finished_ ? finish_time_ - start_time_ : world_.now() - start_time_;
+}
+
+double BspApp::run_to_completion(double deadline) {
+  while (!finished_ && world_.now() < deadline &&
+         world_.simulator().pending_events() > 0) {
+    world_.simulator().step();
+  }
+  return elapsed();
+}
+
+}  // namespace hpas::apps

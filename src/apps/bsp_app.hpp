@@ -1,0 +1,60 @@
+// Bulk-synchronous-parallel application runtime for the simulated cluster.
+//
+// Each rank iterates: compute -> ring halo exchange -> barrier. The
+// barrier is what transmits anomalies across ranks: one slowed rank (CPU
+// share stolen, cache evicted, bandwidth starved) delays every iteration
+// of the whole job -- the mechanism behind Fig. 8's application-level
+// slowdowns and Fig. 12's allocation-policy gap.
+#pragma once
+
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "sim/world.hpp"
+
+namespace hpas::apps {
+
+class BspApp {
+ public:
+  struct Placement {
+    std::vector<int> nodes;   ///< nodes hosting ranks
+    int ranks_per_node = 4;   ///< ranks pinned to cores [first_core, ...)
+    int first_core = 0;
+  };
+
+  /// Spawns all rank tasks immediately. The BspApp object must outlive
+  /// the World's execution of the job (controllers point back into it).
+  BspApp(sim::World& world, AppSpec spec, Placement placement);
+
+  BspApp(const BspApp&) = delete;
+  BspApp& operator=(const BspApp&) = delete;
+
+  bool finished() const { return finished_; }
+  /// Simulated wall time from spawn to last rank's completion.
+  double elapsed() const;
+  int completed_iterations() const { return iteration_; }
+  const AppSpec& spec() const { return spec_; }
+  const std::vector<sim::Task*>& rank_tasks() const { return ranks_; }
+
+  /// Convenience: run the world until this app finishes (or `deadline`
+  /// passes); returns elapsed().
+  double run_to_completion(double deadline = 1.0e7);
+
+ private:
+  sim::Phase on_rank_phase_done(int rank, sim::Task& task);
+  sim::Phase start_iteration_phase(int rank) const;
+  int peer_rank(int rank) const;
+
+  sim::World& world_;
+  AppSpec spec_;
+  Placement placement_;
+  std::vector<sim::Task*> ranks_;
+  std::vector<int> rank_nodes_;
+  int iteration_ = 0;
+  int at_barrier_ = 0;
+  bool finished_ = false;
+  double start_time_ = 0.0;
+  double finish_time_ = 0.0;
+};
+
+}  // namespace hpas::apps

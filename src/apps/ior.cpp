@@ -1,0 +1,49 @@
+#include "apps/ior.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::apps {
+
+using sim::IoKind;
+using sim::Phase;
+using sim::Task;
+using sim::TaskProfile;
+
+IorBench::IorBench(sim::World& world, Options options)
+    : world_(world), options_(options) {
+  require(options.write_bytes > 0 && options.read_bytes > 0 &&
+              options.metadata_ops > 0,
+          "IorBench: phase amounts must be positive");
+
+  TaskProfile profile;
+  profile.cpu_demand = 0.1;
+
+  phase_start_ = world.now();
+  task_ = world.spawn_task(
+      "IOR", options_.node, 0, profile,
+      Phase::io(IoKind::kWrite, options_.write_bytes), [this](Task&) {
+        const double elapsed = world_.now() - phase_start_;
+        phase_start_ = world_.now();
+        switch (phase_index_++) {
+          case 0:
+            write_rate_ = elapsed > 0 ? options_.write_bytes / elapsed : 0.0;
+            return Phase::io(IoKind::kMetadata, options_.metadata_ops);
+          case 1:
+            access_rate_ = elapsed > 0 ? options_.metadata_ops / elapsed : 0.0;
+            return Phase::io(IoKind::kRead, options_.read_bytes);
+          default:
+            read_rate_ = elapsed > 0 ? options_.read_bytes / elapsed : 0.0;
+            finished_ = true;
+            return Phase::done();
+        }
+      });
+}
+
+void IorBench::run_to_completion(double deadline) {
+  while (!finished_ && world_.now() < deadline &&
+         world_.simulator().pending_events() > 0) {
+    world_.simulator().step();
+  }
+}
+
+}  // namespace hpas::apps

@@ -1,0 +1,38 @@
+// IOR-like filesystem benchmark (Fig. 7): sequential write, metadata
+// (access/stat), and read phases against the shared filesystem, reporting
+// the achieved rate of each phase.
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace hpas::apps {
+
+class IorBench {
+ public:
+  struct Options {
+    int node = 0;
+    double write_bytes = 1.0e9;
+    double metadata_ops = 2000.0;  ///< the "access" phase
+    double read_bytes = 1.0e9;
+  };
+
+  IorBench(sim::World& world, Options options);
+
+  bool finished() const { return finished_; }
+  double write_rate() const { return write_rate_; }      ///< bytes/s
+  double access_rate() const { return access_rate_; }    ///< ops/s
+  double read_rate() const { return read_rate_; }        ///< bytes/s
+
+  void run_to_completion(double deadline = 1.0e7);
+
+ private:
+  sim::World& world_;
+  Options options_;
+  sim::Task* task_ = nullptr;
+  double phase_start_ = 0.0;
+  int phase_index_ = 0;  // 0 write, 1 access, 2 read
+  double write_rate_ = 0.0, access_rate_ = 0.0, read_rate_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace hpas::apps

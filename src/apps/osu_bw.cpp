@@ -1,0 +1,52 @@
+#include "apps/osu_bw.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::apps {
+
+using sim::Phase;
+using sim::Task;
+using sim::TaskProfile;
+
+OsuBandwidth::OsuBandwidth(sim::World& world, Options options)
+    : world_(world), options_(std::move(options)) {
+  require(!options_.message_sizes.empty(), "OsuBandwidth: need sizes");
+  require(options_.window >= 1, "OsuBandwidth: window >= 1");
+
+  TaskProfile profile;
+  profile.cpu_demand = 0.1;  // MPI progress engine
+  profile.working_set_bytes = 1.0 * 1024 * 1024;
+  profile.msg_latency_s = options_.msg_latency_s;
+
+  window_start_ = world.now();
+  task_ = world.spawn_task(
+      "osu_bw", options_.src_node, 0, profile,
+      Phase::message(options_.dst_node, options_.message_sizes[0]),
+      [this](Task&) {
+        ++msg_in_window_;
+        if (msg_in_window_ >= options_.window) {
+          const double elapsed = world_.now() - window_start_;
+          const double bytes = options_.message_sizes[size_index_] *
+                               static_cast<double>(options_.window);
+          results_.push_back(elapsed > 0.0 ? bytes / elapsed : 0.0);
+          ++size_index_;
+          msg_in_window_ = 0;
+          window_start_ = world_.now();
+          if (size_index_ >= options_.message_sizes.size()) {
+            finished_ = true;
+            return Phase::done();
+          }
+        }
+        return Phase::message(options_.dst_node,
+                              options_.message_sizes[size_index_]);
+      });
+}
+
+void OsuBandwidth::run_to_completion(double deadline) {
+  while (!finished_ && world_.now() < deadline &&
+         world_.simulator().pending_events() > 0) {
+    world_.simulator().step();
+  }
+}
+
+}  // namespace hpas::apps

@@ -1,0 +1,44 @@
+// OSU-style point-to-point bandwidth benchmark (Fig. 6).
+//
+// For each message size, a window of back-to-back messages is streamed
+// from src to dst and the achieved bandwidth is recorded. Per-message
+// startup latency makes small messages latency-bound and large ones
+// bandwidth-bound, reproducing the classic OSU curve shape.
+#pragma once
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace hpas::apps {
+
+class OsuBandwidth {
+ public:
+  struct Options {
+    int src_node = 0;
+    int dst_node = 1;
+    std::vector<double> message_sizes;  ///< bytes, measured in order
+    int window = 16;                    ///< messages per measurement
+    double msg_latency_s = 15e-6;
+  };
+
+  OsuBandwidth(sim::World& world, Options options);
+
+  bool finished() const { return finished_; }
+  /// results()[i] = achieved bytes/s for message_sizes[i].
+  const std::vector<double>& results() const { return results_; }
+
+  void run_to_completion(double deadline = 1.0e7);
+
+ private:
+  sim::World& world_;
+  Options options_;
+  sim::Task* task_ = nullptr;
+  std::vector<double> results_;
+  std::size_t size_index_ = 0;
+  int msg_in_window_ = 0;
+  double window_start_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace hpas::apps

@@ -1,0 +1,146 @@
+#include "apps/profiles.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::apps {
+namespace {
+
+using sim::TaskProfile;
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// CPU-bound kernel: high IPC, small working set, few misses.
+TaskProfile cpu_bound_profile() {
+  TaskProfile p;
+  p.ips_peak = 2.3e9;
+  p.working_set_bytes = 2.0 * kMiB;
+  p.m1_base = 8.0;  p.m1_max = 45.0;
+  p.m2_base = 2.0;  p.m2_max = 20.0;
+  p.m3_base = 0.3;  p.m3_max = 12.0;
+  return p;
+}
+
+/// Memory-bound kernel: large working set, heavy L2/L3 miss traffic.
+TaskProfile mem_bound_profile(double ws_mib, double m3_base) {
+  TaskProfile p;
+  p.ips_peak = 2.3e9;
+  p.working_set_bytes = ws_mib * kMiB;
+  p.m1_base = 40.0; p.m1_max = 70.0;
+  p.m2_base = 18.0; p.m2_max = 35.0;
+  p.m3_base = m3_base; p.m3_max = m3_base + 12.0;
+  return p;
+}
+
+/// Mixed kernel (Kripke, SW4lite): compute-heavy sweeps over sizable
+/// state.
+TaskProfile mixed_profile(double ws_mib) {
+  TaskProfile p;
+  p.ips_peak = 2.3e9;
+  p.working_set_bytes = ws_mib * kMiB;
+  p.m1_base = 20.0; p.m1_max = 55.0;
+  p.m2_base = 8.0;  p.m2_max = 25.0;
+  p.m3_base = 2.5;  p.m3_max = 14.0;
+  return p;
+}
+
+std::vector<AppSpec> build_catalog() {
+  std::vector<AppSpec> apps;
+
+  // Cloverleaf: structured hydrodynamics, bandwidth-bound stencils.
+  apps.push_back({.name = "cloverleaf",
+                  .rank_profile = mem_bound_profile(24.0, 9.0),
+                  .instr_per_iteration = 1.1e9,
+                  .comm_bytes_per_iteration = 2.0 * kMiB,
+                  .iterations = 160,
+                  .cpu_intensive = false,
+                  .memory_intensive = true,
+                  .network_intensive = false});
+
+  // CoMD: molecular dynamics, force loops dominate, cache friendly.
+  apps.push_back({.name = "CoMD",
+                  .rank_profile = cpu_bound_profile(),
+                  .instr_per_iteration = 2.6e9,
+                  .comm_bytes_per_iteration = 0.5 * kMiB,
+                  .iterations = 180,
+                  .cpu_intensive = true,
+                  .memory_intensive = false,
+                  .network_intensive = false});
+
+  // Kripke: particle transport sweeps, compute + large angular state.
+  apps.push_back({.name = "kripke",
+                  .rank_profile = mixed_profile(30.0),
+                  .instr_per_iteration = 2.0e9,
+                  .comm_bytes_per_iteration = 1.0 * kMiB,
+                  .iterations = 150,
+                  .cpu_intensive = true,
+                  .memory_intensive = true,
+                  .network_intensive = false});
+
+  // MILC: lattice QCD, bandwidth bound with heavy halo exchange.
+  apps.push_back({.name = "milc",
+                  .rank_profile = mem_bound_profile(28.0, 10.0),
+                  .instr_per_iteration = 1.2e9,
+                  .comm_bytes_per_iteration = 14.0 * kMiB,
+                  .iterations = 150,
+                  .cpu_intensive = false,
+                  .memory_intensive = true,
+                  .network_intensive = true});
+
+  // miniAMR: adaptive mesh refinement, irregular memory + communication.
+  apps.push_back({.name = "miniAMR",
+                  .rank_profile = mem_bound_profile(26.0, 8.0),
+                  .instr_per_iteration = 1.4e9,
+                  .comm_bytes_per_iteration = 10.0 * kMiB,
+                  .iterations = 140,
+                  .cpu_intensive = false,
+                  .memory_intensive = true,
+                  .network_intensive = true});
+
+  // miniGhost: halo-exchange stencil (the Fig. 3 victim application).
+  apps.push_back({.name = "miniGhost",
+                  .rank_profile = mem_bound_profile(20.0, 7.0),
+                  .instr_per_iteration = 1.3e9,
+                  .comm_bytes_per_iteration = 12.0 * kMiB,
+                  .iterations = 150,
+                  .cpu_intensive = false,
+                  .memory_intensive = true,
+                  .network_intensive = true});
+
+  // miniMD: molecular dynamics like CoMD; compute bound.
+  apps.push_back({.name = "miniMD",
+                  .rank_profile = cpu_bound_profile(),
+                  .instr_per_iteration = 2.2e9,
+                  .comm_bytes_per_iteration = 0.5 * kMiB,
+                  .iterations = 170,
+                  .cpu_intensive = true,
+                  .memory_intensive = false,
+                  .network_intensive = false});
+
+  // SW4lite: seismic wave kernels; compute heavy over large grids.
+  apps.push_back({.name = "sw4lite",
+                  .rank_profile = mixed_profile(32.0),
+                  .instr_per_iteration = 2.4e9,
+                  .comm_bytes_per_iteration = 1.5 * kMiB,
+                  .iterations = 160,
+                  .cpu_intensive = true,
+                  .memory_intensive = true,
+                  .network_intensive = false});
+
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& proxy_apps() {
+  static const std::vector<AppSpec> kApps = build_catalog();
+  return kApps;
+}
+
+const AppSpec& app_by_name(const std::string& name) {
+  for (const AppSpec& app : proxy_apps()) {
+    if (app.name == name) return app;
+  }
+  throw ConfigError("unknown application '" + name + "'");
+}
+
+}  // namespace hpas::apps

@@ -1,0 +1,45 @@
+// Proxy-application models (paper Table 2).
+//
+// The eight benchmark applications of the paper's evaluation, expressed
+// as resource profiles for the simulated cluster. Figure 8's structure --
+// which anomaly hurts which application -- is determined entirely by
+// these resource characteristics, not by the physics the real proxies
+// compute, so a profile-driven model preserves the result (DESIGN.md).
+//
+//   app         CPU-int  Mem-int  Net-int   (Table 2)
+//   Cloverleaf            x
+//   CoMD         x
+//   Kripke       x        x
+//   MILC                  x        x
+//   miniAMR               x        x
+//   miniGhost             x        x
+//   miniMD       x
+//   SW4lite      x        x
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace hpas::apps {
+
+struct AppSpec {
+  std::string name;
+  sim::TaskProfile rank_profile;  ///< per-rank microarchitectural profile
+  double instr_per_iteration = 1.0e9;   ///< per rank
+  double comm_bytes_per_iteration = 0;  ///< per rank, to its ring neighbor
+  int iterations = 100;
+  // Table 2 characterization flags (ground truth for table2 bench).
+  bool cpu_intensive = false;
+  bool memory_intensive = false;
+  bool network_intensive = false;
+};
+
+/// The eight proxy applications, in the paper's (alphabetical) order.
+const std::vector<AppSpec>& proxy_apps();
+
+/// Lookup by (case-sensitive) name; throws ConfigError when unknown.
+const AppSpec& app_by_name(const std::string& name);
+
+}  // namespace hpas::apps

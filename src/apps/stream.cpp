@@ -1,0 +1,56 @@
+#include "apps/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hpas::apps {
+
+using sim::Phase;
+using sim::Task;
+using sim::TaskProfile;
+
+StreamBench::StreamBench(sim::World& world, Options options)
+    : world_(world), options_(options) {
+  require(options.passes >= 1, "StreamBench: passes >= 1");
+  require(options.bytes_per_pass > 0, "StreamBench: bytes_per_pass > 0");
+
+  TaskProfile profile;
+  profile.ips_peak = 2.3e9;
+  profile.cpu_demand = 1.0;
+  profile.working_set_bytes = 64.0 * 1024;  // streaming: no cache reuse
+  profile.stream_bw_demand =
+      world.node(options.node).config().core_bw_limit;
+
+  pass_start_ = world.now();
+  task_ = world.spawn_task(
+      "STREAM", options_.node, options_.core, profile,
+      Phase::stream(options_.bytes_per_pass), [this](Task&) {
+        const double elapsed = world_.now() - pass_start_;
+        rates_.push_back(elapsed > 0.0 ? options_.bytes_per_pass / elapsed
+                                       : 0.0);
+        ++pass_;
+        if (pass_ >= options_.passes) {
+          finished_ = true;
+          return Phase::done();
+        }
+        pass_start_ = world_.now();
+        return Phase::stream(options_.bytes_per_pass);
+      });
+}
+
+double StreamBench::best_rate() const {
+  double best = 0.0;
+  for (const double r : rates_) best = std::max(best, r);
+  return best;
+}
+
+double StreamBench::run_to_completion(double deadline) {
+  while (!finished_ && world_.now() < deadline &&
+         world_.simulator().pending_events() > 0) {
+    world_.simulator().step();
+  }
+  return best_rate();
+}
+
+}  // namespace hpas::apps

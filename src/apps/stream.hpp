@@ -1,0 +1,42 @@
+// STREAM-like memory bandwidth measurement (McCalpin), used by Fig. 4.
+//
+// One task on a chosen core performs `passes` streaming sweeps of
+// `bytes_per_pass` and records the achieved rate of each; "Best Rate" is
+// the maximum, matching STREAM's reporting convention.
+#pragma once
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace hpas::apps {
+
+class StreamBench {
+ public:
+  struct Options {
+    int node = 0;
+    int core = 0;
+    double bytes_per_pass = 2.0e9;
+    int passes = 10;
+  };
+
+  StreamBench(sim::World& world, Options options);
+
+  bool finished() const { return finished_; }
+  /// Best (maximum) achieved bytes/s across passes.
+  double best_rate() const;
+  const std::vector<double>& pass_rates() const { return rates_; }
+
+  double run_to_completion(double deadline = 1.0e7);
+
+ private:
+  sim::World& world_;
+  Options options_;
+  sim::Task* task_ = nullptr;
+  std::vector<double> rates_;
+  double pass_start_ = 0.0;
+  int pass_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hpas::apps

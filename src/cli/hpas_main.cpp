@@ -1,0 +1,144 @@
+// hpas -- the HPC Performance Anomaly Suite command-line tool.
+//
+// Usage:
+//   hpas list                      # Table 1: the anomaly catalog
+//   hpas <anomaly> [options]       # run one generator
+//   hpas <anomaly> --help          # that generator's knobs
+//
+// Examples (mirroring the paper's experiments):
+//   hpas cpuoccupy -u 80 -d 60s        # 80% of one core for a minute
+//   hpas cachecopy -c L3 -d 30s        # occupy the last-level cache
+//   hpas membw -s 64M -d 30s           # saturate DRAM write bandwidth
+//   hpas memleak -s 20M -r 1s -d 5m    # leak 20 MB/s^-1... forever-ish
+//   hpas netoccupy --mode recv         # on node A
+//   hpas netoccupy --mode send --host <A>   # on node B
+//   hpas iometadata --dir /shared/fs -n 48 -d 60s
+//
+// Generators exit cleanly on SIGINT/SIGTERM and print a one-line summary.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anomalies/anomaly.hpp"
+#include "anomalies/schedule.hpp"
+#include "anomalies/suite.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+hpas::anomalies::Anomaly* g_running = nullptr;
+std::atomic<bool> g_stop_schedule{false};
+
+void handle_signal(int) {
+  // request_stop is a relaxed atomic store: async-signal-safe.
+  if (g_running != nullptr) g_running->request_stop();
+  g_stop_schedule.store(true, std::memory_order_relaxed);
+}
+
+int run_schedule_command(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: hpas schedule <file>\n"
+                 "  file format, one instance per line:\n"
+                 "    at 0s   cpuoccupy -u 80 -d 30s\n"
+                 "    at 10s  memleak -s 20M -d 45s\n");
+    return 2;
+  }
+  const auto schedule = hpas::anomalies::load_schedule_file(args[0]);
+  std::printf("schedule: %zu instances, span %s\n", schedule.entries.size(),
+              hpas::format_seconds(schedule.span_seconds()).c_str());
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  const auto results =
+      hpas::anomalies::run_schedule(schedule, &g_stop_schedule);
+  int failures = 0;
+  for (const auto& result : results) {
+    if (!result.error.empty()) {
+      ++failures;
+      std::fprintf(stderr, "hpas: %s (at %gs) failed: %s\n",
+                   result.entry.anomaly.c_str(), result.entry.start_s,
+                   result.error.c_str());
+      continue;
+    }
+    std::printf("%s (at %gs): %llu iterations, work=%.3g, elapsed=%s\n",
+                result.entry.anomaly.c_str(), result.entry.start_s,
+                static_cast<unsigned long long>(result.stats.iterations),
+                result.stats.work_amount,
+                hpas::format_seconds(result.stats.elapsed_seconds).c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void print_catalog() {
+  std::printf("%-12s %-16s %-34s %s\n", "NAME", "SUBSYSTEM", "BEHAVIOR",
+              "KNOBS");
+  for (const auto& info : hpas::anomalies::anomaly_catalog()) {
+    std::printf("%-12s %-16s %-34s %s\n", info.name.c_str(),
+                info.subsystem.c_str(), info.behavior.c_str(),
+                info.knobs.c_str());
+  }
+  std::printf(
+      "\nEvery anomaly accepts --duration, --start-delay and --seed.\n"
+      "Run `hpas <anomaly> --help` for its knobs, or compose instances\n"
+      "with `hpas schedule <file>`.\n");
+}
+
+int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
+  const auto parser = hpas::anomalies::make_anomaly_parser(name);
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+  const auto anomaly = hpas::anomalies::make_anomaly(name, args);
+
+  g_running = anomaly.get();
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const auto stats = anomaly->run();
+  g_running = nullptr;
+
+  std::printf(
+      "%s: %llu iterations, work=%.3g, active=%s, elapsed=%s\n",
+      name.c_str(), static_cast<unsigned long long>(stats.iterations),
+      stats.work_amount, hpas::format_seconds(stats.active_seconds).c_str(),
+      hpas::format_seconds(stats.elapsed_seconds).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
+        args[0] == "help") {
+      std::printf("hpas - HPC Performance Anomaly Suite\n\n");
+      print_catalog();
+      return 0;
+    }
+    if (args[0] == "list") {
+      print_catalog();
+      return 0;
+    }
+    if (args[0] == "schedule") {
+      return run_schedule_command({args.begin() + 1, args.end()});
+    }
+    if (!hpas::anomalies::is_known_anomaly(args[0])) {
+      std::fprintf(stderr, "hpas: unknown anomaly '%s'; try `hpas list`\n",
+                   args[0].c_str());
+      return 2;
+    }
+    return run_anomaly(args[0], {args.begin() + 1, args.end()});
+  } catch (const hpas::ConfigError& e) {
+    std::fprintf(stderr, "hpas: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpas: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+// hpas-sim -- run one scenario on the simulated cluster and export the
+// monitoring data as CSV (one file per node, LDMS-style metric columns).
+//
+// Examples:
+//   hpas-sim --app miniGhost --anomaly membw --duration 120 -o run1
+//   hpas-sim --preset chameleon --anomaly iobandwidth --duration 60 -o io
+//   hpas-sim --app sw4lite --duration 300 -o healthy     # no anomaly
+//
+// The CSVs feed external analysis pipelines (pandas, scikit-learn, ...)
+// exactly like LDMS dumps would; the ML pipeline in src/ml consumes the
+// same data in-process.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "metrics/csv.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace {
+
+hpas::CliParser make_parser() {
+  hpas::CliParser parser("hpas-sim",
+                         "simulated-cluster scenario runner with CSV export");
+  parser
+      .add({.long_name = "preset", .short_name = 'p', .value_name = "NAME",
+            .help = "cluster preset: voltrino or chameleon",
+            .default_value = "voltrino"})
+      .add({.long_name = "app", .short_name = 'a', .value_name = "NAME",
+            .help = "proxy application (empty = idle cluster)",
+            .default_value = ""})
+      .add({.long_name = "ranks", .short_name = 'r', .value_name = "N",
+            .help = "ranks per node for the application",
+            .default_value = "4"})
+      .add({.long_name = "anomaly", .short_name = 'x', .value_name = "NAME",
+            .help = "anomaly to inject on --anomaly-node (empty = none)",
+            .default_value = ""})
+      .add({.long_name = "anomaly-node", .short_name = '\0',
+            .value_name = "ID", .help = "node hosting the anomaly",
+            .default_value = "0"})
+      .add({.long_name = "anomaly-core", .short_name = '\0',
+            .value_name = "ID", .help = "core hosting the anomaly",
+            .default_value = "0"})
+      .add({.long_name = "intensity", .short_name = 'i', .value_name = "X",
+            .help = "anomaly intensity scale", .default_value = "1.0"})
+      .add({.long_name = "duration", .short_name = 'd', .value_name = "TIME",
+            .help = "simulated time to run", .default_value = "120s"})
+      .add({.long_name = "sample-period", .short_name = '\0',
+            .value_name = "TIME", .help = "monitoring cadence",
+            .default_value = "1s"})
+      .add({.long_name = "output", .short_name = 'o', .value_name = "PREFIX",
+            .help = "CSV path prefix (writes PREFIX.node<i>.csv)",
+            .default_value = std::nullopt, .required = true});
+  return parser;
+}
+
+int run(const hpas::ParsedArgs& args) {
+  const std::string preset = args.value("preset");
+  std::unique_ptr<hpas::sim::World> world;
+  if (preset == "voltrino") {
+    world = hpas::sim::make_voltrino_world();
+  } else if (preset == "chameleon") {
+    world = hpas::sim::make_chameleon_world();
+  } else {
+    throw hpas::ConfigError("unknown preset '" + preset +
+                            "' (expected voltrino or chameleon)");
+  }
+
+  const double duration = hpas::parse_duration_seconds(args.value("duration"));
+  const double period =
+      hpas::parse_duration_seconds(args.value("sample-period"));
+  world->enable_monitoring(period);
+
+  const std::string anomaly = args.value("anomaly");
+  if (!anomaly.empty()) {
+    hpas::simanom::inject_by_name(
+        *world, anomaly,
+        static_cast<int>(hpas::parse_u64(args.value("anomaly-node"))),
+        static_cast<int>(hpas::parse_u64(args.value("anomaly-core"))),
+        duration, hpas::parse_double(args.value("intensity")));
+  }
+
+  std::unique_ptr<hpas::apps::BspApp> app;
+  const std::string app_name = args.value("app");
+  if (!app_name.empty()) {
+    hpas::apps::AppSpec spec = hpas::apps::app_by_name(app_name);
+    spec.iterations = 1000000000;  // run for the whole window
+    const int peer = world->num_nodes() / 2;  // span switch groups
+    app = std::make_unique<hpas::apps::BspApp>(
+        *world, spec,
+        hpas::apps::BspApp::Placement{
+            .nodes = {0, peer},
+            .ranks_per_node =
+                static_cast<int>(hpas::parse_u64(args.value("ranks"))),
+            .first_core = 0});
+  }
+
+  world->run_until(duration);
+
+  const std::string prefix = args.value("output");
+  for (int node = 0; node < world->num_nodes(); ++node) {
+    const std::string path =
+        prefix + ".node" + std::to_string(node) + ".csv";
+    hpas::metrics::write_csv_file(path, world->node_store(node));
+  }
+  std::printf("hpas-sim: %s for %s, %d nodes -> %s.node*.csv\n",
+              app_name.empty() ? "idle" : app_name.c_str(),
+              hpas::format_seconds(duration).c_str(), world->num_nodes(),
+              prefix.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto parser = make_parser();
+    const auto args =
+        parser.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (args.flag("help")) {
+      std::fputs(parser.help_text().c_str(), stdout);
+      return 0;
+    }
+    return run(args);
+  } catch (const hpas::ConfigError& e) {
+    std::fprintf(stderr, "hpas-sim: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpas-sim: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,143 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpas {
+
+bool ParsedArgs::has(const std::string& long_name) const {
+  return values_.count(long_name) > 0;
+}
+
+std::string ParsedArgs::value(const std::string& long_name) const {
+  const auto it = values_.find(long_name);
+  if (it == values_.end())
+    throw ConfigError("missing value for option --" + long_name);
+  return it->second;
+}
+
+std::optional<std::string> ParsedArgs::value_or_none(
+    const std::string& long_name) const {
+  const auto it = values_.find(long_name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add({.long_name = "help", .short_name = 'h', .value_name = "",
+       .help = "show this help message", .default_value = std::nullopt,
+       .required = false});
+}
+
+CliParser& CliParser::add(OptionSpec spec) {
+  require(!spec.long_name.empty(), "option long name must not be empty");
+  require(find_long(spec.long_name) == nullptr,
+          "duplicate option --" + spec.long_name);
+  if (spec.short_name != '\0')
+    require(find_short(spec.short_name) == nullptr,
+            std::string("duplicate short option -") + spec.short_name);
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+const OptionSpec* CliParser::find_long(const std::string& name) const {
+  for (const auto& s : specs_)
+    if (s.long_name == name) return &s;
+  return nullptr;
+}
+
+const OptionSpec* CliParser::find_short(char c) const {
+  for (const auto& s : specs_)
+    if (s.short_name == c) return &s;
+  return nullptr;
+}
+
+ParsedArgs CliParser::parse(const std::vector<std::string>& args) const {
+  ParsedArgs out;
+  bool options_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (options_done || arg == "-" || arg.empty() || arg[0] != '-') {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+
+    const OptionSpec* spec = nullptr;
+    std::optional<std::string> inline_value;
+    if (arg.size() >= 2 && arg[1] == '-') {
+      std::string name = arg.substr(2);
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      spec = find_long(name);
+      if (spec == nullptr)
+        throw ConfigError(program_ + ": unknown option --" + name);
+    } else {
+      if (arg.size() != 2)
+        throw ConfigError(program_ + ": short options cannot be bundled: " + arg);
+      spec = find_short(arg[1]);
+      if (spec == nullptr)
+        throw ConfigError(program_ + ": unknown option " + arg);
+    }
+
+    if (spec->value_name.empty()) {  // boolean flag
+      if (inline_value)
+        throw ConfigError(program_ + ": flag --" + spec->long_name +
+                          " does not take a value");
+      out.values_[spec->long_name] = "true";
+    } else if (inline_value) {
+      out.values_[spec->long_name] = *inline_value;
+    } else {
+      if (i + 1 >= args.size())
+        throw ConfigError(program_ + ": option --" + spec->long_name +
+                          " requires a value (" + spec->value_name + ")");
+      out.values_[spec->long_name] = args[++i];
+    }
+  }
+
+  if (out.has("help")) return out;  // skip required/default processing
+
+  for (const auto& spec : specs_) {
+    if (out.has(spec.long_name)) continue;
+    if (spec.default_value) {
+      out.values_[spec.long_name] = *spec.default_value;
+    } else if (spec.required) {
+      throw ConfigError(program_ + ": missing required option --" +
+                        spec.long_name);
+    }
+  }
+  return out;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nOptions:\n";
+  for (const auto& spec : specs_) {
+    std::string lhs = "  ";
+    if (spec.short_name != '\0') {
+      lhs += '-';
+      lhs += spec.short_name;
+      lhs += ", ";
+    } else {
+      lhs += "    ";
+    }
+    lhs += "--" + spec.long_name;
+    if (!spec.value_name.empty()) lhs += " <" + spec.value_name + ">";
+    os << lhs;
+    for (std::size_t pad = lhs.size(); pad < 34; ++pad) os << ' ';
+    os << spec.help;
+    if (spec.default_value) os << " [default: " << *spec.default_value << "]";
+    if (spec.required) os << " (required)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hpas

@@ -1,0 +1,78 @@
+// Minimal, dependency-free command-line option parser.
+//
+// Each native anomaly generator exposes the runtime knobs of paper Table 1
+// through this parser (e.g. `hpas cpuoccupy -u 80 -d 30s`). Supports long
+// (`--utilization 80`, `--utilization=80`) and short (`-u 80`) options,
+// flags, required options, defaults, and generated --help text.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpas {
+
+/// Declarative description of one option.
+struct OptionSpec {
+  std::string long_name;           ///< e.g. "utilization" (no leading --)
+  char short_name = '\0';          ///< e.g. 'u'; '\0' for none
+  std::string value_name;          ///< e.g. "PERCENT"; empty => boolean flag
+  std::string help;                ///< one-line description
+  std::optional<std::string> default_value;  ///< shown in --help
+  bool required = false;
+};
+
+/// Result of a parse: option values by long name plus positional arguments.
+class ParsedArgs {
+ public:
+  bool has(const std::string& long_name) const;
+
+  /// Value of a valued option (default applied); throws ConfigError if the
+  /// option was neither given nor defaulted.
+  std::string value(const std::string& long_name) const;
+
+  /// Value if present (explicit or default), nullopt otherwise.
+  std::optional<std::string> value_or_none(const std::string& long_name) const;
+
+  bool flag(const std::string& long_name) const { return has(long_name); }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  friend class CliParser;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// A reusable parser for one subcommand.
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers an option. Long names must be unique; returns *this for
+  /// chaining.
+  CliParser& add(OptionSpec spec);
+
+  /// Parses argv (excluding the program name). Throws ConfigError with a
+  /// user-facing message on unknown options, missing values, or missing
+  /// required options. "--" ends option parsing.
+  ParsedArgs parse(const std::vector<std::string>& args) const;
+
+  /// Multi-line usage text for --help.
+  std::string help_text() const;
+
+  const std::string& program() const { return program_; }
+  const std::string& description() const { return description_; }
+
+ private:
+  const OptionSpec* find_long(const std::string& name) const;
+  const OptionSpec* find_short(char c) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<OptionSpec> specs_;
+};
+
+}  // namespace hpas

@@ -1,0 +1,41 @@
+// Error handling primitives shared across HPAS.
+//
+// HPAS favours exceptions for unrecoverable configuration/programming errors
+// (bad CLI values, violated invariants) and return values for expected
+// runtime conditions (resource exhaustion in the simulator, EOF, ...).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpas {
+
+/// Thrown when user-provided configuration (CLI flags, experiment
+/// parameters) is invalid. The message is suitable for direct display.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug in HPAS
+/// itself rather than in its inputs.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an OS-level operation (file, socket, timer) fails in a way
+/// the caller cannot reasonably recover from.
+class SystemError : public std::runtime_error {
+ public:
+  explicit SystemError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Check an invariant; throws InvariantError with `msg` when `cond` is false.
+/// Used instead of assert() so invariants stay active in release builds --
+/// the simulator's correctness depends on them.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvariantError(msg);
+}
+
+}  // namespace hpas

@@ -1,0 +1,54 @@
+// Lightweight leveled logger.
+//
+// The anomaly generators and the simulator report progress on stderr so
+// that stdout remains clean machine-readable experiment output (the bench
+// harnesses print table/figure rows to stdout).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hpas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to
+/// kInfo; honours the HPAS_LOG environment variable (debug/info/warn/error/off)
+/// on first use.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line: "[hpas][info] message\n" to stderr.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace hpas

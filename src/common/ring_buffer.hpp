@@ -1,0 +1,66 @@
+// Fixed-capacity ring buffer.
+//
+// Used by the monitoring collector to keep bounded recent history per
+// metric (LDMS-style samplers run for the life of a job; unbounded vectors
+// would be a memory leak in the *monitoring* layer, which would be ironic
+// for an anomaly suite).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpas {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    require(capacity > 0, "RingBuffer: capacity must be positive");
+  }
+
+  /// Appends a value, overwriting the oldest when full.
+  void push(const T& value) {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// i = 0 is the *oldest* retained element.
+  const T& operator[](std::size_t i) const {
+    require(i < size_, "RingBuffer: index out of range");
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  const T& back() const {
+    require(size_ > 0, "RingBuffer: back() on empty buffer");
+    return (*this)[size_ - 1];
+  }
+
+  /// Copies the retained window, oldest first.
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpas

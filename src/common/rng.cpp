@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpas {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // All-zero state is the one fixed point of xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  require(bound > 0, "Rng::next_below: bound must be positive");
+  // Lemire's method with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span wraps to 0 when the range covers all of int64; then any value works.
+  const std::uint64_t off = (span == 0) ? next() : next_below(span);
+  return lo + static_cast<std::int64_t>(off);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; consumes exactly two draws per call.
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  return mean + stddev * r * std::cos(two_pi * u2);
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "Rng::exponential: rate must be positive");
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+void Rng::fill_bytes(void* dst, std::size_t n) {
+  auto* out = static_cast<unsigned char*>(dst);
+  while (n >= sizeof(std::uint64_t)) {
+    const std::uint64_t word = next();
+    std::memcpy(out, &word, sizeof(word));
+    out += sizeof(word);
+    n -= sizeof(word);
+  }
+  if (n > 0) {
+    const std::uint64_t word = next();
+    std::memcpy(out, &word, n);
+  }
+}
+
+}  // namespace hpas

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the native anomaly generators and benches.
+#pragma once
+
+#include <chrono>
+
+namespace hpas {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::chrono::nanoseconds elapsed() const { return clock::now() - start_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hpas

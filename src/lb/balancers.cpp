@@ -1,0 +1,179 @@
+#include "lb/balancers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hpas::lb {
+
+std::vector<int> LbObjOnly::assign(const ObjectLoads& objects,
+                                   const CoreCapacities& capacities) const {
+  require(!capacities.empty(), "LbObjOnly: need at least one core");
+  std::vector<int> assignment(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    assignment[i] = static_cast<int>(i % capacities.size());
+  return assignment;
+}
+
+std::vector<int> GreedyRefineLb::assign(const ObjectLoads& objects,
+                                        const CoreCapacities& capacities) const {
+  require(!capacities.empty(), "GreedyRefineLb: need at least one core");
+  std::vector<std::size_t> order(objects.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return objects[a] > objects[b];  // heaviest first
+                   });
+
+  std::vector<double> core_time(capacities.size(), 0.0);
+  std::vector<int> assignment(objects.size(), 0);
+  for (const std::size_t obj : order) {
+    // Place on the core whose projected finish time stays smallest.
+    std::size_t best = 0;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (std::size_t core = 0; core < capacities.size(); ++core) {
+      if (capacities[core] <= 0.0) continue;
+      const double t = core_time[core] + objects[obj] / capacities[core];
+      if (t < best_time) {
+        best_time = t;
+        best = core;
+      }
+    }
+    assignment[obj] = static_cast<int>(best);
+    core_time[best] = best_time;
+  }
+  return assignment;
+}
+
+double iteration_time(const std::vector<int>& assignment,
+                      const ObjectLoads& objects,
+                      const CoreCapacities& capacities) {
+  require(assignment.size() == objects.size(),
+          "iteration_time: assignment size mismatch");
+  std::vector<double> core_load(capacities.size(), 0.0);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto core = static_cast<std::size_t>(assignment[i]);
+    require(core < capacities.size(), "iteration_time: core out of range");
+    core_load[core] += objects[i];
+  }
+  double worst = 0.0;
+  for (std::size_t core = 0; core < capacities.size(); ++core) {
+    if (core_load[core] <= 0.0) continue;
+    if (capacities[core] <= 0.0)
+      return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, core_load[core] / capacities[core]);
+  }
+  return worst;
+}
+
+RefineResult refine_assignment(const std::vector<int>& previous,
+                               const ObjectLoads& objects,
+                               const CoreCapacities& capacities,
+                               double tolerance) {
+  require(previous.size() == objects.size(),
+          "refine_assignment: assignment size mismatch");
+  require(tolerance >= 1.0, "refine_assignment: tolerance must be >= 1");
+
+  RefineResult result{previous, 0};
+  std::vector<double> core_load(capacities.size(), 0.0);
+  double total_load = 0.0, total_capacity = 0.0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto core = static_cast<std::size_t>(previous[i]);
+    require(core < capacities.size(), "refine_assignment: core out of range");
+    core_load[core] += objects[i];
+    total_load += objects[i];
+  }
+  for (const double cap : capacities) total_capacity += cap;
+  if (total_capacity <= 0.0 || objects.empty()) return result;
+  const double ideal_time = total_load / total_capacity;
+  const double threshold = ideal_time * tolerance;
+
+  auto core_time = [&](std::size_t core) {
+    if (capacities[core] <= 0.0)
+      return core_load[core] > 0.0
+                 ? std::numeric_limits<double>::infinity()
+                 : 0.0;
+    return core_load[core] / capacities[core];
+  };
+
+  // Objects grouped per core, lightest first: migrating the smallest
+  // object that fixes the overload minimizes migration volume.
+  std::vector<std::vector<std::size_t>> per_core(capacities.size());
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    per_core[static_cast<std::size_t>(previous[i])].push_back(i);
+  for (auto& members : per_core) {
+    std::stable_sort(members.begin(), members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return objects[a] < objects[b];
+                     });
+  }
+
+  const int max_migrations = static_cast<int>(objects.size()) * 4;
+  while (result.migrations < max_migrations) {
+    // Most overloaded core above threshold.
+    std::size_t hot = capacities.size();
+    double hot_time = threshold;
+    for (std::size_t core = 0; core < capacities.size(); ++core) {
+      const double t = core_time(core);
+      if (t > hot_time && !per_core[core].empty()) {
+        hot_time = t;
+        hot = core;
+      }
+    }
+    if (hot == capacities.size()) break;  // balanced within tolerance
+
+    // Move its lightest object to the core with the least projected time.
+    const std::size_t object = per_core[hot].front();
+    std::size_t best = hot;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (std::size_t core = 0; core < capacities.size(); ++core) {
+      if (core == hot || capacities[core] <= 0.0) continue;
+      const double t = (core_load[core] + objects[object]) / capacities[core];
+      if (t < best_time) {
+        best_time = t;
+        best = core;
+      }
+    }
+    if (best == hot || best_time >= hot_time) break;  // no improving move
+
+    per_core[hot].erase(per_core[hot].begin());
+    // Keep the receiver's list sorted lightest-first in case it becomes
+    // the hot core later.
+    per_core[best].insert(
+        std::lower_bound(per_core[best].begin(), per_core[best].end(), object,
+                         [&](std::size_t a, std::size_t b) {
+                           return objects[a] < objects[b];
+                         }),
+        object);
+    core_load[hot] -= objects[object];
+    core_load[best] += objects[object];
+    result.assignment[object] = static_cast<int>(best);
+    ++result.migrations;
+  }
+  return result;
+}
+
+std::vector<double> spread_cpuoccupy(double total_pct, int cores) {
+  require(cores >= 1, "spread_cpuoccupy: need at least one core");
+  require(total_pct >= 0.0 &&
+              total_pct <= 100.0 * static_cast<double>(cores),
+          "spread_cpuoccupy: intensity out of range");
+  std::vector<double> demand(static_cast<std::size_t>(cores), 0.0);
+  double left = total_pct / 100.0;
+  for (std::size_t core = 0; core < demand.size() && left > 0.0; ++core) {
+    demand[core] = std::min(1.0, left);
+    left -= demand[core];
+  }
+  return demand;
+}
+
+CoreCapacities capacities_from_background(const std::vector<double>& demand) {
+  CoreCapacities caps(demand.size());
+  for (std::size_t i = 0; i < demand.size(); ++i)
+    caps[i] = 1.0 / (1.0 + demand[i]);
+  return caps;
+}
+
+}  // namespace hpas::lb

@@ -1,0 +1,91 @@
+// Charm++-style object load balancers (paper Sec. 5.3, Fig. 13).
+//
+// A Charm++ program over-decomposes its work into migratable objects;
+// the runtime's load balancer assigns objects to cores each LB epoch.
+// The paper contrasts:
+//   * LBObjOnly      -- uses only object properties (sizes); blind to
+//                       background load, so it deals objects evenly;
+//   * GreedyRefineLB -- measures each core's *available* capacity first
+//                       and greedily assigns the heaviest objects to the
+//                       least-loaded core (relative to capacity).
+//
+// Background load comes from cpuoccupy; a core running the anomaly at
+// demand d gives a colocated worker thread a 1/(1+d) proportional share.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpas::lb {
+
+/// One migratable object: seconds of work per iteration on a dedicated
+/// (unloaded) core.
+using ObjectLoads = std::vector<double>;
+
+/// Per-core available capacity in [0,1]: the fraction of a dedicated core
+/// a worker thread pinned there would receive.
+using CoreCapacities = std::vector<double>;
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual std::string name() const = 0;
+
+  /// assignment[i] = core index for object i.
+  virtual std::vector<int> assign(const ObjectLoads& objects,
+                                  const CoreCapacities& capacities) const = 0;
+};
+
+/// Deals objects round-robin by index -- equal counts per core, ignoring
+/// both object weight differences and core capacities.
+class LbObjOnly final : public LoadBalancer {
+ public:
+  std::string name() const override { return "LBObjOnly"; }
+  std::vector<int> assign(const ObjectLoads& objects,
+                          const CoreCapacities& capacities) const override;
+};
+
+/// Greedy list scheduling on measured capacities: heaviest object first,
+/// each placed on the core with the minimal projected completion time
+/// (assigned load / capacity).
+class GreedyRefineLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "GreedyRefineLB"; }
+  std::vector<int> assign(const ObjectLoads& objects,
+                          const CoreCapacities& capacities) const override;
+};
+
+/// Iteration wall time of an assignment: the slowest core's
+/// (sum of assigned object loads) / capacity. A core with zero capacity
+/// and nonzero load yields +inf.
+double iteration_time(const std::vector<int>& assignment,
+                      const ObjectLoads& objects,
+                      const CoreCapacities& capacities);
+
+/// RefineLB-style incremental rebalancing (the "Refine" in Charm++'s
+/// GreedyRefineLB): keep the existing placement and migrate objects off
+/// overloaded cores until every core's projected time is within
+/// `tolerance` x the ideal, preferring the fewest migrations. Returns
+/// the new assignment and the migration count -- the knob a runtime
+/// trades balance quality against migration cost with.
+struct RefineResult {
+  std::vector<int> assignment;
+  int migrations = 0;
+};
+
+RefineResult refine_assignment(const std::vector<int>& previous,
+                               const ObjectLoads& objects,
+                               const CoreCapacities& capacities,
+                               double tolerance = 1.05);
+
+/// Distributes a cpuoccupy intensity given in "% of one CPU" (0..100*n)
+/// across cores the way the paper drives Fig. 13: floor(pct/100) cores
+/// fully occupied, one core with the remainder. Returns per-core anomaly
+/// demand in [0,1].
+std::vector<double> spread_cpuoccupy(double total_pct, int cores);
+
+/// Converts per-core anomaly demand into worker-thread capacities under
+/// proportional-share scheduling: capacity = 1 / (1 + demand).
+CoreCapacities capacities_from_background(const std::vector<double>& demand);
+
+}  // namespace hpas::lb

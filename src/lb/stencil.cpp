@@ -1,0 +1,38 @@
+#include "lb/stencil.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::lb {
+
+StencilExperiment::StencilExperiment(StencilConfig config) : config_(config) {
+  require(config.cores >= 1 && config.blocks >= 1,
+          "StencilExperiment: cores and blocks must be positive");
+  Rng rng(config_.seed);
+  blocks_.reserve(static_cast<std::size_t>(config_.blocks));
+  for (int b = 0; b < config_.blocks; ++b) {
+    const double jitter =
+        rng.uniform(-config_.block_imbalance, config_.block_imbalance);
+    blocks_.push_back(config_.block_time_s * (1.0 + jitter));
+  }
+}
+
+double StencilExperiment::time_per_iteration(const LoadBalancer& balancer,
+                                             double intensity_pct) const {
+  const auto background = spread_cpuoccupy(intensity_pct, config_.cores);
+  const auto capacities = capacities_from_background(background);
+
+  // GreedyRefineLB decides on *measured* capacities; execution then
+  // happens on the true ones. Derive the probe noise deterministically
+  // from the intensity so sweeps are reproducible.
+  CoreCapacities measured(capacities);
+  Rng rng(config_.seed ^ static_cast<std::uint64_t>(intensity_pct * 16.0));
+  for (double& cap : measured) {
+    cap *= 1.0 + rng.uniform(-config_.measurement_noise,
+                             config_.measurement_noise);
+  }
+
+  const auto assignment = balancer.assign(blocks_, measured);
+  return iteration_time(assignment, blocks_, capacities);
+}
+
+}  // namespace hpas::lb

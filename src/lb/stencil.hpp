@@ -1,0 +1,40 @@
+// The 3D stencil experiment driver of Fig. 13.
+//
+// A Charm++-examples-style 3D Jacobi stencil over-decomposed into blocks;
+// per LB epoch the balancer reassigns blocks, then the runtime executes
+// iterations whose wall time is the slowest core. GreedyRefineLB measures
+// capacities (with configurable measurement noise -- real instrumentation
+// is imperfect); LBObjOnly never looks.
+#pragma once
+
+#include "common/rng.hpp"
+#include "lb/balancers.hpp"
+
+namespace hpas::lb {
+
+struct StencilConfig {
+  int cores = 32;
+  int blocks = 128;               ///< over-decomposition: 4 blocks/core
+  double block_time_s = 0.0016;   ///< seconds per block per iteration
+  double block_imbalance = 0.10;  ///< +-10% per-block load variation
+  double measurement_noise = 0.03;  ///< relative capacity-probe error
+  int iterations_per_epoch = 50;
+  std::uint64_t seed = 0x53544e43;  // "STNC"
+};
+
+class StencilExperiment {
+ public:
+  explicit StencilExperiment(StencilConfig config = {});
+
+  /// Runs one LB epoch under a cpuoccupy background of `intensity_pct`
+  /// (in % of one CPU, 0..100*cores) and returns the average time per
+  /// iteration.
+  double time_per_iteration(const LoadBalancer& balancer,
+                            double intensity_pct) const;
+
+ private:
+  StencilConfig config_;
+  ObjectLoads blocks_;  ///< fixed per experiment (seeded)
+};
+
+}  // namespace hpas::lb

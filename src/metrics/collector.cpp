@@ -1,0 +1,24 @@
+#include "metrics/collector.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::metrics {
+
+Collector::Collector(MetricStore* store) : store_(store) {
+  require(store != nullptr, "Collector: store must not be null");
+}
+
+void Collector::add_sampler(std::shared_ptr<Sampler> sampler) {
+  require(sampler != nullptr, "Collector: sampler must not be null");
+  samplers_.push_back(std::move(sampler));
+}
+
+void Collector::collect(double timestamp) {
+  for (const auto& sampler : samplers_) {
+    for (const Sample& s : sampler->sample()) {
+      store_->record(s.id, timestamp, s.value);
+    }
+  }
+}
+
+}  // namespace hpas::metrics

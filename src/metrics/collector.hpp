@@ -1,0 +1,34 @@
+// Collector: polls a set of samplers and appends to a MetricStore.
+//
+// The driving cadence is external: the simulator schedules collect() every
+// simulated second (the paper collects 2121 metrics at 1 Hz per node);
+// native tooling calls it from a wall-clock loop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/sampler.hpp"
+#include "metrics/store.hpp"
+
+namespace hpas::metrics {
+
+class Collector {
+ public:
+  explicit Collector(MetricStore* store);
+
+  /// Registers a sampler; the collector shares ownership so samplers can
+  /// also be held by the models that feed them.
+  void add_sampler(std::shared_ptr<Sampler> sampler);
+
+  /// Polls every sampler once, tagging all values with `timestamp`.
+  void collect(double timestamp);
+
+  std::size_t sampler_count() const { return samplers_.size(); }
+
+ private:
+  MetricStore* store_;  // non-owning; outlives the collector by contract
+  std::vector<std::shared_ptr<Sampler>> samplers_;
+};
+
+}  // namespace hpas::metrics

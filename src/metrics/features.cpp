@@ -1,0 +1,60 @@
+#include "metrics/features.hpp"
+
+#include "common/stats.hpp"
+
+namespace hpas::metrics {
+
+const std::vector<std::string>& feature_statistic_names() {
+  static const std::vector<std::string> kNames = {
+      "mean", "std",  "min",  "max",  "p05",  "p25",
+      "p50",  "p75",  "p95",  "skew", "kurt", "slope"};
+  return kNames;
+}
+
+std::size_t features_per_metric() { return feature_statistic_names().size(); }
+
+std::vector<double> extract_series_features(std::span<const double> values) {
+  if (values.empty())
+    return std::vector<double>(features_per_metric(), 0.0);
+  const Summary s = summarize(values);
+  return {
+      s.mean,
+      s.stddev,
+      s.min,
+      s.max,
+      percentile(values, 5.0),
+      percentile(values, 25.0),
+      percentile(values, 50.0),
+      percentile(values, 75.0),
+      percentile(values, 95.0),
+      s.skewness,
+      s.kurtosis,
+      index_slope(values),
+  };
+}
+
+std::vector<double> extract_features(const MetricStore& store,
+                                     const std::vector<MetricId>& ids,
+                                     double t0, double t1,
+                                     std::vector<std::string>* feature_names) {
+  std::vector<double> features;
+  features.reserve(ids.size() * features_per_metric());
+  if (feature_names != nullptr) {
+    feature_names->clear();
+    feature_names->reserve(ids.size() * features_per_metric());
+  }
+  for (const auto& id : ids) {
+    std::vector<double> window;
+    if (store.contains(id)) window = store.series(id).values_between(t0, t1);
+    const auto series_features = extract_series_features(window);
+    features.insert(features.end(), series_features.begin(),
+                    series_features.end());
+    if (feature_names != nullptr) {
+      for (const auto& stat : feature_statistic_names())
+        feature_names->push_back(id.full_name() + "#" + stat);
+    }
+  }
+  return features;
+}
+
+}  // namespace hpas::metrics

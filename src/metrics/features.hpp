@@ -1,0 +1,37 @@
+// Statistical feature extraction from monitoring time series.
+//
+// The paper's diagnosis framework (Sec. 5.1, following Tuncer et al.)
+// computes statistical features over windows of each collected metric and
+// feeds them to tree-based classifiers. We extract, per metric series:
+// mean, stddev, min, max, 5th/25th/50th/75th/95th percentiles, skewness,
+// kurtosis, and the linear slope over the window (the slope is what
+// separates memleak's monotone growth from memeater's flat plateau).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/store.hpp"
+
+namespace hpas::metrics {
+
+/// Names of the per-series statistics, in extraction order.
+const std::vector<std::string>& feature_statistic_names();
+
+/// Number of statistics extracted per metric series.
+std::size_t features_per_metric();
+
+/// Extracts the feature vector for one series window.
+std::vector<double> extract_series_features(std::span<const double> values);
+
+/// Extracts a flat feature vector for a whole store: for each metric id
+/// (sorted by full name -- deterministic), the per-series statistics over
+/// values in [t0, t1). Metrics missing from the window contribute zeros so
+/// vectors from different runs align.
+///
+/// `feature_names` (optional out) receives "metric::sampler#stat" labels.
+std::vector<double> extract_features(
+    const MetricStore& store, const std::vector<MetricId>& ids, double t0,
+    double t1, std::vector<std::string>* feature_names = nullptr);
+
+}  // namespace hpas::metrics

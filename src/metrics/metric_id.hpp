@@ -1,0 +1,42 @@
+// Metric naming, following the paper's LDMS convention.
+//
+// The paper writes metrics as "<metric>::<sampler>", e.g. "user::procstat"
+// (the `user` field of /proc/stat collected by the procstat sampler) or
+// "L2_RQSTS:MISS::spapiHASW" (a PAPI hardware counter). HPAS keeps that
+// exact convention so experiment output reads like the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace hpas::metrics {
+
+struct MetricId {
+  std::string metric;   ///< e.g. "user", "Memfree", "L2_RQSTS:MISS"
+  std::string sampler;  ///< e.g. "procstat", "meminfo", "spapiHASW"
+
+  std::string full_name() const { return metric + "::" + sampler; }
+
+  friend bool operator==(const MetricId&, const MetricId&) = default;
+  friend auto operator<=>(const MetricId&, const MetricId&) = default;
+};
+
+/// Parses "user::procstat" back into its parts. A name without "::" is
+/// treated as a metric with an empty sampler.
+inline MetricId parse_metric_id(std::string_view full) {
+  const auto pos = full.rfind("::");
+  if (pos == std::string_view::npos) return {std::string(full), ""};
+  return {std::string(full.substr(0, pos)), std::string(full.substr(pos + 2))};
+}
+
+}  // namespace hpas::metrics
+
+template <>
+struct std::hash<hpas::metrics::MetricId> {
+  std::size_t operator()(const hpas::metrics::MetricId& id) const noexcept {
+    const std::size_t h1 = std::hash<std::string>{}(id.metric);
+    const std::size_t h2 = std::hash<std::string>{}(id.sampler);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,34 @@
+// Sampler interface: the LDMS-plugin equivalent.
+//
+// A sampler, when polled, emits a set of (metric, value) pairs. Samplers
+// exist for the host OS (/proc/stat, /proc/meminfo) and for the simulated
+// cluster (each sim node exposes procstat/meminfo/spapi/aries_nic_mmr
+// samplers backed by the resource models' counters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metric_id.hpp"
+
+namespace hpas::metrics {
+
+struct Sample {
+  MetricId id;
+  double value = 0.0;
+};
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// The sampler name that appears after "::" in metric names.
+  virtual std::string name() const = 0;
+
+  /// Polls current values. Counter-style metrics report cumulative values
+  /// (monotone); gauge-style metrics report instantaneous values, matching
+  /// /proc semantics.
+  virtual std::vector<Sample> sample() = 0;
+};
+
+}  // namespace hpas::metrics

@@ -1,0 +1,74 @@
+#include "ml/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpas::ml {
+
+AdaBoost::AdaBoost(AdaBoostOptions options) : options_(options) {
+  require(options.num_rounds >= 1, "AdaBoost: need at least one round");
+}
+
+void AdaBoost::fit(const Dataset& data) {
+  require(data.size() > 0, "AdaBoost: empty dataset");
+  stages_.clear();
+  num_classes_ = data.num_classes();
+  const double k = static_cast<double>(num_classes_);
+  const std::size_t n = data.size();
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    TreeOptions tree_options;
+    tree_options.max_depth = options_.base_max_depth;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    DecisionTree tree(tree_options);
+    tree.fit(data, {}, weights);
+
+    // Weighted training error.
+    double err = 0.0;
+    std::vector<bool> wrong(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tree.predict(data.features[i]) != data.labels[i]) {
+        wrong[i] = true;
+        err += weights[i];
+      }
+    }
+    // SAMME requires err < (K-1)/K to make the stage better than chance.
+    constexpr double kEps = 1e-10;
+    if (err >= (k - 1.0) / k - kEps) {
+      if (stages_.empty()) {
+        // Keep one stage so predict() works even on hopeless data.
+        stages_.push_back({std::move(tree), 1.0});
+      }
+      break;
+    }
+    err = std::max(err, kEps);
+    const double alpha = std::log((1.0 - err) / err) + std::log(k - 1.0);
+
+    // Reweight: misclassified samples gain weight exp(alpha).
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) weights[i] *= std::exp(alpha);
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+
+    stages_.push_back({std::move(tree), alpha});
+    if (err <= kEps) break;  // perfect stage: no signal left to boost
+  }
+}
+
+int AdaBoost::predict(const std::vector<double>& x) const {
+  require(trained(), "AdaBoost: not trained");
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& stage : stages_) {
+    votes[static_cast<std::size_t>(stage.tree.predict(x))] += stage.alpha;
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace hpas::ml

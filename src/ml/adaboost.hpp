@@ -1,0 +1,39 @@
+// AdaBoost.SAMME (multi-class) over shallow CART trees; one of the three
+// classifiers compared in the paper's diagnosis use case (Fig. 9).
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace hpas::ml {
+
+struct AdaBoostOptions {
+  int num_rounds = 50;
+  int base_max_depth = 3;  ///< shallow base learners
+  std::size_t min_samples_leaf = 1;
+};
+
+class AdaBoost {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {});
+
+  void fit(const Dataset& data);
+
+  int predict(const std::vector<double>& x) const;
+
+  bool trained() const { return !stages_.empty(); }
+  std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    DecisionTree tree;
+    double alpha = 0.0;
+  };
+
+  AdaBoostOptions options_;
+  int num_classes_ = 0;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace hpas::ml

@@ -1,0 +1,61 @@
+#include "ml/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::ml {
+
+void Dataset::add(std::vector<double> x, int y) {
+  require(features.empty() || x.size() == features.front().size(),
+          "Dataset: inconsistent feature dimension");
+  require(y >= 0 && y < num_classes(), "Dataset: label out of range");
+  features.push_back(std::move(x));
+  labels.push_back(y);
+}
+
+Dataset Dataset::select(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.class_names = class_names;
+  out.feature_names = feature_names;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    require(i < size(), "Dataset::select: index out of range");
+    out.features.push_back(features[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+std::vector<Fold> stratified_k_fold(const Dataset& data, int k, Rng& rng) {
+  require(k >= 2, "stratified_k_fold: k must be >= 2");
+  require(data.size() >= static_cast<std::size_t>(k),
+          "stratified_k_fold: too few samples");
+
+  // Group indices by class, shuffle within each class, then deal them
+  // round-robin into folds.
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(data.num_classes()));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    by_class[static_cast<std::size_t>(data.labels[i])].push_back(i);
+
+  std::vector<std::vector<std::size_t>> fold_test(
+      static_cast<std::size_t>(k));
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    for (std::size_t j = 0; j < members.size(); ++j)
+      fold_test[j % static_cast<std::size_t>(k)].push_back(members[j]);
+  }
+
+  std::vector<Fold> folds(static_cast<std::size_t>(k));
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    folds[f].test_indices = fold_test[f];
+    for (std::size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    fold_test[g].begin(), fold_test[g].end());
+    }
+  }
+  return folds;
+}
+
+}  // namespace hpas::ml

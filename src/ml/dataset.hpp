@@ -1,0 +1,43 @@
+// Labeled dataset container and cross-validation splits for the anomaly
+// diagnosis pipeline (paper Sec. 5.1: statistical features from
+// monitoring windows, labels = anomaly classes, 3-fold cross-validation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpas::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;  ///< row-major samples
+  std::vector<int> labels;                    ///< class index per sample
+  std::vector<std::string> class_names;
+  std::vector<std::string> feature_names;     ///< optional
+
+  std::size_t size() const { return features.size(); }
+  std::size_t num_features() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+  int num_classes() const { return static_cast<int>(class_names.size()); }
+
+  void add(std::vector<double> x, int y);
+
+  /// Subset by row indices.
+  Dataset select(const std::vector<std::size_t>& indices) const;
+};
+
+/// One train/test split.
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Stratified k-fold: every fold's test set preserves (as closely as
+/// integer counts allow) the class proportions of the whole set. The
+/// shuffle is seeded -- identical folds on every run.
+std::vector<Fold> stratified_k_fold(const Dataset& data, int k, Rng& rng);
+
+}  // namespace hpas::ml

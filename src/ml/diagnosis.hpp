@@ -1,0 +1,116 @@
+// End-to-end anomaly-diagnosis pipeline (paper Sec. 5.1).
+//
+// Generates labeled training data by running applications on the
+// simulated cluster with and without injected anomalies, extracting
+// statistical features from the monitoring windows, and evaluating
+// tree-based classifiers with stratified k-fold cross-validation --
+// the same offline-training / runtime-diagnosis workflow as the paper's
+// framework (Tuncer et al.).
+//
+// Deliberate fidelity detail: the paper observes that cpuoccupy, membw
+// and cachecopy get confused with each other, likely "due to the lack of
+// metrics representing memory bandwidth in the monitoring data". We
+// therefore EXCLUDE the simulator's DRAM-traffic counter from the feature
+// set by default, reproducing that monitoring limitation (and the
+// confusion block of Fig. 10). Setting `include_bandwidth_metrics`
+// recovers it -- an ablation the paper suggests implicitly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/store.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+
+namespace hpas::ml {
+
+struct DiagnosisDataOptions {
+  /// Classes, index = label. Paper Fig. 9/10 uses exactly these six.
+  std::vector<std::string> classes = {"none",      "memleak", "memeater",
+                                      "cpuoccupy", "membw",   "cachecopy"};
+  /// Anomaly-intensity variants per (app, class) pair.
+  int variants_per_app = 5;
+  double run_duration_s = 60.0;   ///< simulated monitoring window per run
+  double warmup_s = 5.0;          ///< discarded from the feature window
+  bool include_bandwidth_metrics = false;  ///< see header comment
+  /// Relative sensor noise applied to the simulated counters. The
+  /// simulator is exact; production LDMS series carry heavy run-to-run
+  /// and phase variation. 0.5 calibrates the synthetic dataset's
+  /// difficulty to the paper's production data (RF overall F1 ~ 0.94
+  /// with the cpuoccupy/membw/cachecopy classes weakest); see
+  /// bench/ablation_diagnosis for the sweep.
+  double measurement_noise = 0.5;
+  std::uint64_t seed = 0x44494147;  // "DIAG"
+};
+
+/// Runs the full sweep (classes x apps x variants simulated runs) and
+/// returns the labeled feature dataset. Deterministic for a given
+/// options value.
+Dataset generate_diagnosis_dataset(const DiagnosisDataOptions& options = {});
+
+/// Cross-validated evaluation result for one classifier.
+struct DiagnosisScores {
+  std::string classifier;
+  std::vector<double> per_class_f1;  ///< indexed like options.classes
+  double overall_f1 = 0.0;           ///< macro-F1 across classes
+  std::vector<std::vector<double>> confusion;  ///< row-normalized
+};
+
+/// Trains and evaluates DecisionTree, AdaBoost and RandomForest with
+/// stratified `k`-fold CV (paper: 3-fold); returns scores in that order.
+std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
+                                                  int k_folds = 3,
+                                                  std::uint64_t seed = 7);
+
+/// Extracts the diagnosis feature vector for one monitoring window,
+/// using exactly the training pipeline's conventions (counters are
+/// differenced into rates, gauges used raw, optional sensor noise).
+/// Pass rng = nullptr for noise-free extraction.
+std::vector<double> extract_window_features(const metrics::MetricStore& store,
+                                            double t0, double t1,
+                                            bool include_bandwidth_metrics,
+                                            double noise, Rng* rng);
+
+/// The runtime phase of the paper's framework (Sec. 5.1: "At runtime, we
+/// generate statistical features from resource usage and performance
+/// counter data. Using these features, the machine learning model
+/// predicts the root cause ... occurring at certain times.").
+///
+/// Slides a window over live monitoring data and emits one class
+/// prediction per hop.
+class OnlineDiagnoser {
+ public:
+  struct Options {
+    double window_s = 45.0;
+    double hop_s = 15.0;
+    bool include_bandwidth_metrics = false;  ///< must match training
+  };
+
+  /// Trains a RandomForest on `training` (typically from
+  /// generate_diagnosis_dataset) and keeps its class names. (No default
+  /// for `options`: nested-class member initializers cannot appear in a
+  /// default argument of the enclosing class.)
+  OnlineDiagnoser(const Dataset& training, Options options);
+
+  struct WindowDiagnosis {
+    double t0 = 0.0;
+    double t1 = 0.0;
+    int label = 0;
+  };
+
+  /// Diagnoses every complete window in [start, end).
+  std::vector<WindowDiagnosis> diagnose(const metrics::MetricStore& store,
+                                        double start, double end) const;
+
+  const std::vector<std::string>& class_names() const { return classes_; }
+  const char* class_name(int label) const;
+
+ private:
+  Options options_;
+  std::vector<std::string> classes_;
+  std::shared_ptr<RandomForest> model_;
+};
+
+}  // namespace hpas::ml

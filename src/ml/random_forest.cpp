@@ -1,0 +1,78 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpas::ml {
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {
+  require(options.num_trees >= 1, "RandomForest: need at least one tree");
+}
+
+void RandomForest::fit(const Dataset& data) {
+  require(data.size() > 0, "RandomForest: empty dataset");
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  Rng rng(options_.seed);
+
+  std::size_t max_features = options_.max_features;
+  if (max_features == 0) {
+    max_features = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(data.num_features()))));
+    max_features = std::max<std::size_t>(max_features, 1);
+  }
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement) of the full training set.
+    std::vector<std::size_t> sample(data.size());
+    for (auto& idx : sample)
+      idx = static_cast<std::size_t>(rng.next_below(data.size()));
+
+    TreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.max_features = max_features;
+    DecisionTree tree(tree_options);
+    Rng tree_rng = rng.split();
+    tree.fit(data, sample, {}, &tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    const std::vector<double>& x) const {
+  require(trained(), "RandomForest: not trained");
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto proba = tree.predict_proba(x);
+    for (std::size_t c = 0; c < votes.size(); ++c) votes[c] += proba[c];
+  }
+  const double total = static_cast<double>(trees_.size());
+  for (double& v : votes) v /= total;
+  return votes;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  require(trained(), "RandomForest: not trained");
+  std::vector<double> total(trees_.front().feature_importances().size(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importances();
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+int RandomForest::predict(const std::vector<double>& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+}  // namespace hpas::ml

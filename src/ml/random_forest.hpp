@@ -1,0 +1,41 @@
+// Random forest: bagged CART trees with sqrt-feature subsampling.
+// The paper's best-performing diagnosis model (overall F1 ~ 0.94, Fig. 9).
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace hpas::ml {
+
+struct ForestOptions {
+  int num_trees = 100;
+  int max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  /// 0 = sqrt(num_features), the standard default.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 0x464f5245;  // "FORE"
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {});
+
+  void fit(const Dataset& data);
+
+  int predict(const std::vector<double>& x) const;
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+
+  bool trained() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Mean of the member trees' gini importances (normalized to sum 1).
+  std::vector<double> feature_importances() const;
+
+ private:
+  ForestOptions options_;
+  int num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace hpas::ml

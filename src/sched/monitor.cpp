@@ -1,0 +1,60 @@
+#include "sched/monitor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpas::sched {
+
+NodeMonitor::NodeMonitor(sim::World& world, double period_s)
+    : world_(world), period_s_(period_s) {
+  require(period_s > 0.0, "NodeMonitor: period must be positive");
+  const auto window = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(300.0 / period_s)));
+  for (int i = 0; i < world.num_nodes(); ++i) {
+    load_history_.emplace_back(window);
+    load_current_.push_back(0.0);
+  }
+}
+
+void NodeMonitor::sample_once() {
+  world_.update();  // bring task rates up to date
+  for (int i = 0; i < world_.num_nodes(); ++i) {
+    const double load = world_.node(i).cpu_utilization(world_.tasks());
+    load_current_[static_cast<std::size_t>(i)] = load;
+    load_history_[static_cast<std::size_t>(i)].push(load);
+  }
+}
+
+void NodeMonitor::start() {
+  require(!started_, "NodeMonitor: already started");
+  started_ = true;
+  sample_once();
+  schedule_next();
+}
+
+void NodeMonitor::schedule_next() {
+  world_.simulator().schedule_in(period_s_, [this] {
+    sample_once();
+    schedule_next();
+  });
+}
+
+std::vector<NodeStatus> NodeMonitor::status() const {
+  std::vector<NodeStatus> out;
+  for (int i = 0; i < world_.num_nodes(); ++i) {
+    const auto& history = load_history_[static_cast<std::size_t>(i)];
+    double avg = 0.0;
+    for (std::size_t j = 0; j < history.size(); ++j) avg += history[j];
+    if (history.size() > 0) avg /= static_cast<double>(history.size());
+    out.push_back(NodeStatus{
+        .node_id = i,
+        .load_current = load_current_[static_cast<std::size_t>(i)],
+        .load_5min_avg = avg,
+        .mem_free_bytes = world_.node(i).memory_free(),
+    });
+  }
+  return out;
+}
+
+}  // namespace hpas::sched

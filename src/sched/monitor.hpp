@@ -1,0 +1,40 @@
+// Node monitor feeding the allocation policies: samples each simulated
+// node's CPU load (user::procstat equivalent) and free memory
+// (Memfree::meminfo equivalent) and maintains the trailing five-minute
+// load average WBAS needs.
+#pragma once
+
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "sched/policies.hpp"
+#include "sim/world.hpp"
+
+namespace hpas::sched {
+
+class NodeMonitor {
+ public:
+  /// Samples every `period_s` simulated seconds once start() is called;
+  /// the five-minute average covers ceil(300 / period_s) samples.
+  NodeMonitor(sim::World& world, double period_s = 10.0);
+
+  /// Begins periodic sampling on the world's simulator.
+  void start();
+
+  /// Takes one sample immediately (also usable without start()).
+  void sample_once();
+
+  /// Current status of every node (latest sample + trailing average).
+  std::vector<NodeStatus> status() const;
+
+ private:
+  void schedule_next();
+
+  sim::World& world_;
+  double period_s_;
+  std::vector<RingBuffer<double>> load_history_;
+  std::vector<double> load_current_;
+  bool started_ = false;
+};
+
+}  // namespace hpas::sched

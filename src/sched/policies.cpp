@@ -1,0 +1,84 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hpas::sched {
+
+std::vector<int> RoundRobinPolicy::select_nodes(
+    const std::vector<NodeStatus>& status, int count) const {
+  if (count < 1 || static_cast<std::size_t>(count) > status.size())
+    throw ConfigError("RoundRobin: not enough available nodes");
+  std::vector<int> ids;
+  ids.reserve(status.size());
+  for (const auto& node : status) ids.push_back(node.node_id);
+  std::sort(ids.begin(), ids.end());  // label order
+  ids.resize(static_cast<std::size_t>(count));
+  return ids;
+}
+
+double WbasPolicy::computing_capacity(const NodeStatus& node) {
+  const double load =
+      5.0 / 6.0 * node.load_current + 1.0 / 6.0 * node.load_5min_avg;
+  return (1.0 - load) * node.mem_free_bytes;
+}
+
+std::vector<int> WbasPolicy::select_nodes(const std::vector<NodeStatus>& status,
+                                          int count) const {
+  if (count < 1 || static_cast<std::size_t>(count) > status.size())
+    throw ConfigError("WBAS: not enough available nodes");
+  std::vector<NodeStatus> ranked(status);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const NodeStatus& a, const NodeStatus& b) {
+                     const double ca = computing_capacity(a);
+                     const double cb = computing_capacity(b);
+                     if (ca != cb) return ca > cb;
+                     return a.node_id < b.node_id;  // deterministic ties
+                   });
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i)
+    ids.push_back(ranked[static_cast<std::size_t>(i)].node_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+WeightedCpPolicy::WeightedCpPolicy(double current_weight)
+    : current_weight_(current_weight) {
+  require(current_weight >= 0.0 && current_weight <= 1.0,
+          "WeightedCpPolicy: weight must be in [0,1]");
+}
+
+std::string WeightedCpPolicy::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "CP(w=%.2f)", current_weight_);
+  return buf;
+}
+
+double WeightedCpPolicy::computing_capacity(const NodeStatus& node) const {
+  const double load = current_weight_ * node.load_current +
+                      (1.0 - current_weight_) * node.load_5min_avg;
+  return (1.0 - load) * node.mem_free_bytes;
+}
+
+std::vector<int> WeightedCpPolicy::select_nodes(
+    const std::vector<NodeStatus>& status, int count) const {
+  if (count < 1 || static_cast<std::size_t>(count) > status.size())
+    throw ConfigError("WeightedCpPolicy: not enough available nodes");
+  std::vector<NodeStatus> ranked(status);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [this](const NodeStatus& a, const NodeStatus& b) {
+                     const double ca = computing_capacity(a);
+                     const double cb = computing_capacity(b);
+                     if (ca != cb) return ca > cb;
+                     return a.node_id < b.node_id;
+                   });
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i)
+    ids.push_back(ranked[static_cast<std::size_t>(i)].node_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hpas::sched

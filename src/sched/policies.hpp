@@ -1,0 +1,76 @@
+// Job allocation policies (paper Sec. 5.2).
+//
+// Round-Robin: "allocates a job to the available nodes in the system
+// following the label order."
+//
+// WBAS (Well-Balanced Allocation Strategy, Yang et al.): ranks nodes by a
+// computing-capacity value
+//     CP = (1 - Load%) x MemFree
+// with Load = 5/6 x Load_current + 1/6 x Load_5minAvg, and allocates the
+// job to the highest-CP nodes. Load comes from user::procstat, MemFree
+// from Memfree::meminfo -- exactly the metrics the monitor provides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpas::sched {
+
+struct NodeStatus {
+  int node_id = 0;
+  double load_current = 0.0;   ///< CPU load fraction [0,1]
+  double load_5min_avg = 0.0;  ///< trailing average load [0,1]
+  double mem_free_bytes = 0.0;
+};
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Picks `count` distinct nodes for the next job. `status` contains all
+  /// currently available nodes. Throws ConfigError when count exceeds the
+  /// available nodes.
+  virtual std::vector<int> select_nodes(const std::vector<NodeStatus>& status,
+                                        int count) const = 0;
+};
+
+class RoundRobinPolicy final : public AllocationPolicy {
+ public:
+  std::string name() const override { return "RoundRobin"; }
+  std::vector<int> select_nodes(const std::vector<NodeStatus>& status,
+                                int count) const override;
+};
+
+class WbasPolicy final : public AllocationPolicy {
+ public:
+  std::string name() const override { return "WBAS"; }
+  std::vector<int> select_nodes(const std::vector<NodeStatus>& status,
+                                int count) const override;
+
+  /// The CP value; exposed for tests and the Fig. 11 printout.
+  static double computing_capacity(const NodeStatus& node);
+};
+
+/// Generalized WBAS (paper Sec. 5.2: HPAS "enables a very systematic
+/// evaluation of the [CP] equation"): the current/average load blend is a
+/// parameter instead of the fixed 5/6-1/6, so the weighting itself can be
+/// studied under controlled anomalies (bench/ablation_wbas_weighting).
+class WeightedCpPolicy final : public AllocationPolicy {
+ public:
+  /// `current_weight` in [0,1]: Load = w x current + (1-w) x 5-min avg.
+  /// WBAS is current_weight = 5/6; w = 0 reacts only to history; w = 1
+  /// only to the instantaneous load.
+  explicit WeightedCpPolicy(double current_weight);
+
+  std::string name() const override;
+  std::vector<int> select_nodes(const std::vector<NodeStatus>& status,
+                                int count) const override;
+
+  double computing_capacity(const NodeStatus& node) const;
+
+ private:
+  double current_weight_;
+};
+
+}  // namespace hpas::sched

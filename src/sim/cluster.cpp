@@ -1,0 +1,16 @@
+#include "sim/cluster.hpp"
+
+namespace hpas::sim {
+
+std::unique_ptr<World> make_voltrino_world(const VoltrinoPreset& preset) {
+  Topology topo = Topology::two_tier(preset.switches, preset.nodes_per_switch,
+                                     preset.nic_bw, preset.inter_switch_bw);
+  return std::make_unique<World>(preset.node, std::move(topo), preset.fs);
+}
+
+std::unique_ptr<World> make_chameleon_world(const ChameleonPreset& preset) {
+  Topology topo = Topology::star(preset.nodes, preset.nic_bw);
+  return std::make_unique<World>(preset.node, std::move(topo), preset.fs);
+}
+
+}  // namespace hpas::sim

@@ -1,0 +1,66 @@
+#include "sim/engine/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+
+EventHandle Simulator::schedule_at(double t, std::function<void()> fn) {
+  require(t >= now_, "Simulator: cannot schedule in the past");
+  require(fn != nullptr, "Simulator: event function must not be null");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+EventHandle Simulator::schedule_in(double dt, std::function<void()> fn) {
+  require(dt >= 0.0, "Simulator: negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id_);
+  ++cancelled_dirty_;
+  if (cancelled_dirty_ > 64) {
+    std::sort(cancelled_.begin(), cancelled_.end());
+    cancelled_.erase(std::unique(cancelled_.begin(), cancelled_.end()),
+                     cancelled_.end());
+    cancelled_dirty_ = 0;
+  }
+}
+
+bool Simulator::is_cancelled(std::uint64_t id) {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(double t) {
+  require(t >= now_, "Simulator: run_until into the past");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulator::pending_events() const { return queue_.size(); }
+
+}  // namespace hpas::sim

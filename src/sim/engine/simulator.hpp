@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// HPAS's evaluation substrate is a *fluid* DES: resource models assign
+// continuous rates to tasks, and events fire when a task's current phase
+// completes, when an anomaly starts/stops, or when the monitoring layer
+// samples. The engine below is a classic time-ordered event queue with
+// deterministic FIFO tie-breaking (same timestamp => insertion order), so
+// every simulation is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hpas::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the
+/// event stays queued but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  double now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(double t, std::function<void()> fn);
+
+  /// Schedules `fn` after `dt` seconds (must be >= 0).
+  EventHandle schedule_in(double dt, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid
+  /// handle is a no-op.
+  void cancel(EventHandle handle);
+
+  /// Runs the next pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(double t);
+
+  /// Runs until the queue drains.
+  void run();
+
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted-on-demand id blacklist
+  std::size_t cancelled_dirty_ = 0;
+
+  bool is_cancelled(std::uint64_t id);
+};
+
+}  // namespace hpas::sim

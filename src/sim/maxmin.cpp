@@ -1,0 +1,61 @@
+#include "sim/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+
+std::vector<double> max_min_allocate(double capacity,
+                                     std::span<const double> demands) {
+  const std::vector<double> weights(demands.size(), 1.0);
+  return max_min_allocate_weighted(capacity, demands, weights);
+}
+
+std::vector<double> max_min_allocate_weighted(
+    double capacity, std::span<const double> demands,
+    std::span<const double> weights) {
+  require(capacity >= 0.0, "max_min: negative capacity");
+  require(demands.size() == weights.size(), "max_min: size mismatch");
+  const std::size_t n = demands.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0) return alloc;
+
+  std::vector<bool> frozen(n, false);
+  double remaining = capacity;
+  // Iteratively freeze consumers whose demand is below their fair share
+  // and redistribute; terminates in <= n rounds.
+  for (std::size_t round = 0; round < n; ++round) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      require(demands[i] >= 0.0 && weights[i] > 0.0,
+              "max_min: demands must be >= 0, weights > 0");
+      if (!frozen[i]) active_weight += weights[i];
+    }
+    if (active_weight <= 0.0 || remaining <= 0.0) break;
+
+    const double level = remaining / active_weight;  // per unit weight
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      if (demands[i] <= level * weights[i]) {
+        alloc[i] = demands[i];
+        remaining -= demands[i];
+        frozen[i] = true;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) {
+      // Everyone still active is saturated: split the remainder by weight.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!frozen[i]) alloc[i] = level * weights[i];
+      }
+      remaining = 0.0;
+      break;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace hpas::sim

@@ -1,0 +1,28 @@
+// Max-min fair allocation primitives.
+//
+// Contention in every HPAS resource model reduces to one question: given a
+// capacity and a set of demands (some finite, some effectively greedy),
+// what does each consumer get under max-min fairness? This is the
+// water-filling algorithm; the multi-link variant (progressive filling
+// over a network of links) lives in network.cpp on top of this.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hpas::sim {
+
+/// Single-resource max-min fairness (water-filling).
+///
+/// Returns per-demand allocations such that (1) alloc[i] <= demand[i],
+/// (2) sum(alloc) <= capacity, (3) no allocation can be raised without
+/// lowering a smaller one. Demands may be infinite (greedy consumers).
+/// Weighted variant: shares are proportional to weight while unsaturated.
+std::vector<double> max_min_allocate(double capacity,
+                                     std::span<const double> demands);
+
+std::vector<double> max_min_allocate_weighted(double capacity,
+                                              std::span<const double> demands,
+                                              std::span<const double> weights);
+
+}  // namespace hpas::sim

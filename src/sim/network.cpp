@@ -1,0 +1,222 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+
+Topology Topology::two_tier(int switches, int nodes_per_switch, double nic_bw,
+                            double inter_switch_bw) {
+  require(switches >= 1 && nodes_per_switch >= 1,
+          "two_tier: need at least one switch and node");
+  Topology topo;
+  topo.num_nodes = switches * nodes_per_switch;
+  topo.num_switches = switches;
+  for (int s = 0; s < switches; ++s) {
+    for (int n = 0; n < nodes_per_switch; ++n) {
+      topo.trunks.push_back(
+          {s * nodes_per_switch + n, topo.switch_vertex(s), nic_bw});
+    }
+  }
+  for (int s1 = 0; s1 < switches; ++s1) {
+    for (int s2 = s1 + 1; s2 < switches; ++s2) {
+      topo.trunks.push_back(
+          {topo.switch_vertex(s1), topo.switch_vertex(s2), inter_switch_bw});
+    }
+  }
+  return topo;
+}
+
+Topology Topology::star(int nodes, double nic_bw) {
+  return two_tier(1, nodes, nic_bw, nic_bw);
+}
+
+Topology Topology::dragonfly(int groups, int routers_per_group,
+                             int nodes_per_router, double nic_bw,
+                             double local_bw, double global_bw) {
+  require(groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1,
+          "dragonfly: all dimensions must be positive");
+  Topology topo;
+  topo.num_nodes = groups * routers_per_group * nodes_per_router;
+  topo.num_switches = groups * routers_per_group;
+
+  const auto router_vertex = [&](int group, int router) {
+    return topo.switch_vertex(group * routers_per_group + router);
+  };
+
+  // Node <-> router links.
+  for (int g = 0; g < groups; ++g) {
+    for (int r = 0; r < routers_per_group; ++r) {
+      for (int n = 0; n < nodes_per_router; ++n) {
+        const int node =
+            (g * routers_per_group + r) * nodes_per_router + n;
+        topo.trunks.push_back({node, router_vertex(g, r), nic_bw});
+      }
+    }
+  }
+  // Intra-group all-to-all local links.
+  for (int g = 0; g < groups; ++g) {
+    for (int r1 = 0; r1 < routers_per_group; ++r1) {
+      for (int r2 = r1 + 1; r2 < routers_per_group; ++r2) {
+        topo.trunks.push_back(
+            {router_vertex(g, r1), router_vertex(g, r2), local_bw});
+      }
+    }
+  }
+  // One global link per group pair, gateways assigned round-robin.
+  for (int g1 = 0; g1 < groups; ++g1) {
+    for (int g2 = g1 + 1; g2 < groups; ++g2) {
+      const int gateway1 = g2 % routers_per_group;
+      const int gateway2 = g1 % routers_per_group;
+      topo.trunks.push_back(
+          {router_vertex(g1, gateway1), router_vertex(g2, gateway2),
+           global_bw});
+    }
+  }
+  return topo;
+}
+
+Network::Network(Topology topology) : topo_(std::move(topology)) {
+  require(topo_.num_nodes >= 1, "Network: need at least one node");
+  build_paths();
+}
+
+void Network::build_paths() {
+  const int v = topo_.vertex_count();
+  // Adjacency: vertex -> (neighbor, trunk index).
+  std::vector<std::vector<std::pair<int, int>>> adj(
+      static_cast<std::size_t>(v));
+  for (std::size_t t = 0; t < topo_.trunks.size(); ++t) {
+    const Trunk& trunk = topo_.trunks[t];
+    adj[static_cast<std::size_t>(trunk.a)].push_back(
+        {trunk.b, static_cast<int>(t)});
+    adj[static_cast<std::size_t>(trunk.b)].push_back(
+        {trunk.a, static_cast<int>(t)});
+  }
+  // Deterministic tie-break: explore lower vertex ids first.
+  for (auto& neighbors : adj)
+    std::sort(neighbors.begin(), neighbors.end());
+
+  paths_.assign(
+      static_cast<std::size_t>(topo_.num_nodes) *
+          static_cast<std::size_t>(topo_.num_nodes),
+      {});
+  for (int src = 0; src < topo_.num_nodes; ++src) {
+    // BFS from src over all vertices.
+    std::vector<int> prev_vertex(static_cast<std::size_t>(v), -1);
+    std::vector<int> prev_trunk(static_cast<std::size_t>(v), -1);
+    std::vector<bool> seen(static_cast<std::size_t>(v), false);
+    std::queue<int> frontier;
+    frontier.push(src);
+    seen[static_cast<std::size_t>(src)] = true;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (const auto& [w, trunk] : adj[static_cast<std::size_t>(u)]) {
+        if (seen[static_cast<std::size_t>(w)]) continue;
+        seen[static_cast<std::size_t>(w)] = true;
+        prev_vertex[static_cast<std::size_t>(w)] = u;
+        prev_trunk[static_cast<std::size_t>(w)] = trunk;
+        frontier.push(w);
+      }
+    }
+    for (int dst = 0; dst < topo_.num_nodes; ++dst) {
+      if (dst == src) continue;
+      require(seen[static_cast<std::size_t>(dst)],
+              "Network: topology is disconnected");
+      std::vector<int> trunks;
+      for (int at = dst; at != src;
+           at = prev_vertex[static_cast<std::size_t>(at)]) {
+        trunks.push_back(prev_trunk[static_cast<std::size_t>(at)]);
+      }
+      std::reverse(trunks.begin(), trunks.end());
+      paths_[static_cast<std::size_t>(src) *
+                 static_cast<std::size_t>(topo_.num_nodes) +
+             static_cast<std::size_t>(dst)] = std::move(trunks);
+    }
+  }
+}
+
+const std::vector<int>& Network::path(int src_node, int dst_node) const {
+  require(src_node >= 0 && src_node < topo_.num_nodes && dst_node >= 0 &&
+              dst_node < topo_.num_nodes,
+          "Network: node id out of range");
+  return paths_[static_cast<std::size_t>(src_node) *
+                    static_cast<std::size_t>(topo_.num_nodes) +
+                static_cast<std::size_t>(dst_node)];
+}
+
+void Network::compute_rates(std::vector<Flow>& flows) const {
+  constexpr double kLoopbackRate = 1.0e12;  // intra-node copies: ~free
+  // Directed link resources: trunk t, direction a->b is 2t, b->a is 2t+1.
+  const std::size_t num_links = topo_.trunks.size() * 2;
+  std::vector<double> residual(num_links);
+  for (std::size_t t = 0; t < topo_.trunks.size(); ++t) {
+    residual[2 * t] = topo_.trunks[t].capacity;
+    residual[2 * t + 1] = topo_.trunks[t].capacity;
+  }
+
+  // Expand each flow's path into directed link ids.
+  std::vector<std::vector<std::size_t>> flow_links(flows.size());
+  std::vector<bool> frozen(flows.size(), false);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    Flow& flow = flows[f];
+    if (flow.src == flow.dst) {
+      flow.rate = kLoopbackRate;
+      frozen[f] = true;
+      continue;
+    }
+    int at = flow.src;
+    for (const int t : path(flow.src, flow.dst)) {
+      const Trunk& trunk = topo_.trunks[static_cast<std::size_t>(t)];
+      const bool forward = (trunk.a == at);
+      flow_links[f].push_back(2 * static_cast<std::size_t>(t) +
+                              (forward ? 0 : 1));
+      at = forward ? trunk.b : trunk.a;
+    }
+  }
+
+  // Progressive filling: repeatedly find the bottleneck link (smallest
+  // per-flow share), fix its flows at that share, remove them, repeat.
+  while (true) {
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    std::size_t bottleneck_link = num_links;
+    std::vector<int> active_on_link(num_links, 0);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      for (const std::size_t l : flow_links[f]) ++active_on_link[l];
+    }
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_on_link[l] == 0) continue;
+      const double share = residual[l] / active_on_link[l];
+      if (share < bottleneck_share) {
+        bottleneck_share = share;
+        bottleneck_link = l;
+      }
+    }
+    if (bottleneck_link == num_links) break;  // no active flows left
+
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      if (std::find(flow_links[f].begin(), flow_links[f].end(),
+                    bottleneck_link) == flow_links[f].end())
+        continue;
+      flows[f].rate = bottleneck_share;
+      frozen[f] = true;
+      for (const std::size_t l : flow_links[f])
+        residual[l] = std::max(0.0, residual[l] - bottleneck_share);
+    }
+  }
+
+  for (Flow& flow : flows) {
+    if (flow.task != nullptr) {
+      flow.task->rates() = TaskRates{};
+      flow.task->rates().progress = flow.rate;
+    }
+  }
+}
+
+}  // namespace hpas::sim

@@ -1,0 +1,123 @@
+#include "sim/samplers.hpp"
+
+#include <memory>
+
+#include "sim/world.hpp"
+
+namespace hpas::sim {
+namespace {
+
+using metrics::Sample;
+using metrics::Sampler;
+
+// /proc/stat counts jiffies; LDMS reports the raw counters. We use
+// centiseconds (USER_HZ = 100) to stay unit-faithful.
+constexpr double kJiffiesPerSecond = 100.0;
+
+class SimProcStat final : public Sampler {
+ public:
+  SimProcStat(World& world, int node) : world_(world), node_(node) {}
+  std::string name() const override { return "procstat"; }
+  std::vector<Sample> sample() override {
+    const Node& n = world_.node(node_);
+    const double cores = n.config().cores;
+    const double user = n.counters().cpu_user_seconds * kJiffiesPerSecond;
+    const double sys = n.counters().cpu_sys_seconds * kJiffiesPerSecond;
+    const double total = world_.now() * cores * kJiffiesPerSecond;
+    return {
+        {{"user", name()}, user},
+        {{"sys", name()}, sys},
+        {{"idle", name()}, std::max(0.0, total - user - sys)},
+    };
+  }
+
+ private:
+  World& world_;
+  int node_;
+};
+
+class SimMemInfo final : public Sampler {
+ public:
+  SimMemInfo(World& world, int node) : world_(world), node_(node) {}
+  std::string name() const override { return "meminfo"; }
+  std::vector<Sample> sample() override {
+    const Node& n = world_.node(node_);
+    // /proc/meminfo reports kB.
+    return {
+        {{"MemTotal", name()}, n.config().memory_bytes / 1024.0},
+        {{"Memfree", name()}, n.memory_free() / 1024.0},
+    };
+  }
+
+ private:
+  World& world_;
+  int node_;
+};
+
+class SimVmStat final : public Sampler {
+ public:
+  SimVmStat(World& world, int node) : world_(world), node_(node) {}
+  std::string name() const override { return "vmstat"; }
+  std::vector<Sample> sample() override {
+    const Node& n = world_.node(node_);
+    return {{{"pgfault", name()}, n.counters().pages_faulted}};
+  }
+
+ private:
+  World& world_;
+  int node_;
+};
+
+class SimSpapi final : public Sampler {
+ public:
+  SimSpapi(World& world, int node) : world_(world), node_(node) {}
+  std::string name() const override { return "spapiHASW"; }
+  std::vector<Sample> sample() override {
+    const NodeCounters& c = world_.node(node_).counters();
+    return {
+        {{"INST_RETIRED:ANY", name()}, c.instructions},
+        {{"L1D:REPLACEMENT", name()}, c.l1_misses},
+        {{"L2_RQSTS:MISS", name()}, c.l2_misses},
+        {{"LLC_MISSES", name()}, c.l3_misses},
+        {{"DRAM_BYTES", name()}, c.dram_bytes},
+    };
+  }
+
+ private:
+  World& world_;
+  int node_;
+};
+
+class SimAriesNic final : public Sampler {
+ public:
+  SimAriesNic(World& world, int node) : world_(world), node_(node) {}
+  std::string name() const override { return "aries_nic_mmr"; }
+  std::vector<Sample> sample() override {
+    const NodeCounters& c = world_.node(node_).counters();
+    // Aries flits carry 32 bytes of payload; the ORB request counter
+    // tracks outbound traffic.
+    return {
+        {{"AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS", name()},
+         c.nic_tx_bytes / 32.0},
+        {{"AR_NIC_NETMON_ORB_EVENT_CNTR_RSP_FLITS", name()},
+         c.nic_rx_bytes / 32.0},
+    };
+  }
+
+ private:
+  World& world_;
+  int node_;
+};
+
+}  // namespace
+
+void attach_node_samplers(metrics::Collector& collector, World& world,
+                          int node_id) {
+  collector.add_sampler(std::make_shared<SimProcStat>(world, node_id));
+  collector.add_sampler(std::make_shared<SimMemInfo>(world, node_id));
+  collector.add_sampler(std::make_shared<SimVmStat>(world, node_id));
+  collector.add_sampler(std::make_shared<SimSpapi>(world, node_id));
+  collector.add_sampler(std::make_shared<SimAriesNic>(world, node_id));
+}
+
+}  // namespace hpas::sim

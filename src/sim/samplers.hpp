@@ -1,0 +1,21 @@
+// Simulated-node samplers, mirroring the LDMS plugin set of the paper
+// (Sec. 4: procstat, meminfo, vmstat, spapiHASW, aries_nic_mmr).
+//
+// Metric names follow the paper's "<metric>::<sampler>" convention so
+// experiment output and the ML feature names read identically to the
+// paper, e.g. "user::procstat", "Memfree::meminfo",
+// "L2_RQSTS:MISS::spapiHASW",
+// "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS::aries_nic_mmr".
+#pragma once
+
+#include "metrics/collector.hpp"
+
+namespace hpas::sim {
+
+class World;
+
+/// Registers the full sampler set for one node on a collector.
+void attach_node_samplers(metrics::Collector& collector, World& world,
+                          int node_id);
+
+}  // namespace hpas::sim

@@ -1,0 +1,84 @@
+#include "sim/storage.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "sim/maxmin.hpp"
+
+namespace hpas::sim {
+
+Filesystem::Filesystem(FsConfig config) : config_(config) {
+  require(config.metadata_ops_per_s > 0, "Filesystem: mds rate must be > 0");
+  require(config.disk_write_bw > 0 && config.disk_read_bw > 0,
+          "Filesystem: disk bandwidths must be > 0");
+  require(config.metadata_disk_cost_s >= 0,
+          "Filesystem: metadata disk cost must be >= 0");
+}
+
+void Filesystem::compute_rates(const std::vector<Task*>& tasks) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<Task*> io_tasks;
+  for (Task* task : tasks) {
+    if (task->phase().kind == PhaseKind::kIo) io_tasks.push_back(task);
+  }
+  if (io_tasks.empty()) return;
+
+  // --- 1. Metadata service: equal shares among greedy metadata clients.
+  std::size_t meta_clients = 0;
+  for (const Task* task : io_tasks) {
+    if (task->phase().io_kind == IoKind::kMetadata) ++meta_clients;
+  }
+  const double meta_share =
+      meta_clients > 0
+          ? config_.metadata_ops_per_s / static_cast<double>(meta_clients)
+          : 0.0;
+
+  // --- 2. Disk time (capacity: 1 second of service per second).
+  // Readers/writers are greedy; metadata clients demand only what their
+  // MDS share can generate (zero when the MDS is dedicated hardware).
+  std::vector<double> disk_demand(io_tasks.size(), 0.0);
+  for (std::size_t i = 0; i < io_tasks.size(); ++i) {
+    switch (io_tasks[i]->phase().io_kind) {
+      case IoKind::kRead:
+      case IoKind::kWrite:
+        disk_demand[i] = kInf;
+        break;
+      case IoKind::kMetadata:
+        disk_demand[i] = config_.dedicated_mds
+                             ? 0.0
+                             : meta_share * config_.metadata_disk_cost_s;
+        break;
+    }
+  }
+  // max_min_allocate requires strictly positive weights and finite math;
+  // replace infinities with a demand far above capacity.
+  for (double& d : disk_demand) {
+    if (d == kInf) d = 1.0e6;
+  }
+  const std::vector<double> disk_alloc = max_min_allocate(1.0, disk_demand);
+
+  // --- 3. Convert disk-time allocations into progress rates.
+  for (std::size_t i = 0; i < io_tasks.size(); ++i) {
+    Task& task = *io_tasks[i];
+    task.rates() = TaskRates{};
+    switch (task.phase().io_kind) {
+      case IoKind::kWrite:
+        task.rates().progress = disk_alloc[i] * config_.disk_write_bw;
+        break;
+      case IoKind::kRead:
+        task.rates().progress = disk_alloc[i] * config_.disk_read_bw;
+        break;
+      case IoKind::kMetadata: {
+        double rate = meta_share;
+        if (!config_.dedicated_mds && config_.metadata_disk_cost_s > 0.0) {
+          rate = std::min(rate, disk_alloc[i] / config_.metadata_disk_cost_s);
+        }
+        task.rates().progress = rate;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hpas::sim

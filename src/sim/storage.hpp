@@ -1,0 +1,57 @@
+// Shared filesystem model: metadata server + storage server (Sec. 3.5).
+//
+// The paper targets "a common shared filesystem architecture, where there
+// are one or a few metadata servers [...] and the actual contents of the
+// files are located in storage nodes". We model:
+//   * a metadata service with an aggregate operation rate, shared max-min
+//     fairly among clients with outstanding metadata work;
+//   * a storage (disk) service modeled in *disk-time*: one second of
+//     service per second, where writing/reading b bytes costs
+//     b / disk_bw seconds and -- when the deployment has no dedicated
+//     metadata server, like the paper's Chameleon NFS appliance -- each
+//     metadata operation also costs `metadata_disk_cost_s` of disk time.
+//
+// That last coupling is what makes iometadata degrade IOR bandwidth in
+// Fig. 7 ("the iometadata anomaly also affects the bandwidth, since the CC
+// filesystem does not have a separate metadata server").
+#pragma once
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace hpas::sim {
+
+struct FsConfig {
+  double metadata_ops_per_s = 3000.0;  ///< aggregate metadata service rate
+  double disk_write_bw = 300.0e6;      ///< bytes/s of the storage node disk
+  double disk_read_bw = 330.0e6;
+  bool dedicated_mds = false;  ///< true: metadata does not consume disk time
+  double metadata_disk_cost_s = 1.0e-4;  ///< disk time per metadata op
+};
+
+/// Cumulative filesystem counters.
+struct FsCounters {
+  double metadata_ops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+};
+
+class Filesystem {
+ public:
+  explicit Filesystem(FsConfig config);
+
+  const FsConfig& config() const { return config_; }
+  FsCounters& counters() { return counters_; }
+  const FsCounters& counters() const { return counters_; }
+
+  /// Assigns progress rates to every task currently in a kIo phase.
+  /// Rates: bytes/s for read/write, operations/s for metadata.
+  void compute_rates(const std::vector<Task*>& tasks) const;
+
+ private:
+  FsConfig config_;
+  FsCounters counters_;
+};
+
+}  // namespace hpas::sim

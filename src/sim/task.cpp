@@ -1,0 +1,64 @@
+#include "sim/task.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+
+Task::Task(std::string name, int node, int core, TaskProfile profile,
+           NextPhaseFn next_phase)
+    : name_(std::move(name)),
+      node_(node),
+      core_(core),
+      profile_(profile),
+      next_phase_(std::move(next_phase)) {
+  require(next_phase_ != nullptr, "Task: controller must not be null");
+  require(profile_.cpu_demand > 0.0 && profile_.cpu_demand <= 1.0,
+          "Task: cpu_demand must be in (0,1]");
+}
+
+void Task::set_phase(const Phase& phase) {
+  phase_ = phase;
+  remaining_ = phase.work;
+  latency_left_ =
+      (phase.kind == PhaseKind::kMessage) ? profile_.msg_latency_s : 0.0;
+  rates_ = TaskRates{};
+}
+
+double Task::completion_tolerance() const {
+  // Work units span instructions (1e9) to seconds (1e0); an absolute
+  // epsilon cannot cover both, and a too-small epsilon leaves a residue
+  // whose eta underflows the simulator clock's double resolution. Use a
+  // tolerance relative to the phase's total work.
+  return std::max(1e-9, 1e-9 * phase_.work);
+}
+
+bool Task::advance(double dt) {
+  if (phase_.kind == PhaseKind::kDone || phase_.kind == PhaseKind::kIdle)
+    return false;
+  // Message startup latency elapses before bytes flow.
+  if (latency_left_ > 0.0) {
+    const double lat = std::min(latency_left_, dt);
+    latency_left_ -= lat;
+    dt -= lat;
+    if (dt <= 0.0) return remaining_ <= 0.0 && latency_left_ <= 1e-15;
+  }
+  remaining_ -= rates_.progress * dt;
+  if (remaining_ <= completion_tolerance()) {
+    remaining_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+double Task::eta() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (phase_.kind == PhaseKind::kDone || phase_.kind == PhaseKind::kIdle)
+    return kInf;
+  if (remaining_ <= completion_tolerance()) return latency_left_;
+  if (rates_.progress <= 0.0) return kInf;
+  return latency_left_ + remaining_ / rates_.progress;
+}
+
+}  // namespace hpas::sim

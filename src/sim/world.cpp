@@ -1,0 +1,229 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "sim/samplers.hpp"
+
+namespace hpas::sim {
+
+World::World(NodeConfig node_config, Topology topology, FsConfig fs_config)
+    : network_(std::move(topology)), fs_(fs_config) {
+  const int n = network_.topology().num_nodes;
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    nodes_.push_back(std::make_unique<Node>(i, node_config));
+  oom_ = [](World& world, Task& requester) {
+    log_warn("sim: OOM on node ", requester.node(), "; killing '",
+             requester.name(), "'");
+    world.kill_task(&requester);
+  };
+}
+
+Node& World::node(int id) {
+  require(id >= 0 && id < num_nodes(), "World: node id out of range");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& World::node(int id) const {
+  require(id >= 0 && id < num_nodes(), "World: node id out of range");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+Task* World::spawn_task(const std::string& name, int node_id, int core,
+                        const TaskProfile& profile, const Phase& initial,
+                        Task::NextPhaseFn next_phase) {
+  require(node_id >= 0 && node_id < num_nodes(),
+          "spawn_task: node id out of range");
+  require(core >= 0 && core < node(node_id).config().cores,
+          "spawn_task: core out of range");
+  auto task = std::make_unique<Task>(name, node_id, core, profile,
+                                     std::move(next_phase));
+  task->set_phase(initial);
+  Task* raw = task.get();
+  tasks_.push_back(std::move(task));
+  task_ptrs_.push_back(raw);
+  update();
+  return raw;
+}
+
+void World::kill_task(Task* task) {
+  require(task != nullptr, "kill_task: null task");
+  if (task->allocated_bytes() > 0.0) {
+    node(task->node()).adjust_memory(-task->allocated_bytes());
+    task->set_allocated_bytes(0.0);
+  }
+  task->set_phase(Phase::done());
+  task_ptrs_.erase(std::remove(task_ptrs_.begin(), task_ptrs_.end(), task),
+                   task_ptrs_.end());
+  if (!in_update_) update();
+}
+
+bool World::allocate_memory(Task* task, double delta_bytes) {
+  require(task != nullptr, "allocate_memory: null task");
+  Node& host = node(task->node());
+  if (!host.adjust_memory(delta_bytes)) {
+    if (oom_) oom_(*this, *task);
+    return false;
+  }
+  task->set_allocated_bytes(task->allocated_bytes() + delta_bytes);
+  return true;
+}
+
+void World::advance_tasks(double dt) {
+  // dt == 0 still runs: Task::advance clamps within-tolerance residues to
+  // zero so handle_completions sees them.
+  if (dt < 0.0) return;
+  for (Task* task : task_ptrs_) {
+    if (!task->active()) continue;
+    const double before = task->remaining();
+    const TaskRates rates = task->rates();
+    task->advance(dt);
+    const double progressed = before - task->remaining();
+    const double eff_dt =
+        rates.progress > 0.0 ? progressed / rates.progress : 0.0;
+
+    NodeCounters& c = node(task->node()).counters();
+    TaskCounters& t = task->counters();
+    switch (task->phase().kind) {
+      case PhaseKind::kCompute:
+      case PhaseKind::kStream: {
+        if (task->profile().account_user) {
+          c.cpu_user_seconds += rates.cpu_share * dt;
+        } else {
+          c.cpu_sys_seconds += rates.cpu_share * dt;
+        }
+        c.instructions += rates.instr_rate * eff_dt;
+        c.l1_misses += rates.l1_miss_rate * eff_dt;
+        c.l2_misses += rates.l2_miss_rate * eff_dt;
+        c.l3_misses += rates.l3_miss_rate * eff_dt;
+        c.dram_bytes += rates.dram_rate * eff_dt;
+        t.cpu_seconds += rates.cpu_share * dt;
+        t.instructions += rates.instr_rate * eff_dt;
+        t.l2_misses += rates.l2_miss_rate * eff_dt;
+        t.l3_misses += rates.l3_miss_rate * eff_dt;
+        t.dram_bytes += rates.dram_rate * eff_dt;
+        break;
+      }
+      case PhaseKind::kMessage: {
+        c.nic_tx_bytes += progressed;
+        t.bytes_sent += progressed;
+        if (task->phase().peer_node >= 0)
+          node(task->phase().peer_node).counters().nic_rx_bytes += progressed;
+        break;
+      }
+      case PhaseKind::kIo: {
+        FsCounters& f = fs_.counters();
+        t.io_work += progressed;
+        switch (task->phase().io_kind) {
+          case IoKind::kMetadata: f.metadata_ops += progressed; break;
+          case IoKind::kRead: f.bytes_read += progressed; break;
+          case IoKind::kWrite: f.bytes_written += progressed; break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void World::handle_completions() {
+  // Controllers may finish tasks or wake others; iterate to a fixed point
+  // but bound the passes to avoid a buggy controller looping forever.
+  for (int pass = 0; pass < 64; ++pass) {
+    bool any = false;
+    // Snapshot: controllers can spawn/kill during iteration.
+    const std::vector<Task*> snapshot = task_ptrs_;
+    for (Task* task : snapshot) {
+      if (std::find(task_ptrs_.begin(), task_ptrs_.end(), task) ==
+          task_ptrs_.end())
+        continue;  // killed by an earlier controller this pass
+      if (!task->active()) continue;
+      if (task->remaining() <= 0.0 && task->latency_left() <= 0.0) {
+        task->set_phase(task->next_phase());
+        any = true;
+      }
+    }
+    if (!any) return;
+  }
+  throw InvariantError("World: phase-completion cascade did not settle");
+}
+
+void World::recompute_rates() {
+  for (const auto& n : nodes_) n->compute_rates(task_ptrs_);
+
+  std::vector<Flow> flows;
+  for (Task* task : task_ptrs_) {
+    if (task->phase().kind == PhaseKind::kMessage) {
+      flows.push_back(Flow{task, task->node(), task->phase().peer_node, 0.0});
+    }
+  }
+  if (!flows.empty()) network_.compute_rates(flows);
+
+  fs_.compute_rates(task_ptrs_);
+}
+
+void World::schedule_next_completion() {
+  sim_.cancel(pending_completion_);
+  pending_completion_ = EventHandle{};
+  double eta = std::numeric_limits<double>::infinity();
+  for (const Task* task : task_ptrs_) eta = std::min(eta, task->eta());
+  if (!std::isfinite(eta)) return;
+  // Event times quantize to the double grid at `now`; a very fast task
+  // (e.g. a loopback message at ~1e12 B/s) can have an eta below one ulp,
+  // which would schedule an event at exactly `now` and spin forever.
+  // Land at least a few ulps in the future so advance() always makes
+  // progress through the residue.
+  const double now = sim_.now();
+  const double ulp =
+      std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
+  const double min_step = std::max(4.0 * ulp, 1e-15);
+  double target = now + std::max(eta, min_step);
+  if (target <= now) target = std::nextafter(now, 1e300);
+  pending_completion_ =
+      sim_.schedule_at(target, [this] { update(); });
+}
+
+void World::update() {
+  if (in_update_) return;  // controllers triggering re-entrant updates
+  in_update_ = true;
+  advance_tasks(sim_.now() - last_update_);
+  last_update_ = sim_.now();
+  handle_completions();
+  recompute_rates();
+  in_update_ = false;
+  schedule_next_completion();
+}
+
+void World::enable_monitoring(double period_s) {
+  require(period_s > 0.0, "enable_monitoring: period must be positive");
+  require(stores_.empty(), "enable_monitoring: already enabled");
+  for (int i = 0; i < num_nodes(); ++i) {
+    stores_.push_back(std::make_unique<metrics::MetricStore>());
+    auto collector = std::make_unique<metrics::Collector>(stores_.back().get());
+    attach_node_samplers(*collector, *this, i);
+    collectors_.push_back(std::move(collector));
+  }
+  sample_all(period_s);
+}
+
+void World::sample_all(double period_s) {
+  // Bring counters up to date, then poll every node's samplers.
+  update();
+  for (const auto& collector : collectors_) collector->collect(sim_.now());
+  sim_.schedule_in(period_s, [this, period_s] { sample_all(period_s); });
+}
+
+metrics::MetricStore& World::node_store(int id) {
+  require(id >= 0 && static_cast<std::size_t>(id) < stores_.size(),
+          "node_store: monitoring not enabled or id out of range");
+  return *stores_[static_cast<std::size_t>(id)];
+}
+
+void World::run_until(double t) { sim_.run_until(t); }
+
+}  // namespace hpas::sim

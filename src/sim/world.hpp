@@ -1,0 +1,109 @@
+// World: the top-level simulated HPC system.
+//
+// Owns the event engine, the nodes, the interconnect, the shared
+// filesystem, all tasks, and the per-node monitoring stores. Implements
+// the fluid-DES main loop:
+//
+//   update():
+//     1. advance every task by (now - last_update) at its cached rates,
+//        accumulating node/filesystem counters;
+//     2. for each task whose phase completed, ask its controller for the
+//        next phase (controllers may also wake other, kIdle tasks);
+//     3. recompute all rates (per-node CPU/cache/memory, network flows,
+//        filesystem shares);
+//     4. schedule the next update at the earliest phase completion.
+//
+// External changes (task spawn, anomaly start, memory allocation) call
+// update() after mutating state, so rates are always consistent with the
+// task set. Everything is deterministic: one seeded RNG, FIFO event
+// tie-breaks, no wall-clock dependence.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "metrics/store.hpp"
+#include "sim/engine/simulator.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/storage.hpp"
+#include "sim/task.hpp"
+
+namespace hpas::sim {
+
+class World {
+ public:
+  /// Homogeneous cluster: `node_config` replicated over the topology's
+  /// compute nodes.
+  World(NodeConfig node_config, Topology topology, FsConfig fs_config);
+
+  Simulator& simulator() { return sim_; }
+  double now() const { return sim_.now(); }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id);
+  const Node& node(int id) const;
+  Network& network() { return network_; }
+  Filesystem& filesystem() { return fs_; }
+
+  /// Creates a task pinned to (node, core) with `initial` as its first
+  /// phase. The returned pointer stays valid for the lifetime of the
+  /// World. Triggers a rate recompute.
+  Task* spawn_task(const std::string& name, int node, int core,
+                   const TaskProfile& profile, const Phase& initial,
+                   Task::NextPhaseFn next_phase);
+
+  /// Immediately terminates a task (releases CPU/cache/bandwidth; its
+  /// memory allocation is returned to the node).
+  void kill_task(Task* task);
+
+  const std::vector<Task*>& tasks() const { return task_ptrs_; }
+
+  /// Adjusts a task's memory footprint on its node. On overcommit the
+  /// OOM handler decides the victim (default: kill the requesting task,
+  /// mirroring the paper's "applications are killed when they run out of
+  /// memory"). Returns false when the allocation failed.
+  bool allocate_memory(Task* task, double delta_bytes);
+
+  using OomHandler = std::function<void(World&, Task& requester)>;
+  void set_oom_handler(OomHandler handler) { oom_ = std::move(handler); }
+
+  /// Starts LDMS-like monitoring: per-node procstat / meminfo / vmstat /
+  /// spapiHASW / aries_nic_mmr samplers collected every `period_s`.
+  void enable_monitoring(double period_s);
+  metrics::MetricStore& node_store(int id);
+
+  /// Re-derives all rates and reschedules the next completion. Called
+  /// automatically by spawn/kill/allocate and by phase completions; call
+  /// manually after mutating task profiles or phases from outside.
+  void update();
+
+  void run_until(double t);
+  void run_for(double dt) { run_until(now() + dt); }
+
+ private:
+  void advance_tasks(double dt);
+  void handle_completions();
+  void recompute_rates();
+  void schedule_next_completion();
+  void sample_all(double period_s);
+
+  Simulator sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Network network_;
+  Filesystem fs_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> task_ptrs_;  ///< live (non-destroyed) tasks
+  double last_update_ = 0.0;
+  EventHandle pending_completion_;
+  OomHandler oom_;
+  bool in_update_ = false;
+
+  std::vector<std::unique_ptr<metrics::MetricStore>> stores_;
+  std::vector<std::unique_ptr<metrics::Collector>> collectors_;
+};
+
+}  // namespace hpas::sim

@@ -1,0 +1,293 @@
+#include "simanom/injectors.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::simanom {
+
+using sim::Phase;
+using sim::PhaseKind;
+using sim::Task;
+using sim::TaskProfile;
+using sim::World;
+
+namespace {
+
+// Work-chunk sizing: controllers regain control at each chunk boundary to
+// check the deadline, so chunks are ~0.5 simulated seconds of work.
+constexpr double kChunkSeconds = 0.5;
+
+/// Shared epilogue: release memory and finish when the deadline passed.
+bool deadline_reached(World& world, Task& task, double end_time) {
+  if (world.now() + 1e-9 < end_time) return false;
+  if (task.allocated_bytes() > 0.0)
+    world.allocate_memory(&task, -task.allocated_bytes());
+  return true;
+}
+
+}  // namespace
+
+Task* inject_cpuoccupy(World& world, int node, int core,
+                       double utilization_pct, double duration_s) {
+  require(utilization_pct > 0.0 && utilization_pct <= 100.0,
+          "inject_cpuoccupy: utilization in (0,100]");
+  TaskProfile profile;
+  profile.ips_peak = 2.3e9;  // tight ALU loop, ~1 IPC
+  profile.cpu_demand = utilization_pct / 100.0;
+  profile.working_set_bytes = 4.0 * 1024;  // register/stack resident
+  profile.m1_base = 0.1; profile.m1_max = 0.5;
+  profile.m2_base = 0.05; profile.m2_max = 0.2;
+  profile.m3_base = 0.01; profile.m3_max = 0.1;
+  const double end_time = world.now() + duration_s;
+  const double chunk = profile.ips_peak * profile.cpu_demand * kChunkSeconds;
+  return world.spawn_task(
+      "cpuoccupy", node, core, profile, Phase::compute(chunk),
+      [&world, end_time, chunk](Task& task) {
+        if (deadline_reached(world, task, end_time)) return Phase::done();
+        return Phase::compute(chunk);
+      });
+}
+
+Task* inject_cachecopy(World& world, int node, int core, SimCacheLevel level,
+                       double multiplier, double duration_s) {
+  require(multiplier > 0.0, "inject_cachecopy: multiplier must be positive");
+  const sim::NodeConfig& cfg = world.node(node).config();
+  double level_bytes = cfg.l3_bytes;
+  if (level == SimCacheLevel::kL1) level_bytes = cfg.l1_bytes;
+  if (level == SimCacheLevel::kL2) level_bytes = cfg.l2_bytes;
+
+  TaskProfile profile;
+  profile.ips_peak = 3.0e9;  // load/store copy loop
+  profile.cpu_demand = 1.0;
+  profile.working_set_bytes = level_bytes * multiplier;
+  // While resident the copy misses only at the target level boundary;
+  // evicted it still stays modest (hardware prefetch-friendly streams).
+  profile.m1_base = 30.0; profile.m1_max = 60.0;
+  profile.m2_base = 5.0; profile.m2_max = 20.0;
+  profile.m3_base = 0.2; profile.m3_max = 2.0;
+  const double end_time = world.now() + duration_s;
+  const double chunk = profile.ips_peak * kChunkSeconds;
+  return world.spawn_task(
+      "cachecopy", node, core, profile, Phase::compute(chunk),
+      [&world, end_time, chunk](Task& task) {
+        if (deadline_reached(world, task, end_time)) return Phase::done();
+        return Phase::compute(chunk);
+      });
+}
+
+Task* inject_membw(World& world, int node, int core, double duration_s,
+                   double duty) {
+  require(duty > 0.0 && duty <= 1.0, "inject_membw: duty in (0,1]");
+  const sim::NodeConfig& cfg = world.node(node).config();
+  TaskProfile profile;
+  profile.ips_peak = 2.3e9;
+  profile.cpu_demand = 1.0;
+  // Non-temporal stores: no cache footprint to speak of.
+  profile.working_set_bytes = 64.0 * 1024;
+  profile.stream_bw_demand = cfg.core_bw_limit * duty;
+  const double end_time = world.now() + duration_s;
+  const double chunk = cfg.core_bw_limit * kChunkSeconds;
+  return world.spawn_task(
+      "membw", node, core, profile, Phase::stream(chunk),
+      [&world, end_time, chunk](Task& task) {
+        if (deadline_reached(world, task, end_time)) return Phase::done();
+        return Phase::stream(chunk);
+      });
+}
+
+Task* inject_memeater(World& world, int node, int core, double step_bytes,
+                      double max_bytes, double step_interval_s,
+                      double duration_s) {
+  require(step_bytes > 0, "inject_memeater: step must be positive");
+  TaskProfile profile;
+  profile.ips_peak = 2.0e9;
+  profile.cpu_demand = 1.0;
+  profile.working_set_bytes = 8.0 * 1024 * 1024;  // touches its arrays
+  profile.m1_base = 10; profile.m1_max = 40;
+  profile.m2_base = 4; profile.m2_max = 15;
+  profile.m3_base = 1; profile.m3_max = 5;
+  const double end_time = world.now() + duration_s;
+  const double fill_instr = step_bytes * 0.25;  // ~4 bytes filled per instr
+  // Controller alternates: fill (compute) -> sleep -> grow -> fill ...
+  auto controller = [&world, end_time, step_bytes, max_bytes,
+                     step_interval_s, fill_instr](Task& task) {
+    if (deadline_reached(world, task, end_time)) return Phase::done();
+    if (task.phase().kind == PhaseKind::kSleep) {
+      // Wake: grow unless the limit is reached, then fill the new area.
+      if (max_bytes <= 0.0 || task.allocated_bytes() + step_bytes <= max_bytes) {
+        if (!world.allocate_memory(&task, step_bytes)) return Phase::done();
+        return Phase::compute(fill_instr);
+      }
+      return Phase::sleep(step_interval_s);  // plateau: hold the memory
+    }
+    return Phase::sleep(step_interval_s);
+  };
+  Task* task = world.spawn_task("memeater", node, core, profile,
+                                Phase::sleep(1e-6), controller);
+  return task;
+}
+
+Task* inject_memleak(World& world, int node, int core, double chunk_bytes,
+                     double chunk_interval_s, double duration_s,
+                     double max_bytes) {
+  require(chunk_bytes > 0, "inject_memleak: chunk must be positive");
+  TaskProfile profile;
+  profile.ips_peak = 2.0e9;
+  profile.cpu_demand = 1.0;
+  profile.working_set_bytes = 4.0 * 1024 * 1024;
+  profile.m1_base = 10; profile.m1_max = 40;
+  profile.m2_base = 4; profile.m2_max = 15;
+  profile.m3_base = 1; profile.m3_max = 5;
+  const double end_time = world.now() + duration_s;
+  const double fill_instr = chunk_bytes * 0.25;
+  auto controller = [&world, end_time, chunk_bytes, chunk_interval_s,
+                     fill_instr, max_bytes](Task& task) {
+    if (deadline_reached(world, task, end_time)) return Phase::done();
+    if (task.phase().kind == PhaseKind::kSleep) {
+      // Every interval: leak another chunk and fill it. Never freed until
+      // the "process" exits. The optional cap mirrors --max-size.
+      if (max_bytes > 0.0 && task.allocated_bytes() + chunk_bytes > max_bytes)
+        return Phase::sleep(chunk_interval_s);
+      if (!world.allocate_memory(&task, chunk_bytes)) return Phase::done();
+      return Phase::compute(fill_instr);
+    }
+    return Phase::sleep(chunk_interval_s);
+  };
+  return world.spawn_task("memleak", node, core, profile, Phase::sleep(1e-6),
+                          controller);
+}
+
+std::vector<Task*> inject_netoccupy(World& world, int src_node, int dst_node,
+                                    int ntasks, double message_bytes,
+                                    double duration_s) {
+  require(ntasks >= 1, "inject_netoccupy: ntasks must be >= 1");
+  require(message_bytes > 0, "inject_netoccupy: message size positive");
+  std::vector<Task*> tasks;
+  const double end_time = world.now() + duration_s;
+  for (int rank = 0; rank < ntasks; ++rank) {
+    TaskProfile profile;
+    profile.cpu_demand = 0.05;  // SHMEM puts are NIC-offloaded
+    profile.working_set_bytes = 1.0 * 1024 * 1024;
+    profile.msg_latency_s = 5e-6;  // one-sided puts: lower startup cost
+    const int core = world.node(src_node).config().cores - 1 - rank;
+    tasks.push_back(world.spawn_task(
+        "netoccupy", src_node, std::max(core, 0), profile,
+        Phase::message(dst_node, message_bytes),
+        [&world, end_time, dst_node, message_bytes](Task& task) {
+          if (deadline_reached(world, task, end_time)) return Phase::done();
+          return Phase::message(dst_node, message_bytes);
+        }));
+  }
+  return tasks;
+}
+
+std::vector<Task*> inject_iometadata(World& world, int node, int ntasks,
+                                     double duration_s) {
+  require(ntasks >= 1, "inject_iometadata: ntasks must be >= 1");
+  std::vector<Task*> tasks;
+  const double end_time = world.now() + duration_s;
+  constexpr double kOpsBatch = 200.0;  // ops per phase (create/close/unlink)
+  for (int rank = 0; rank < ntasks; ++rank) {
+    TaskProfile profile;
+    profile.cpu_demand = 0.02;  // the client mostly waits on the server
+    const int core = rank % world.node(node).config().cores;
+    tasks.push_back(world.spawn_task(
+        "iometadata", node, core, profile,
+        Phase::io(sim::IoKind::kMetadata, kOpsBatch),
+        [&world, end_time](Task& task) {
+          if (deadline_reached(world, task, end_time)) return Phase::done();
+          return Phase::io(sim::IoKind::kMetadata, kOpsBatch);
+        }));
+  }
+  return tasks;
+}
+
+std::vector<Task*> inject_iobandwidth(World& world, int node, int ntasks,
+                                      double file_bytes, double duration_s) {
+  require(ntasks >= 1, "inject_iobandwidth: ntasks must be >= 1");
+  require(file_bytes > 0, "inject_iobandwidth: file size positive");
+  std::vector<Task*> tasks;
+  const double end_time = world.now() + duration_s;
+  for (int rank = 0; rank < ntasks; ++rank) {
+    TaskProfile profile;
+    profile.cpu_demand = 0.05;
+    const int core = rank % world.node(node).config().cores;
+    tasks.push_back(world.spawn_task(
+        "iobandwidth", node, core, profile,
+        Phase::io(sim::IoKind::kWrite, file_bytes),
+        [&world, end_time, file_bytes](Task& task) {
+          if (deadline_reached(world, task, end_time)) return Phase::done();
+          // dd-style chain: the copy alternately reads the previous file
+          // and writes the next one.
+          if (task.phase().io_kind == sim::IoKind::kWrite)
+            return Phase::io(sim::IoKind::kRead, file_bytes);
+          return Phase::io(sim::IoKind::kWrite, file_bytes);
+        }));
+  }
+  return tasks;
+}
+
+Task* inject_os_jitter(World& world, int node, int core, double burst_s,
+                       double mean_gap_s, double duration_s,
+                       std::uint64_t seed) {
+  require(burst_s > 0.0 && mean_gap_s > 0.0,
+          "inject_os_jitter: burst and gap must be positive");
+  TaskProfile profile;
+  profile.ips_peak = 2.3e9;
+  profile.cpu_demand = 1.0;  // daemons run at full tilt while active
+  profile.working_set_bytes = 16.0 * 1024;
+  profile.account_user = false;  // system time, like real OS noise
+  const double end_time = world.now() + duration_s;
+  const double burst_instr = profile.ips_peak * burst_s;
+  // The RNG lives in the controller closure; every wake draws a fresh gap.
+  auto rng = std::make_shared<Rng>(seed);
+  auto controller = [&world, end_time, burst_instr, mean_gap_s,
+                     rng](Task& task) {
+    if (deadline_reached(world, task, end_time)) return Phase::done();
+    if (task.phase().kind == PhaseKind::kSleep)
+      return Phase::compute(burst_instr);
+    return Phase::sleep(rng->exponential(1.0 / mean_gap_s));
+  };
+  return world.spawn_task("os_jitter", node, core, profile,
+                          Phase::sleep(1e-6), controller);
+}
+
+std::vector<Task*> inject_by_name(World& world, const std::string& name,
+                                  int node, int core, double duration_s,
+                                  double intensity) {
+  if (name == "cpuoccupy")
+    return {inject_cpuoccupy(world, node, core, 100.0 * intensity,
+                             duration_s)};
+  if (name == "cachecopy")
+    return {inject_cachecopy(world, node, core, SimCacheLevel::kL3, intensity,
+                             duration_s)};
+  if (name == "membw")
+    return {inject_membw(world, node, core, duration_s)};
+  if (name == "memeater")
+    // Ramp to a plateau within the first half-minute: memeater is a
+    // memory-*intensive* process, not a leak -- it reaches its footprint
+    // and holds (Fig. 5), unlike memleak's unbounded growth.
+    return {inject_memeater(world, node, core,
+                            intensity * 120.0 * 1024 * 1024,
+                            /*max_bytes=*/intensity * 2.5e9,
+                            /*step_interval_s=*/1.0, duration_s)};
+  if (name == "memleak")
+    return {inject_memleak(world, node, core, intensity * 20.0 * 1024 * 1024,
+                           /*chunk_interval_s=*/1.0, duration_s)};
+  if (name == "netoccupy") {
+    const int peer = (node + 1) % world.num_nodes();
+    return inject_netoccupy(world, node, peer, /*ntasks=*/1,
+                            intensity * 100.0 * 1024 * 1024, duration_s);
+  }
+  if (name == "iometadata")
+    return inject_iometadata(world, node, /*ntasks=*/4, duration_s);
+  if (name == "iobandwidth")
+    return inject_iobandwidth(world, node, /*ntasks=*/4,
+                              intensity * 256.0 * 1024 * 1024, duration_s);
+  throw ConfigError("inject_by_name: unknown anomaly '" + name + "'");
+}
+
+}  // namespace hpas::simanom

@@ -1,0 +1,90 @@
+// Simulated anomaly injectors: the eight HPAS generators expressed as
+// resource signatures on the simulated cluster (DESIGN.md substitution
+// table). Knobs mirror Table 1 exactly; durations are simulated seconds.
+//
+// Each injector spawns one or more Tasks into the World and returns them;
+// tasks end themselves when the duration elapses (releasing any memory
+// they hold). Spawning at a later time is done by scheduling the
+// injection on the World's simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace hpas::simanom {
+
+enum class SimCacheLevel { kL1 = 1, kL2 = 2, kL3 = 3 };
+
+/// cpuoccupy: a process burning `utilization_pct`% of one core with
+/// register-resident arithmetic (no cache/memory footprint).
+sim::Task* inject_cpuoccupy(sim::World& world, int node, int core,
+                            double utilization_pct, double duration_s);
+
+/// cachecopy: copies between two arrays sized to the chosen cache level
+/// (working set = level capacity x multiplier), evicting co-located
+/// applications' lines; negligible DRAM traffic while resident.
+sim::Task* inject_cachecopy(sim::World& world, int node, int core,
+                            SimCacheLevel level, double multiplier,
+                            double duration_s);
+
+/// membw: non-temporal streaming writes that bypass the caches and
+/// saturate the node's memory bandwidth from one core. `duty` in (0,1]
+/// scales the stream demand (the native generator's sleep-between-passes
+/// "rate" knob).
+sim::Task* inject_membw(sim::World& world, int node, int core,
+                        double duration_s, double duty = 1.0);
+
+/// memeater: allocates `step_bytes` every `step_interval_s` up to
+/// `max_bytes` (0 = keep growing for the whole duration), touches it,
+/// holds the plateau until the duration ends, then releases everything.
+sim::Task* inject_memeater(sim::World& world, int node, int core,
+                           double step_bytes, double max_bytes,
+                           double step_interval_s, double duration_s);
+
+/// memleak: leaks `chunk_bytes` every `chunk_interval_s` for the whole
+/// duration (footprint grows monotonically); released only at the end
+/// (process exit). `max_bytes` mirrors the native generator's --max-size
+/// safety cap (0 = leak until the node OOMs).
+sim::Task* inject_memleak(sim::World& world, int node, int core,
+                          double chunk_bytes, double chunk_interval_s,
+                          double duration_s, double max_bytes = 0.0);
+
+/// netoccupy: `ntasks` rank pairs streaming `message_bytes` messages from
+/// src_node to dst_node back-to-back (paper: 100 MB via shmem_putmem).
+std::vector<sim::Task*> inject_netoccupy(sim::World& world, int src_node,
+                                         int dst_node, int ntasks,
+                                         double message_bytes,
+                                         double duration_s);
+
+/// iometadata: `ntasks` clients on `node` hammering the metadata server
+/// with create/write-1-char/close/unlink loops.
+std::vector<sim::Task*> inject_iometadata(sim::World& world, int node,
+                                          int ntasks, double duration_s);
+
+/// iobandwidth: `ntasks` clients on `node` running dd-style file copy
+/// chains (alternating large reads and writes) against the shared
+/// filesystem.
+std::vector<sim::Task*> inject_iobandwidth(sim::World& world, int node,
+                                           int ntasks, double file_bytes,
+                                           double duration_s);
+
+/// OS jitter (paper Sec. 3.1: cpuoccupy "can emulate OS jitter by setting
+/// the consumed CPU time to a low value"): short full-demand bursts with
+/// exponentially distributed gaps, i.e. a daemon/interrupt storm. Unlike
+/// the steady cpuoccupy duty cycle, the bursts hit random points of the
+/// victim's compute phases, which is what makes jitter *amplify* at
+/// barriers as job size grows.
+sim::Task* inject_os_jitter(sim::World& world, int node, int core,
+                            double burst_s, double mean_gap_s,
+                            double duration_s, std::uint64_t seed);
+
+/// Table-1-style dispatcher used by dataset generation: injects anomaly
+/// `name` with representative default knobs on `node`. Returns the tasks.
+std::vector<sim::Task*> inject_by_name(sim::World& world,
+                                       const std::string& name, int node,
+                                       int core, double duration_s,
+                                       double intensity = 1.0);
+
+}  // namespace hpas::simanom

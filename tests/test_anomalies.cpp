@@ -1,0 +1,286 @@
+// Tests for the native anomaly generators. Durations are kept short
+// (<= ~0.5 s each) so the suite stays fast while still proving each
+// generator does real work on the host.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "anomalies/cache_topology.hpp"
+#include "anomalies/cachecopy.hpp"
+#include "anomalies/cpuoccupy.hpp"
+#include "anomalies/iobandwidth.hpp"
+#include "anomalies/iometadata.hpp"
+#include "anomalies/membw.hpp"
+#include "anomalies/memeater.hpp"
+#include "anomalies/memleak.hpp"
+#include "anomalies/netoccupy.hpp"
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir() {
+  return fs::temp_directory_path().string();
+}
+
+TEST(CacheTopology, ParseLevels) {
+  EXPECT_EQ(parse_cache_level("L1"), CacheLevel::kL1);
+  EXPECT_EQ(parse_cache_level("l2"), CacheLevel::kL2);
+  EXPECT_EQ(parse_cache_level("3"), CacheLevel::kL3);
+  EXPECT_THROW(parse_cache_level("L4"), ConfigError);
+  EXPECT_THROW(parse_cache_level(""), ConfigError);
+}
+
+TEST(CacheTopology, FallbackDefaultsAreSane) {
+  const CacheTopology topo = detect_cache_topology("/nonexistent");
+  EXPECT_FALSE(topo.detected);
+  EXPECT_EQ(topo.l1_bytes, 32u * 1024);
+  EXPECT_LT(topo.l1_bytes, topo.l2_bytes);
+  EXPECT_LT(topo.l2_bytes, topo.l3_bytes);
+}
+
+TEST(CacheTopology, DetectsFromSysfsWhenPresent) {
+  const std::string sysfs = "/sys/devices/system/cpu/cpu0/cache";
+  if (!fs::is_directory(sysfs)) GTEST_SKIP();
+  const CacheTopology topo = detect_cache_topology(sysfs);
+  EXPECT_TRUE(topo.detected);
+  EXPECT_GT(topo.l1_bytes, 0u);
+}
+
+TEST(CpuOccupy, RunsForRequestedDuration) {
+  CpuOccupyOptions opts;
+  opts.common.duration_s = 0.3;
+  opts.utilization_pct = 100.0;
+  CpuOccupy anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.work_amount, 0.0);
+  EXPECT_GE(stats.elapsed_seconds, 0.29);
+  EXPECT_LT(stats.elapsed_seconds, 2.0);
+}
+
+TEST(CpuOccupy, LowUtilizationSleepsMostOfThePeriod) {
+  CpuOccupyOptions opts;
+  opts.common.duration_s = 0.4;
+  opts.utilization_pct = 10.0;
+  opts.period_s = 0.05;
+  CpuOccupy anomaly(opts);
+  const RunStats stats = anomaly.run();
+  // Active (busy) time should be well under half the wall time at 10%.
+  EXPECT_LT(stats.active_seconds / stats.elapsed_seconds, 0.5);
+}
+
+TEST(CpuOccupy, ChecksumChangesWithSeed) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    CpuOccupyOptions opts;
+    opts.common.duration_s = 0.05;
+    opts.common.seed = seed;
+    CpuOccupy anomaly(opts);
+    anomaly.run();
+    return anomaly.checksum();
+  };
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+TEST(CpuOccupy, RejectsBadOptions) {
+  CpuOccupyOptions opts;
+  opts.utilization_pct = 101.0;
+  EXPECT_THROW(CpuOccupy{opts}, InvariantError);
+  opts.utilization_pct = 50.0;
+  opts.period_s = 0.0;
+  EXPECT_THROW(CpuOccupy{opts}, InvariantError);
+}
+
+TEST(Anomaly, StartDelayHonored) {
+  CpuOccupyOptions opts;
+  opts.common.duration_s = 0.1;
+  opts.common.start_delay_s = 0.2;
+  CpuOccupy anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GE(stats.elapsed_seconds, 0.28);
+}
+
+TEST(Anomaly, StopRequestEndsRunEarly) {
+  CpuOccupyOptions opts;
+  opts.common.duration_s = 0.0;  // unlimited
+  CpuOccupy anomaly(opts);
+  std::thread stopper([&anomaly] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    anomaly.request_stop();
+  });
+  const RunStats stats = anomaly.run();
+  stopper.join();
+  EXPECT_LT(stats.elapsed_seconds, 5.0);
+}
+
+TEST(CacheCopy, ArraySizingFollowsLevelAndMultiplier) {
+  CacheCopyOptions opts;
+  opts.level = CacheLevel::kL2;
+  opts.multiplier = 1.0;
+  opts.topology = CacheTopology{};  // defaults: L2 = 256K
+  CacheCopy anomaly(opts);
+  EXPECT_EQ(anomaly.array_bytes(), 128u * 1024);  // half the level
+
+  opts.multiplier = 2.0;
+  CacheCopy doubled(opts);
+  EXPECT_EQ(doubled.array_bytes(), 256u * 1024);
+}
+
+TEST(CacheCopy, CopiesBytes) {
+  CacheCopyOptions opts;
+  opts.common.duration_s = 0.2;
+  opts.level = CacheLevel::kL1;
+  CacheCopy anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 100u);  // L1-sized copies are fast
+  EXPECT_DOUBLE_EQ(stats.work_amount,
+                   static_cast<double>(stats.iterations) *
+                       static_cast<double>(anomaly.array_bytes()));
+}
+
+TEST(MemBw, TransposesWithNonTemporalStores) {
+  MemBwOptions opts;
+  opts.common.duration_s = 0.25;
+  opts.matrix_bytes = 2 * 1024 * 1024;
+  MemBw anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.work_amount, 0.0);
+#if defined(__SSE2__) && defined(__x86_64__)
+  EXPECT_TRUE(MemBw::uses_nontemporal_stores());
+#endif
+}
+
+TEST(MemBw, DimensionFromBytes) {
+  MemBwOptions opts;
+  opts.matrix_bytes = 8ULL * 1024 * 1024;  // 1M doubles -> 1024x1024
+  MemBw anomaly(opts);
+  EXPECT_EQ(anomaly.dimension(), 1024u);
+}
+
+TEST(MemEater, GrowsByStepsAndReleases) {
+  MemEaterOptions opts;
+  opts.common.duration_s = 0.35;
+  opts.step_bytes = 1024 * 1024;
+  opts.sleep_between_steps_s = 0.05;
+  MemEater anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 2u);
+  EXPECT_GT(stats.work_amount, 2.0 * 1024 * 1024);  // grew at least twice
+  EXPECT_EQ(anomaly.allocated_bytes(), 0u);         // released on teardown
+}
+
+TEST(MemEater, RespectsMaxSize) {
+  MemEaterOptions opts;
+  opts.common.duration_s = 0.3;
+  opts.step_bytes = 1024 * 1024;
+  opts.max_bytes = 2 * 1024 * 1024;
+  opts.sleep_between_steps_s = 0.02;
+  MemEater anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_LE(stats.work_amount, 2.0 * 1024 * 1024 + 1);
+}
+
+TEST(MemLeak, FootprintGrowsMonotonically) {
+  MemLeakOptions opts;
+  opts.common.duration_s = 0.3;
+  opts.chunk_bytes = 512 * 1024;
+  opts.sleep_between_chunks_s = 0.02;
+  MemLeak anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 5u);
+  // work_amount reports the cumulative leak, which only grows.
+  EXPECT_GT(stats.work_amount, 5.0 * 512 * 1024);
+}
+
+TEST(MemLeak, CapStopsGrowth) {
+  MemLeakOptions opts;
+  opts.common.duration_s = 0.25;
+  opts.chunk_bytes = 512 * 1024;
+  opts.max_bytes = 1024 * 1024;
+  opts.sleep_between_chunks_s = 0.01;
+  MemLeak anomaly(opts);
+  const RunStats stats = anomaly.run();
+  EXPECT_LE(stats.work_amount, 1024.0 * 1024 + 1);
+}
+
+TEST(NetOccupy, LoopbackMovesBytes) {
+  NetOccupyOptions opts;
+  opts.common.duration_s = 0.5;
+  opts.mode = NetMode::kLoopback;
+  opts.port = 18211;
+  opts.message_bytes = 256 * 1024;
+  NetOccupy anomaly(opts);
+  anomaly.run();
+  EXPECT_GT(anomaly.bytes_sent(), 1024u * 1024);
+  EXPECT_GT(anomaly.bytes_received(), 0u);
+}
+
+TEST(NetOccupy, MultipleTaskPairs) {
+  NetOccupyOptions opts;
+  opts.common.duration_s = 0.4;
+  opts.mode = NetMode::kLoopback;
+  opts.port = 18261;
+  opts.message_bytes = 128 * 1024;
+  opts.ntasks = 3;
+  NetOccupy anomaly(opts);
+  anomaly.run();
+  EXPECT_GT(anomaly.bytes_sent(), 3u * 128 * 1024);
+}
+
+TEST(NetOccupy, ParseModes) {
+  EXPECT_EQ(parse_net_mode("send"), NetMode::kSend);
+  EXPECT_EQ(parse_net_mode("recv"), NetMode::kRecv);
+  EXPECT_EQ(parse_net_mode("loopback"), NetMode::kLoopback);
+  EXPECT_THROW(parse_net_mode("bogus"), ConfigError);
+}
+
+TEST(IoMetadata, CreatesAndCleansUp) {
+  IoMetadataOptions opts;
+  opts.common.duration_s = 0.3;
+  opts.directory = temp_dir();
+  opts.files_per_iteration = 5;
+  IoMetadata anomaly(opts);
+  anomaly.run();
+  EXPECT_GT(anomaly.metadata_ops(), 10u);
+  // The per-task scratch directories must be gone afterwards.
+  for (const auto& entry : fs::directory_iterator(temp_dir())) {
+    EXPECT_EQ(entry.path().filename().string().rfind("hpas_iometadata_", 0),
+              std::string::npos)
+        << "leftover: " << entry.path();
+  }
+}
+
+TEST(IoBandwidth, WritesAndCleansUp) {
+  IoBandwidthOptions opts;
+  opts.common.duration_s = 0.4;
+  opts.directory = temp_dir();
+  opts.file_bytes = 4 * 1024 * 1024;
+  opts.block_bytes = 256 * 1024;
+  IoBandwidth anomaly(opts);
+  anomaly.run();
+  // At minimum the seed file was fully written; on an unloaded host the
+  // copy chain adds more, but CI machines may only just finish the seed.
+  EXPECT_GE(anomaly.bytes_written(), 4u * 1024 * 1024);
+  for (const auto& entry : fs::directory_iterator(temp_dir())) {
+    EXPECT_EQ(entry.path().filename().string().rfind("hpas_iobandwidth_", 0),
+              std::string::npos)
+        << "leftover: " << entry.path();
+  }
+}
+
+TEST(IoBandwidth, InvalidDirectoryFails) {
+  IoBandwidthOptions opts;
+  opts.common.duration_s = 0.1;
+  // A path *under a file* cannot be created even by root (ENOTDIR).
+  opts.directory = "/dev/null/sub";
+  IoBandwidth anomaly(opts);
+  EXPECT_THROW(anomaly.run(), SystemError);
+}
+
+}  // namespace
+}  // namespace hpas::anomalies

@@ -1,0 +1,103 @@
+// Tests for the anomaly registry / CLI factory layer (anomalies/suite.hpp).
+#include "anomalies/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+TEST(Catalog, HasAllEightAnomaliesInPaperOrder) {
+  const auto& catalog = anomaly_catalog();
+  ASSERT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog[0].name, "cpuoccupy");
+  EXPECT_EQ(catalog[1].name, "cachecopy");
+  EXPECT_EQ(catalog[2].name, "membw");
+  EXPECT_EQ(catalog[3].name, "memeater");
+  EXPECT_EQ(catalog[4].name, "memleak");
+  EXPECT_EQ(catalog[5].name, "netoccupy");
+  EXPECT_EQ(catalog[6].name, "iometadata");
+  EXPECT_EQ(catalog[7].name, "iobandwidth");
+}
+
+TEST(Catalog, EverySubsystemCovered) {
+  bool cpu = false, cache = false, memory = false, network = false,
+       storage = false;
+  for (const auto& info : anomaly_catalog()) {
+    cpu = cpu || info.subsystem == "CPU";
+    cache = cache || info.subsystem == "Cache hierarchy";
+    memory = memory || info.subsystem == "Memory";
+    network = network || info.subsystem == "Network";
+    storage = storage || info.subsystem == "Shared storage";
+  }
+  EXPECT_TRUE(cpu && cache && memory && network && storage);
+}
+
+TEST(Catalog, IsKnownAnomaly) {
+  EXPECT_TRUE(is_known_anomaly("membw"));
+  EXPECT_FALSE(is_known_anomaly("bogus"));
+  EXPECT_FALSE(is_known_anomaly(""));
+}
+
+TEST(Factory, EveryAnomalyConstructsFromDefaults) {
+  for (const auto& info : anomaly_catalog()) {
+    const auto parser = make_anomaly_parser(info.name);
+    const auto args = parser.parse({});
+    const auto anomaly = make_anomaly(info.name, args);
+    ASSERT_NE(anomaly, nullptr);
+    EXPECT_EQ(anomaly->name(), info.name);
+    // Common options applied from defaults.
+    EXPECT_DOUBLE_EQ(anomaly->common_options().duration_s, 10.0);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_anomaly_parser("bogus"), ConfigError);
+  ParsedArgs empty;
+  EXPECT_THROW(make_anomaly("bogus", empty), ConfigError);
+}
+
+TEST(Factory, KnobsReachTheGenerators) {
+  const auto parser = make_anomaly_parser("cpuoccupy");
+  const auto args = parser.parse({"-u", "37", "-d", "42s", "--seed", "99"});
+  const auto anomaly = make_anomaly("cpuoccupy", args);
+  EXPECT_DOUBLE_EQ(anomaly->common_options().duration_s, 42.0);
+  EXPECT_EQ(anomaly->common_options().seed, 99u);
+}
+
+TEST(Factory, InvalidKnobValuesSurfaceAsConfigErrors) {
+  const auto parser = make_anomaly_parser("cpuoccupy");
+  const auto args = parser.parse({"-u", "150"});
+  EXPECT_THROW(make_anomaly("cpuoccupy", args), ConfigError);
+}
+
+TEST(Factory, HelpTextListsTable1Knobs) {
+  EXPECT_NE(make_anomaly_parser("cachecopy").help_text().find("--multiplier"),
+            std::string::npos);
+  EXPECT_NE(make_anomaly_parser("netoccupy").help_text().find("--ntasks"),
+            std::string::npos);
+  EXPECT_NE(make_anomaly_parser("iobandwidth").help_text().find("--size"),
+            std::string::npos);
+}
+
+/// Parameterized: all 8 parsers accept the shared Table-1 options.
+class SuiteCommonOptions : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteCommonOptions, CommonKnobsParse) {
+  const auto parser = make_anomaly_parser(GetParam());
+  const auto args =
+      parser.parse({"--duration", "5s", "--start-delay", "1s", "--seed", "3"});
+  const auto anomaly = make_anomaly(GetParam(), args);
+  EXPECT_DOUBLE_EQ(anomaly->common_options().duration_s, 5.0);
+  EXPECT_DOUBLE_EQ(anomaly->common_options().start_delay_s, 1.0);
+  EXPECT_EQ(anomaly->common_options().seed, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAnomalies, SuiteCommonOptions,
+                         ::testing::Values("cpuoccupy", "cachecopy", "membw",
+                                           "memeater", "memleak", "netoccupy",
+                                           "iometadata", "iobandwidth"));
+
+}  // namespace
+}  // namespace hpas::anomalies

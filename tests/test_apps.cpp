@@ -1,0 +1,165 @@
+// Tests for the application layer: proxy profiles, BSP runtime, STREAM,
+// OSU bandwidth, and IOR.
+#include <gtest/gtest.h>
+
+#include "apps/bsp_app.hpp"
+#include "apps/ior.hpp"
+#include "apps/osu_bw.hpp"
+#include "apps/profiles.hpp"
+#include "apps/stream.hpp"
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpas::apps {
+namespace {
+
+TEST(Profiles, AllEightAppsPresent) {
+  EXPECT_EQ(proxy_apps().size(), 8u);
+  EXPECT_NO_THROW(app_by_name("miniGhost"));
+  EXPECT_NO_THROW(app_by_name("sw4lite"));
+  EXPECT_THROW(app_by_name("nonexistent"), hpas::ConfigError);
+}
+
+TEST(Profiles, Table2FlagsMatchPaper) {
+  EXPECT_TRUE(app_by_name("CoMD").cpu_intensive);
+  EXPECT_FALSE(app_by_name("CoMD").memory_intensive);
+  EXPECT_TRUE(app_by_name("milc").network_intensive);
+  EXPECT_TRUE(app_by_name("kripke").cpu_intensive);
+  EXPECT_TRUE(app_by_name("kripke").memory_intensive);
+  EXPECT_FALSE(app_by_name("cloverleaf").cpu_intensive);
+  EXPECT_TRUE(app_by_name("cloverleaf").memory_intensive);
+}
+
+TEST(BspApp, RunsToCompletionAndCountsIterations) {
+  auto world = sim::make_voltrino_world();
+  AppSpec spec = app_by_name("CoMD");
+  spec.iterations = 10;
+  BspApp app(*world, spec, {.nodes = {0}, .ranks_per_node = 2,
+                            .first_core = 0});
+  const double elapsed = app.run_to_completion();
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.completed_iterations(), 10);
+  EXPECT_GT(elapsed, 0.0);
+}
+
+TEST(BspApp, MoreIterationsTakeProportionallyLonger) {
+  auto run_iters = [](int iters) {
+    auto world = sim::make_voltrino_world();
+    AppSpec spec = app_by_name("miniMD");
+    spec.iterations = iters;
+    BspApp app(*world, spec, {.nodes = {0}, .ranks_per_node = 4,
+                              .first_core = 0});
+    return app.run_to_completion();
+  };
+  const double t10 = run_iters(10);
+  const double t20 = run_iters(20);
+  EXPECT_NEAR(t20 / t10, 2.0, 0.05);
+}
+
+TEST(BspApp, SlowestRankGatesTheBarrier) {
+  // A competing task on rank 0's core halves that rank; the whole app
+  // must slow by ~2x, not 1/8 of 2x.
+  auto baseline = [] {
+    auto world = sim::make_voltrino_world();
+    AppSpec spec = app_by_name("miniMD");
+    spec.iterations = 20;
+    BspApp app(*world, spec, {.nodes = {0}, .ranks_per_node = 4,
+                              .first_core = 0});
+    return app.run_to_completion();
+  }();
+  auto contended = [] {
+    auto world = sim::make_voltrino_world();
+    world->spawn_task("hog", 0, 0, sim::TaskProfile{},
+                      sim::Phase::compute(1e15),
+                      [](sim::Task&) { return sim::Phase::done(); });
+    AppSpec spec = app_by_name("miniMD");
+    spec.iterations = 20;
+    BspApp app(*world, spec, {.nodes = {0}, .ranks_per_node = 4,
+                              .first_core = 0});
+    return app.run_to_completion();
+  }();
+  EXPECT_GT(contended / baseline, 1.7);
+}
+
+TEST(BspApp, MultiNodeCommunicationFlowsOverNic) {
+  auto world = sim::make_voltrino_world();
+  AppSpec spec = app_by_name("miniGhost");
+  spec.iterations = 5;
+  BspApp app(*world, spec, {.nodes = {0, 4}, .ranks_per_node = 2,
+                            .first_core = 0});
+  app.run_to_completion();
+  EXPECT_GT(world->node(0).counters().nic_tx_bytes, 0.0);
+}
+
+TEST(BspApp, ValidatesPlacement) {
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(BspApp(*world, app_by_name("CoMD"),
+                      {.nodes = {}, .ranks_per_node = 4, .first_core = 0}),
+               hpas::InvariantError);
+}
+
+TEST(Stream, MeasuresCoreLimitWhenAlone) {
+  auto world = sim::make_voltrino_world();
+  StreamBench stream(*world, {.node = 0, .core = 0,
+                              .bytes_per_pass = 1.0e9, .passes = 5});
+  const double best = stream.run_to_completion();
+  EXPECT_NEAR(best, world->node(0).config().core_bw_limit, 1e6);
+  EXPECT_EQ(stream.pass_rates().size(), 5u);
+}
+
+TEST(Stream, ValidatesOptions) {
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(StreamBench(*world, {.node = 0, .core = 0,
+                                    .bytes_per_pass = 1e9, .passes = 0}),
+               hpas::InvariantError);
+}
+
+TEST(OsuBw, BandwidthGrowsWithMessageSize) {
+  auto world = sim::make_voltrino_world();
+  OsuBandwidth osu(*world, {.src_node = 0,
+                            .dst_node = 4,
+                            .message_sizes = {16e3, 1e6, 8e6},
+                            .window = 8,
+                            .msg_latency_s = 15e-6});
+  osu.run_to_completion();
+  ASSERT_EQ(osu.results().size(), 3u);
+  EXPECT_LT(osu.results()[0], osu.results()[1]);
+  EXPECT_LT(osu.results()[1], osu.results()[2]);
+  // Large messages approach the NIC rate.
+  EXPECT_GT(osu.results()[2], 0.8 * 10e9);
+}
+
+TEST(OsuBw, SmallMessagesLatencyBound) {
+  auto world = sim::make_voltrino_world();
+  OsuBandwidth osu(*world, {.src_node = 0,
+                            .dst_node = 1,
+                            .message_sizes = {16e3},
+                            .window = 8,
+                            .msg_latency_s = 15e-6});
+  osu.run_to_completion();
+  // bw ~= S / (latency + S/rate) = 16e3/(15e-6 + 1.6e-6) ~= 0.96 GB/s.
+  EXPECT_NEAR(osu.results()[0], 16e3 / (15e-6 + 16e3 / 10e9), 0.05e9);
+}
+
+TEST(Ior, ReportsAllThreePhases) {
+  auto world = sim::make_chameleon_world();
+  IorBench ior(*world, {.node = 0,
+                        .write_bytes = 100e6,
+                        .metadata_ops = 1000,
+                        .read_bytes = 100e6});
+  ior.run_to_completion();
+  EXPECT_TRUE(ior.finished());
+  EXPECT_NEAR(ior.write_rate(), 300e6, 1e6);
+  EXPECT_NEAR(ior.read_rate(), 330e6, 1e6);
+  EXPECT_NEAR(ior.access_rate(), 3000, 10);
+}
+
+TEST(Ior, ValidatesOptions) {
+  auto world = sim::make_chameleon_world();
+  EXPECT_THROW(IorBench(*world, {.node = 0, .write_bytes = 0,
+                                 .metadata_ops = 1, .read_bytes = 1}),
+               hpas::InvariantError);
+}
+
+}  // namespace
+}  // namespace hpas::apps

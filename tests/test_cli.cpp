@@ -1,0 +1,116 @@
+// Tests for the CLI option parser (common/cli.hpp).
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpas {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test", "test program");
+  parser
+      .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
+            .help = "a size", .default_value = "64K", .required = false})
+      .add({.long_name = "verbose", .short_name = 'v', .value_name = "",
+            .help = "a flag", .default_value = std::nullopt,
+            .required = false})
+      .add({.long_name = "mode", .short_name = '\0', .value_name = "MODE",
+            .help = "required", .default_value = std::nullopt,
+            .required = true});
+  return parser;
+}
+
+TEST(Cli, LongOptionsWithSeparateValue) {
+  const auto args = make_parser().parse({"--mode", "fast", "--size", "1M"});
+  EXPECT_EQ(args.value("mode"), "fast");
+  EXPECT_EQ(args.value("size"), "1M");
+}
+
+TEST(Cli, LongOptionsWithEqualsValue) {
+  const auto args = make_parser().parse({"--mode=slow", "--size=2M"});
+  EXPECT_EQ(args.value("mode"), "slow");
+  EXPECT_EQ(args.value("size"), "2M");
+}
+
+TEST(Cli, ShortOptions) {
+  const auto args = make_parser().parse({"--mode", "x", "-s", "4K", "-v"});
+  EXPECT_EQ(args.value("size"), "4K");
+  EXPECT_TRUE(args.flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplied) {
+  const auto args = make_parser().parse({"--mode", "x"});
+  EXPECT_EQ(args.value("size"), "64K");
+  EXPECT_FALSE(args.flag("verbose"));
+}
+
+TEST(Cli, MissingRequiredThrows) {
+  EXPECT_THROW(make_parser().parse({"-s", "1K"}), ConfigError);
+}
+
+TEST(Cli, HelpSuppressesRequiredCheck) {
+  const auto args = make_parser().parse({"--help"});
+  EXPECT_TRUE(args.flag("help"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  EXPECT_THROW(make_parser().parse({"--mode", "x", "--bogus"}), ConfigError);
+  EXPECT_THROW(make_parser().parse({"--mode", "x", "-z"}), ConfigError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(make_parser().parse({"--mode"}), ConfigError);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  EXPECT_THROW(make_parser().parse({"--mode", "x", "--verbose=yes"}),
+               ConfigError);
+}
+
+TEST(Cli, PositionalAndDoubleDash) {
+  const auto args =
+      make_parser().parse({"--mode", "x", "pos1", "--", "--size", "-v"});
+  ASSERT_EQ(args.positional().size(), 3u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "--size");  // after --, options are literal
+  EXPECT_EQ(args.positional()[2], "-v");
+  EXPECT_EQ(args.value("size"), "64K");  // default, not consumed
+}
+
+TEST(Cli, BundledShortOptionsRejected) {
+  EXPECT_THROW(make_parser().parse({"--mode", "x", "-sv"}), ConfigError);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser parser("p", "d");
+  parser.add({.long_name = "x", .short_name = 'x', .value_name = "V",
+              .help = "", .default_value = std::nullopt, .required = false});
+  EXPECT_THROW(
+      parser.add({.long_name = "x", .short_name = '\0', .value_name = "V",
+                  .help = "", .default_value = std::nullopt,
+                  .required = false}),
+      InvariantError);
+  EXPECT_THROW(
+      parser.add({.long_name = "y", .short_name = 'x', .value_name = "V",
+                  .help = "", .default_value = std::nullopt,
+                  .required = false}),
+      InvariantError);
+}
+
+TEST(Cli, HelpTextMentionsOptionsAndDefaults) {
+  const std::string help = make_parser().help_text();
+  EXPECT_NE(help.find("--size"), std::string::npos);
+  EXPECT_NE(help.find("[default: 64K]"), std::string::npos);
+  EXPECT_NE(help.find("(required)"), std::string::npos);
+}
+
+TEST(Cli, ValueOrNone) {
+  const auto args = make_parser().parse({"--mode", "x"});
+  EXPECT_TRUE(args.value_or_none("size").has_value());
+  EXPECT_FALSE(args.value_or_none("nonexistent").has_value());
+}
+
+}  // namespace
+}  // namespace hpas

@@ -1,0 +1,78 @@
+// Tests for RingBuffer and Stopwatch (common/).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hpas {
+namespace {
+
+TEST(RingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+  EXPECT_EQ(rb.back(), 4);
+}
+
+TEST(RingBuffer, ToVectorPreservesOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBuffer, IndexOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW(rb[1], InvariantError);
+  EXPECT_NO_THROW(rb[0]);
+}
+
+TEST(RingBuffer, BackOnEmptyThrows) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.back(), InvariantError);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb[0], 9);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), InvariantError);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = sw.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);  // generous upper bound for loaded CI hosts
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace hpas

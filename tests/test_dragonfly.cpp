@@ -1,0 +1,101 @@
+// Tests for the dragonfly-lite topology.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "sim/network.hpp"
+
+namespace hpas::sim {
+namespace {
+
+// 2 groups x 2 routers x 2 nodes = 8 nodes, 4 routers.
+Topology small_dragonfly() {
+  return Topology::dragonfly(2, 2, 2, 10e9, 20e9, 15e9);
+}
+
+std::unique_ptr<Task> message_task(int src, int dst) {
+  TaskProfile profile;
+  auto task = std::make_unique<Task>("msg", src, 0, profile,
+                                     [](Task&) { return Phase::done(); });
+  task->set_phase(Phase::message(dst, 1e9));
+  return task;
+}
+
+TEST(Dragonfly, Shape) {
+  const Topology topo = small_dragonfly();
+  EXPECT_EQ(topo.num_nodes, 8);
+  EXPECT_EQ(topo.num_switches, 4);
+  // 8 NIC + 2 local (1 per group) + 1 global.
+  EXPECT_EQ(topo.trunks.size(), 11u);
+}
+
+TEST(Dragonfly, LargerInstanceTrunkCount) {
+  // 4 groups x 4 routers x 2 nodes: 32 NIC + 4*C(4,2)=24 local +
+  // C(4,2)=6 global.
+  const Topology topo = Topology::dragonfly(4, 4, 2, 1, 1, 1);
+  EXPECT_EQ(topo.num_nodes, 32);
+  EXPECT_EQ(topo.trunks.size(), 32u + 24u + 6u);
+}
+
+TEST(Dragonfly, PathLengths) {
+  Network net(small_dragonfly());
+  // Same router: node -> router -> node.
+  EXPECT_EQ(net.path(0, 1).size(), 2u);
+  // Same group, different router: + one local hop.
+  EXPECT_EQ(net.path(0, 2).size(), 3u);
+  // Different group: at most nic + local + global + local + nic.
+  EXPECT_LE(net.path(0, 7).size(), 5u);
+  EXPECT_GE(net.path(0, 7).size(), 3u);
+}
+
+TEST(Dragonfly, GlobalTrunkIsTheInterGroupBottleneck) {
+  // Saturate the global link with several cross-group flows: their sum
+  // must not exceed the global capacity.
+  Network net(Topology::dragonfly(2, 2, 4, 10e9, 40e9, 15e9));
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<Flow> flows;
+  // Group 0 nodes: 0..7, group 1 nodes: 8..15.
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(message_task(i, 8 + i));
+    flows.push_back({tasks.back().get(), i, 8 + i, 0.0});
+  }
+  net.compute_rates(flows);
+  double total = 0.0;
+  for (const Flow& flow : flows) {
+    EXPECT_GT(flow.rate, 0.0);
+    total += flow.rate;
+  }
+  EXPECT_LE(total, 15e9 + 1.0);
+  EXPECT_GT(total, 14e9);  // and it is actually saturated
+}
+
+TEST(Dragonfly, IntraGroupTrafficAvoidsGlobalLinks) {
+  Network net(Topology::dragonfly(2, 2, 4, 10e9, 40e9, 15e9));
+  auto cross = message_task(0, 8);   // inter-group
+  auto local = message_task(1, 4);   // intra-group, different router
+  std::vector<Flow> flows = {{cross.get(), 0, 8, 0.0},
+                             {local.get(), 1, 4, 0.0}};
+  net.compute_rates(flows);
+  // Both are NIC-limited: no shared bottleneck between them.
+  EXPECT_NEAR(flows[0].rate, 10e9, 1.0);
+  EXPECT_NEAR(flows[1].rate, 10e9, 1.0);
+}
+
+TEST(Dragonfly, ValidatesDimensions) {
+  EXPECT_THROW(Topology::dragonfly(0, 1, 1, 1, 1, 1), InvariantError);
+  EXPECT_THROW(Topology::dragonfly(1, 0, 1, 1, 1, 1), InvariantError);
+  EXPECT_THROW(Topology::dragonfly(1, 1, 0, 1, 1, 1), InvariantError);
+}
+
+TEST(Dragonfly, ConnectedForVariousSizes) {
+  // Building a Network verifies connectivity (throws otherwise).
+  for (const auto& [g, r, n] :
+       std::vector<std::tuple<int, int, int>>{{1, 1, 2}, {2, 1, 1},
+                                              {3, 2, 2}, {4, 4, 2}}) {
+    EXPECT_NO_THROW(Network(Topology::dragonfly(g, r, n, 1e9, 2e9, 1e9)));
+  }
+}
+
+}  // namespace
+}  // namespace hpas::sim

@@ -1,0 +1,81 @@
+// Tests for statistical feature extraction (metrics/features.hpp).
+#include "metrics/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace hpas::metrics {
+namespace {
+
+TEST(Features, StatisticNamesAndCountAgree) {
+  EXPECT_EQ(feature_statistic_names().size(), features_per_metric());
+  EXPECT_EQ(features_per_metric(), 12u);
+}
+
+TEST(Features, EmptySeriesYieldsZeros) {
+  const auto f = extract_series_features({});
+  ASSERT_EQ(f.size(), features_per_metric());
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Features, KnownSeriesValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto f = extract_series_features(xs);
+  // Order: mean std min max p05 p25 p50 p75 p95 skew kurt slope.
+  EXPECT_DOUBLE_EQ(f[0], 3.0);                       // mean
+  EXPECT_NEAR(f[1], std::sqrt(2.5), 1e-12);          // sample std
+  EXPECT_DOUBLE_EQ(f[2], 1.0);                       // min
+  EXPECT_DOUBLE_EQ(f[3], 5.0);                       // max
+  EXPECT_DOUBLE_EQ(f[6], 3.0);                       // median
+  EXPECT_NEAR(f[9], 0.0, 1e-12);                     // symmetric -> skew 0
+  EXPECT_NEAR(f[11], 1.0, 1e-12);                    // slope
+}
+
+TEST(Features, SlopeSeparatesLeakFromPlateau) {
+  // The memleak-vs-memeater discriminator (see features.hpp docs).
+  std::vector<double> leak, plateau;
+  for (int i = 0; i < 60; ++i) {
+    leak.push_back(1000.0 + 20.0 * i);
+    plateau.push_back(i < 5 ? 1000.0 + 200.0 * i : 2000.0);
+  }
+  const auto f_leak = extract_series_features(leak);
+  const auto f_plateau = extract_series_features(plateau);
+  EXPECT_GT(f_leak[11], 3.0 * std::abs(f_plateau[11]));
+}
+
+TEST(Features, StoreExtractionAlignsAndNames) {
+  MetricStore store;
+  for (int t = 0; t < 10; ++t) {
+    store.record({"a", "s"}, t, t * 1.0);
+    store.record({"b", "s"}, t, 5.0);
+  }
+  const std::vector<MetricId> ids = {{"a", "s"}, {"b", "s"}, {"missing", "s"}};
+  std::vector<std::string> names;
+  const auto f = extract_features(store, ids, 0.0, 10.0, &names);
+  ASSERT_EQ(f.size(), 3 * features_per_metric());
+  ASSERT_EQ(names.size(), f.size());
+  EXPECT_EQ(names[0], "a::s#mean");
+  EXPECT_EQ(names[features_per_metric()], "b::s#mean");
+  // Metric b: constant 5 -> mean 5, std 0.
+  EXPECT_DOUBLE_EQ(f[features_per_metric() + 0], 5.0);
+  EXPECT_DOUBLE_EQ(f[features_per_metric() + 1], 0.0);
+  // Missing metric contributes zeros, keeping vectors aligned.
+  for (std::size_t i = 2 * features_per_metric(); i < f.size(); ++i)
+    EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(Features, WindowingRespected) {
+  MetricStore store;
+  for (int t = 0; t < 10; ++t) store.record({"a", "s"}, t, t < 5 ? 0.0 : 100.0);
+  const std::vector<MetricId> ids = {{"a", "s"}};
+  const auto early = extract_features(store, ids, 0.0, 5.0);
+  const auto late = extract_features(store, ids, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(early[0], 0.0);
+  EXPECT_DOUBLE_EQ(late[0], 100.0);
+}
+
+}  // namespace
+}  // namespace hpas::metrics

@@ -1,0 +1,116 @@
+// Tests for the extension features: the OS-jitter injector and the
+// generalized WeightedCpPolicy.
+#include <gtest/gtest.h>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "common/error.hpp"
+#include "sched/policies.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace hpas {
+namespace {
+
+TEST(OsJitter, AverageLoadMatchesDutyParameters) {
+  auto world = sim::make_voltrino_world();
+  // 2 ms bursts, 98 ms mean gap => ~2% of one core.
+  simanom::inject_os_jitter(*world, 0, 0, 0.002, 0.098, 200.0, 42);
+  world->run_until(200.5);
+  const double busy = world->node(0).counters().cpu_sys_seconds;
+  EXPECT_NEAR(busy / 200.0, 0.02, 0.008);
+}
+
+TEST(OsJitter, AccountsAsSystemTime) {
+  auto world = sim::make_voltrino_world();
+  simanom::inject_os_jitter(*world, 0, 0, 0.005, 0.05, 20.0, 7);
+  world->run_until(21.0);
+  EXPECT_GT(world->node(0).counters().cpu_sys_seconds, 0.5);
+  EXPECT_NEAR(world->node(0).counters().cpu_user_seconds, 0.0, 1e-9);
+}
+
+TEST(OsJitter, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    auto world = sim::make_voltrino_world();
+    simanom::inject_os_jitter(*world, 0, 0, 0.002, 0.1, 50.0, 1234);
+    world->run_until(51.0);
+    return world->node(0).counters().cpu_sys_seconds;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(OsJitter, StopsAtDeadline) {
+  auto world = sim::make_voltrino_world();
+  sim::Task* task = simanom::inject_os_jitter(*world, 0, 0, 0.002, 0.1,
+                                              5.0, 9);
+  world->run_until(20.0);
+  EXPECT_TRUE(task->done());
+}
+
+TEST(OsJitter, ValidatesParameters) {
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(simanom::inject_os_jitter(*world, 0, 0, 0.0, 0.1, 1.0, 1),
+               InvariantError);
+  EXPECT_THROW(simanom::inject_os_jitter(*world, 0, 0, 0.001, 0.0, 1.0, 1),
+               InvariantError);
+}
+
+TEST(OsJitter, SlowsBarrierSynchronizedJobs) {
+  auto run_job = [](bool with_jitter) {
+    sim::NodeConfig config;
+    config.cores = 32;
+    sim::World world(config, sim::Topology::star(1, 10e9), sim::FsConfig{});
+    if (with_jitter) {
+      for (int core = 0; core < 16; ++core) {
+        simanom::inject_os_jitter(world, 0, core, 0.002, 0.05, 1e6,
+                                  100u + static_cast<unsigned>(core));
+      }
+    }
+    apps::AppSpec spec = apps::app_by_name("CoMD");
+    spec.iterations = 50;
+    spec.comm_bytes_per_iteration = 0;
+    apps::BspApp app(world, spec, {.nodes = {0}, .ranks_per_node = 16,
+                                   .first_core = 0});
+    return app.run_to_completion();
+  };
+  EXPECT_GT(run_job(true), run_job(false) * 1.02);
+}
+
+TEST(WeightedCp, ExtremesSelectDifferently) {
+  // Node 0: fresh hog (current high, avg clean). Node 1: old hog
+  // (current clean, avg high). Node 2: clean.
+  const std::vector<sched::NodeStatus> status = {
+      {0, 0.5, 0.0, 100e9},
+      {1, 0.0, 0.5, 100e9},
+      {2, 0.05, 0.05, 100e9},
+  };
+  const sched::WeightedCpPolicy current_only(1.0);
+  const sched::WeightedCpPolicy history_only(0.0);
+  // Current-only forgives node 1, blames node 0.
+  EXPECT_EQ(current_only.select_nodes(status, 2),
+            (std::vector<int>{1, 2}));
+  // History-only forgives node 0, blames node 1.
+  EXPECT_EQ(history_only.select_nodes(status, 2),
+            (std::vector<int>{0, 2}));
+}
+
+TEST(WeightedCp, DefaultWeightMatchesWbas) {
+  const sched::NodeStatus node{0, 0.3, 0.6, 50.0};
+  const sched::WeightedCpPolicy blended(5.0 / 6.0);
+  EXPECT_NEAR(blended.computing_capacity(node),
+              sched::WbasPolicy::computing_capacity(node), 1e-12);
+}
+
+TEST(WeightedCp, Validates) {
+  EXPECT_THROW(sched::WeightedCpPolicy(-0.1), InvariantError);
+  EXPECT_THROW(sched::WeightedCpPolicy(1.1), InvariantError);
+  const sched::WeightedCpPolicy policy(0.5);
+  EXPECT_THROW(policy.select_nodes({}, 1), ConfigError);
+}
+
+TEST(WeightedCp, NameEncodesWeight) {
+  EXPECT_EQ(sched::WeightedCpPolicy(0.25).name(), "CP(w=0.25)");
+}
+
+}  // namespace
+}  // namespace hpas

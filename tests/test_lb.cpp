@@ -1,0 +1,129 @@
+// Tests for the load-balancing runtime (paper Sec. 5.3).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "lb/balancers.hpp"
+#include "lb/stencil.hpp"
+
+namespace hpas::lb {
+namespace {
+
+TEST(SpreadCpuOccupy, FullAndFractionalCores) {
+  const auto spread = spread_cpuoccupy(250.0, 4);
+  ASSERT_EQ(spread.size(), 4u);
+  EXPECT_DOUBLE_EQ(spread[0], 1.0);
+  EXPECT_DOUBLE_EQ(spread[1], 1.0);
+  EXPECT_DOUBLE_EQ(spread[2], 0.5);
+  EXPECT_DOUBLE_EQ(spread[3], 0.0);
+}
+
+TEST(SpreadCpuOccupy, ZeroAndFullRange) {
+  for (const double d : spread_cpuoccupy(0.0, 8)) EXPECT_DOUBLE_EQ(d, 0.0);
+  for (const double d : spread_cpuoccupy(800.0, 8)) EXPECT_DOUBLE_EQ(d, 1.0);
+  EXPECT_THROW(spread_cpuoccupy(801.0, 8), hpas::InvariantError);
+  EXPECT_THROW(spread_cpuoccupy(-1.0, 8), hpas::InvariantError);
+}
+
+TEST(Capacities, ProportionalShareFormula) {
+  const auto caps = capacities_from_background({0.0, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(caps[0], 1.0);
+  EXPECT_DOUBLE_EQ(caps[1], 0.5);
+  EXPECT_DOUBLE_EQ(caps[2], 1.0 / 1.5);
+}
+
+TEST(LbObjOnly, DealsEqualCounts) {
+  const LbObjOnly balancer;
+  const ObjectLoads objects(12, 1.0);
+  const CoreCapacities caps(4, 1.0);
+  const auto assignment = balancer.assign(objects, caps);
+  std::vector<int> counts(4, 0);
+  for (const int core : assignment) ++counts[static_cast<std::size_t>(core)];
+  for (const int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(GreedyRefine, MovesWorkOffSlowCores) {
+  const GreedyRefineLb balancer;
+  const ObjectLoads objects(8, 1.0);
+  CoreCapacities caps = {1.0, 1.0, 1.0, 0.25};  // one crippled core
+  const auto assignment = balancer.assign(objects, caps);
+  std::vector<double> load(4, 0.0);
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    load[static_cast<std::size_t>(assignment[i])] += objects[i];
+  // The crippled core gets less work than the healthy ones.
+  EXPECT_LT(load[3], load[0]);
+}
+
+TEST(IterationTime, MaxOverCores) {
+  const ObjectLoads objects = {1.0, 1.0, 2.0};
+  const CoreCapacities caps = {1.0, 0.5};
+  const std::vector<int> assignment = {0, 0, 1};
+  // core 0: 2.0/1.0 = 2.0; core 1: 2.0/0.5 = 4.0.
+  EXPECT_DOUBLE_EQ(iteration_time(assignment, objects, caps), 4.0);
+}
+
+TEST(IterationTime, ZeroCapacityWithWorkIsInfinite) {
+  const ObjectLoads objects = {1.0};
+  const CoreCapacities caps = {0.0};
+  EXPECT_EQ(iteration_time({0}, objects, caps),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(IterationTime, ValidatesSizes) {
+  EXPECT_THROW(iteration_time({0, 1}, {1.0}, {1.0, 1.0}),
+               hpas::InvariantError);
+  EXPECT_THROW(iteration_time({5}, {1.0}, {1.0}), hpas::InvariantError);
+}
+
+TEST(Stencil, BalancersTieWithoutAnomaly) {
+  const StencilExperiment experiment;
+  const LbObjOnly obj_only;
+  const GreedyRefineLb greedy;
+  const double t_obj = experiment.time_per_iteration(obj_only, 0.0);
+  const double t_greedy = experiment.time_per_iteration(greedy, 0.0);
+  EXPECT_NEAR(t_obj, t_greedy, 0.15 * t_obj);
+}
+
+TEST(Stencil, GreedyWinsUnderModerateAnomaly) {
+  const StencilExperiment experiment;
+  const LbObjOnly obj_only;
+  const GreedyRefineLb greedy;
+  const double t_obj = experiment.time_per_iteration(obj_only, 400.0);
+  const double t_greedy = experiment.time_per_iteration(greedy, 400.0);
+  EXPECT_LT(t_greedy, 0.8 * t_obj);
+}
+
+/// Property: greedy with exact measurements is never worse than the
+/// object-count balancer (list scheduling dominates blind dealing).
+class StencilDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilDominance, GreedyNeverLosesByMuch) {
+  StencilConfig config;
+  config.measurement_noise = 0.0;  // exact capacity probes
+  const StencilExperiment experiment(config);
+  const LbObjOnly obj_only;
+  const GreedyRefineLb greedy;
+  const double intensity = GetParam() * 100.0;
+  const double t_obj = experiment.time_per_iteration(obj_only, intensity);
+  const double t_greedy = experiment.time_per_iteration(greedy, intensity);
+  EXPECT_LE(t_greedy, t_obj * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, StencilDominance,
+                         ::testing::Values(0, 2, 4, 8, 12, 16, 20, 24, 28,
+                                           32));
+
+TEST(Stencil, MonotoneDegradationForGreedy) {
+  const StencilExperiment experiment;
+  const GreedyRefineLb greedy;
+  double prev = 0.0;
+  for (int pct = 0; pct <= 3200; pct += 800) {
+    const double t = experiment.time_per_iteration(greedy, pct);
+    EXPECT_GE(t, prev * 0.98);  // allow probe-noise wiggle
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace hpas::lb

@@ -1,0 +1,115 @@
+// Tests for max-min fair allocation (sim/maxmin.hpp), including the
+// fairness properties the contention models rely on.
+#include "sim/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpas::sim {
+namespace {
+
+TEST(MaxMin, UnderloadedEveryoneSatisfied) {
+  const std::vector<double> demands = {1.0, 2.0, 3.0};
+  const auto alloc = max_min_allocate(10.0, demands);
+  EXPECT_EQ(alloc, demands);
+}
+
+TEST(MaxMin, OverloadedEqualSplitAmongGreedy) {
+  const std::vector<double> demands = {100.0, 100.0, 100.0, 100.0};
+  const auto alloc = max_min_allocate(20.0, demands);
+  for (const double a : alloc) EXPECT_DOUBLE_EQ(a, 5.0);
+}
+
+TEST(MaxMin, SmallDemandProtected) {
+  // The classic max-min example: the small demand is fully served, the
+  // rest split the remainder.
+  const std::vector<double> demands = {2.0, 100.0, 100.0};
+  const auto alloc = max_min_allocate(20.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 2.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 9.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 9.0);
+}
+
+TEST(MaxMin, EmptyAndZeroCases) {
+  EXPECT_TRUE(max_min_allocate(5.0, {}).empty());
+  const std::vector<double> demands = {0.0, 4.0};
+  const auto alloc = max_min_allocate(10.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 4.0);
+}
+
+TEST(MaxMin, ZeroCapacityGivesNothing) {
+  const std::vector<double> demands = {1.0, 2.0};
+  const auto alloc = max_min_allocate(0.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+}
+
+TEST(MaxMin, NegativeInputsRejected) {
+  const std::vector<double> demands = {-1.0};
+  EXPECT_THROW(max_min_allocate(1.0, demands), InvariantError);
+  EXPECT_THROW(max_min_allocate(-1.0, std::vector<double>{1.0}),
+               InvariantError);
+}
+
+TEST(MaxMinWeighted, SharesProportionalToWeights) {
+  const std::vector<double> demands = {100.0, 100.0};
+  const std::vector<double> weights = {1.0, 3.0};
+  const auto alloc = max_min_allocate_weighted(8.0, demands, weights);
+  EXPECT_DOUBLE_EQ(alloc[0], 2.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 6.0);
+}
+
+TEST(MaxMinWeighted, SizeMismatchRejected) {
+  const std::vector<double> demands = {1.0, 2.0};
+  const std::vector<double> weights = {1.0};
+  EXPECT_THROW(max_min_allocate_weighted(1.0, demands, weights),
+               InvariantError);
+}
+
+/// Property suite over random demand sets: the three defining max-min
+/// invariants hold for every instance.
+class MaxMinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinProperty, Invariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+  const std::size_t n = 1 + rng.next_below(20);
+  std::vector<double> demands(n);
+  for (auto& d : demands) d = rng.uniform(0.0, 10.0);
+  const double capacity = rng.uniform(0.5, 25.0);
+  const auto alloc = max_min_allocate(capacity, demands);
+
+  // (1) No allocation exceeds its demand.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_LE(alloc[i], demands[i] + 1e-9);
+
+  // (2) Capacity respected.
+  const double total = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  EXPECT_LE(total, capacity + 1e-9);
+
+  // (3) Pareto: either all demand met, or capacity exhausted.
+  bool all_met = true;
+  for (std::size_t i = 0; i < n; ++i)
+    all_met = all_met && alloc[i] >= demands[i] - 1e-9;
+  if (!all_met) {
+    EXPECT_NEAR(total, capacity, 1e-9);
+  }
+
+  // (4) Fairness: an unsatisfied consumer's share is >= every other
+  // consumer's share (no one smaller could be raised).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alloc[i] < demands[i] - 1e-9) {
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_GE(alloc[i], std::min(alloc[j], demands[i]) - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hpas::sim

@@ -1,0 +1,223 @@
+// Tests for the monitoring layer: metric ids, time series, store,
+// collector, CSV export, and the host /proc samplers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/csv.hpp"
+#include "metrics/host_samplers.hpp"
+#include "metrics/metric_id.hpp"
+#include "metrics/store.hpp"
+#include "metrics/time_series.hpp"
+
+namespace hpas::metrics {
+namespace {
+
+TEST(MetricId, FullNameUsesPaperConvention) {
+  const MetricId id{"user", "procstat"};
+  EXPECT_EQ(id.full_name(), "user::procstat");
+}
+
+TEST(MetricId, ParseRoundTrip) {
+  const MetricId id = parse_metric_id("L2_RQSTS:MISS::spapiHASW");
+  EXPECT_EQ(id.metric, "L2_RQSTS:MISS");  // inner ':' belongs to the metric
+  EXPECT_EQ(id.sampler, "spapiHASW");
+  EXPECT_EQ(parse_metric_id("plain").metric, "plain");
+  EXPECT_EQ(parse_metric_id("plain").sampler, "");
+}
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  ts.append(1.0, 2.0);
+  ts.append(1.0, 3.0);  // equal timestamps allowed
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.value_at(2), 3.0);
+  EXPECT_DOUBLE_EQ(ts.timestamp_at(1), 1.0);
+}
+
+TEST(TimeSeries, RejectsBackwardsTimestamps) {
+  TimeSeries ts;
+  ts.append(5.0, 1.0);
+  EXPECT_THROW(ts.append(4.9, 1.0), InvariantError);
+}
+
+TEST(TimeSeries, ValuesBetweenIsHalfOpen) {
+  TimeSeries ts;
+  for (int t = 0; t < 10; ++t) ts.append(t, t * 10.0);
+  const auto window = ts.values_between(2.0, 5.0);
+  EXPECT_EQ(window, (std::vector<double>{20.0, 30.0, 40.0}));
+  EXPECT_TRUE(ts.values_between(100.0, 200.0).empty());
+}
+
+TEST(TimeSeries, DeltasConvertCountersToRates) {
+  TimeSeries ts;
+  ts.append(0, 100);
+  ts.append(1, 150);
+  ts.append(2, 160);
+  EXPECT_EQ(ts.deltas(), (std::vector<double>{50.0, 10.0}));
+  TimeSeries single;
+  single.append(0, 1);
+  EXPECT_TRUE(single.deltas().empty());
+}
+
+TEST(MetricStore, RecordAndLookup) {
+  MetricStore store;
+  store.record({"user", "procstat"}, 0.0, 1.0);
+  store.record({"user", "procstat"}, 1.0, 2.0);
+  store.record({"Memfree", "meminfo"}, 0.0, 5.0);
+  EXPECT_EQ(store.metric_count(), 2u);
+  EXPECT_TRUE(store.contains({"user", "procstat"}));
+  EXPECT_FALSE(store.contains({"user", "vmstat"}));
+  EXPECT_EQ(store.series({"user", "procstat"}).size(), 2u);
+  EXPECT_THROW(store.series({"x", "y"}), InvariantError);
+}
+
+TEST(MetricStore, MetricIdsSortedDeterministically) {
+  MetricStore store;
+  store.record({"z", "b"}, 0, 0);
+  store.record({"a", "b"}, 0, 0);
+  store.record({"a", "a"}, 0, 0);
+  const auto ids = store.metric_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0].full_name(), "a::a");
+  EXPECT_EQ(ids[1].full_name(), "a::b");
+  EXPECT_EQ(ids[2].full_name(), "z::b");
+}
+
+class CountingSampler final : public Sampler {
+ public:
+  std::string name() const override { return "count"; }
+  std::vector<Sample> sample() override {
+    ++polls_;
+    return {{{"value", name()}, static_cast<double>(polls_)}};
+  }
+  int polls_ = 0;
+};
+
+TEST(Collector, PollsAllSamplersWithTimestamp) {
+  MetricStore store;
+  Collector collector(&store);
+  auto sampler = std::make_shared<CountingSampler>();
+  collector.add_sampler(sampler);
+  collector.collect(0.0);
+  collector.collect(1.0);
+  EXPECT_EQ(sampler->polls_, 2);
+  const auto& ts = store.series({"value", "count"});
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.timestamp_at(1), 1.0);
+}
+
+TEST(Collector, RejectsNulls) {
+  EXPECT_THROW(Collector(nullptr), InvariantError);
+  MetricStore store;
+  Collector collector(&store);
+  EXPECT_THROW(collector.add_sampler(nullptr), InvariantError);
+}
+
+TEST(Csv, WidetableWithHeaderAndRows) {
+  MetricStore store;
+  store.record({"a", "s"}, 0.0, 1.0);
+  store.record({"a", "s"}, 1.0, 2.0);
+  store.record({"b", "s"}, 0.0, 3.0);
+  std::ostringstream os;
+  write_csv(os, store);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("timestamp,a::s,b::s"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,3"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,"), std::string::npos);  // missing b at t=1
+}
+
+// ---- host samplers against synthetic /proc files --------------------
+
+class HostSamplerTest : public ::testing::Test {
+ protected:
+  std::string write_file(const std::string& name, const std::string& body) {
+    const auto path = std::filesystem::temp_directory_path() /
+                      ("hpas_test_" + name + std::to_string(::getpid()));
+    std::ofstream out(path);
+    out << body;
+    files_.push_back(path);
+    return path.string();
+  }
+  void TearDown() override {
+    for (const auto& f : files_) std::filesystem::remove(f);
+  }
+  std::vector<std::filesystem::path> files_;
+};
+
+TEST_F(HostSamplerTest, ProcStatParsesAggregateLine) {
+  const auto path = write_file(
+      "stat", "cpu  100 5 50 800 20 0 3 0 0 0\ncpu0 50 2 25 400 10 0 1 0\n");
+  ProcStatSampler sampler(path);
+  const auto samples = sampler.sample();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0].id.full_name(), "user::procstat");
+  EXPECT_DOUBLE_EQ(samples[0].value, 100);
+  EXPECT_DOUBLE_EQ(samples[3].value, 800);  // idle
+}
+
+TEST_F(HostSamplerTest, ProcStatMissingFileThrows) {
+  ProcStatSampler sampler("/nonexistent/file");
+  EXPECT_THROW(sampler.sample(), SystemError);
+}
+
+TEST_F(HostSamplerTest, MemInfoUsesPaperSpelledMemfree) {
+  const auto path = write_file("meminfo",
+                               "MemTotal:       131072000 kB\n"
+                               "MemFree:        64000000 kB\n"
+                               "Cached:         1000 kB\n"
+                               "Active:         2000 kB\n");
+  MemInfoSampler sampler(path);
+  const auto samples = sampler.sample();
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.id.full_name() == "Memfree::meminfo") {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.value, 64000000);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(HostSamplerTest, VmStatPicksKnownFields) {
+  const auto path = write_file("vmstat",
+                               "nr_free_pages 100\npgfault 5000\n"
+                               "pgmajfault 10\npgpgin 1\npgpgout 2\n");
+  VmStatSampler sampler(path);
+  const auto samples = sampler.sample();
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(HostSamplers, CpuUtilizationBetween) {
+  const std::vector<Sample> before = {
+      {{"user", "procstat"}, 100}, {{"nice", "procstat"}, 0},
+      {{"sys", "procstat"}, 50},   {{"idle", "procstat"}, 800},
+      {{"iowait", "procstat"}, 50},
+  };
+  const std::vector<Sample> after = {
+      {{"user", "procstat"}, 160}, {{"nice", "procstat"}, 0},
+      {{"sys", "procstat"}, 70},   {{"idle", "procstat"}, 810},
+      {{"iowait", "procstat"}, 60},
+  };
+  // busy delta = 80, total delta = 100.
+  EXPECT_NEAR(cpu_utilization_between(before, after), 0.8, 1e-12);
+}
+
+TEST(HostSamplers, LiveProcIfAvailable) {
+  // On Linux CI this exercises the real files end-to-end.
+  if (!std::filesystem::exists("/proc/stat")) GTEST_SKIP();
+  ProcStatSampler stat;
+  MemInfoSampler mem;
+  EXPECT_GE(stat.sample().size(), 5u);
+  EXPECT_GE(mem.sample().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hpas::metrics

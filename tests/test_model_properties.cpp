@@ -1,0 +1,157 @@
+// Property suites over the resource models: monotonicity and
+// conservation invariants that must hold for ANY contention scenario,
+// not just the calibrated figures.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/node.hpp"
+#include "simanom/injectors.hpp"
+
+namespace hpas::sim {
+namespace {
+
+std::unique_ptr<Task> compute_task(int node, int core, double ws_bytes,
+                                   double cpu_demand = 1.0) {
+  TaskProfile profile;
+  profile.cpu_demand = cpu_demand;
+  profile.working_set_bytes = ws_bytes;
+  profile.m1_base = 20; profile.m1_max = 50;
+  profile.m2_base = 10; profile.m2_max = 25;
+  profile.m3_base = 4;  profile.m3_max = 15;
+  auto task = std::make_unique<Task>("t", node, core, profile,
+                                     [](Task&) { return Phase::done(); });
+  task->set_phase(Phase::compute(1e15));
+  return task;
+}
+
+/// Adding a neighbor anywhere on the node must never make a victim
+/// faster (work-conserving, interference-only model).
+class NeighborMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(NeighborMonotonicity, NeighborNeverSpeedsUpVictim) {
+  const auto [neighbor_core, neighbor_ws] = GetParam();
+  Node node(0, NodeConfig{});
+
+  auto solo = compute_task(0, 0, 8e6);
+  node.compute_rates({solo.get()});
+  const double solo_rate = solo->rates().progress;
+
+  auto victim = compute_task(0, 0, 8e6);
+  auto neighbor = compute_task(0, neighbor_core, neighbor_ws);
+  node.compute_rates({victim.get(), neighbor.get()});
+  EXPECT_LE(victim->rates().progress, solo_rate * (1.0 + 1e-9));
+  EXPECT_GT(victim->rates().progress, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Neighbors, NeighborMonotonicity,
+    ::testing::Combine(::testing::Values(0, 1, 7),
+                       ::testing::Values(4.0e3, 256.0e3, 8.0e6, 40.0e6)));
+
+/// Growing the shared working set (cachecopy's multiplier knob) must
+/// monotonically increase the victim's L3 MPKI.
+class CachePressureMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CachePressureMonotonicity, MpkiNonDecreasingInWorkingSet) {
+  Node node(0, NodeConfig{});
+  double previous_mpki = 0.0;
+  for (double ws = 1e6; ws <= 64e6; ws *= 2) {
+    auto victim = compute_task(0, 0, 20e6);
+    auto hog = compute_task(0, 1 + GetParam(), ws);
+    node.compute_rates({victim.get(), hog.get()});
+    const double mpki = victim->rates().l3_miss_rate /
+                        victim->rates().instr_rate * 1000.0;
+    EXPECT_GE(mpki, previous_mpki - 1e-9) << "ws=" << ws;
+    previous_mpki = mpki;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HogCores, CachePressureMonotonicity,
+                         ::testing::Values(0, 3));
+
+/// CPU shares on any core are conserved: they never exceed 1.
+class CpuShareConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuShareConservation, SharesPerCoreBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  Node node(0, NodeConfig{});
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<Task*> raw;
+  const std::size_t n = 2 + rng.next_below(12);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(compute_task(0, static_cast<int>(rng.next_below(4)),
+                                 rng.uniform(1e4, 4e7),
+                                 rng.uniform(0.1, 1.0)));
+    raw.push_back(tasks.back().get());
+  }
+  node.compute_rates(raw);
+  std::vector<double> share_per_core(4, 0.0);
+  for (const Task* task : raw)
+    share_per_core[static_cast<std::size_t>(task->core())] +=
+        task->rates().cpu_share;
+  for (const double share : share_per_core) EXPECT_LE(share, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, CpuShareConservation,
+                         ::testing::Range(0, 10));
+
+/// DRAM allocations never exceed the node peak, whatever the mix.
+class BandwidthConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandwidthConservation, TotalDramBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  NodeConfig config;
+  Node node(0, config);
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<Task*> raw;
+  const std::size_t n = 1 + rng.next_below(16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int core = static_cast<int>(rng.next_below(32));
+    if (rng.uniform01() < 0.4) {
+      TaskProfile profile;
+      profile.stream_bw_demand = rng.uniform(1e9, 20e9);
+      profile.working_set_bytes = 64e3;
+      auto task = std::make_unique<Task>(
+          "s", 0, core, profile, [](Task&) { return Phase::done(); });
+      task->set_phase(Phase::stream(1e15));
+      tasks.push_back(std::move(task));
+    } else {
+      tasks.push_back(compute_task(0, core, rng.uniform(1e5, 6e7)));
+    }
+    raw.push_back(tasks.back().get());
+  }
+  node.compute_rates(raw);
+  double dram_total = 0.0;
+  for (const Task* task : raw) dram_total += task->rates().dram_rate;
+  EXPECT_LE(dram_total, config.mem_bw_peak * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, BandwidthConservation,
+                         ::testing::Range(0, 10));
+
+/// Full-world determinism under a composite anomaly storm.
+TEST(WorldProperty, CompositeStormIsDeterministic) {
+  auto run_once = [] {
+    auto world = make_voltrino_world();
+    world->enable_monitoring(1.0);
+    simanom::inject_cpuoccupy(*world, 0, 0, 70.0, 80.0);
+    simanom::inject_cachecopy(*world, 0, 1, simanom::SimCacheLevel::kL2,
+                              1.0, 60.0);
+    simanom::inject_membw(*world, 0, 2, 40.0);
+    simanom::inject_memleak(*world, 1, 0, 50e6, 1.0, 70.0);
+    simanom::inject_netoccupy(*world, 2, 6, 2, 50e6, 50.0);
+    simanom::inject_iometadata(*world, 3, 2, 30.0);
+    world->run_until(100.0);
+    return world->node(0).counters().instructions +
+           world->node(0).counters().dram_bytes +
+           world->filesystem().counters().metadata_ops;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hpas::sim

@@ -1,0 +1,244 @@
+// Tests for the node resource model: CPU shares, cache pressure, MPKI
+// chain, memory bandwidth fairness + congestion, and capacity accounting.
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+namespace {
+
+Phase forever_compute() { return Phase::compute(1e15); }
+
+std::unique_ptr<Task> make_compute_task(const std::string& name, int node,
+                                        int core, TaskProfile profile) {
+  auto task = std::make_unique<Task>(name, node, core, profile,
+                                     [](Task&) { return Phase::done(); });
+  task->set_phase(forever_compute());
+  return task;
+}
+
+std::unique_ptr<Task> make_stream_task(const std::string& name, int node,
+                                       int core, double bw_demand) {
+  TaskProfile profile;
+  profile.stream_bw_demand = bw_demand;
+  profile.working_set_bytes = 64 * 1024;
+  auto task = std::make_unique<Task>(name, node, core, profile,
+                                     [](Task&) { return Phase::done(); });
+  task->set_phase(Phase::stream(1e15));
+  return task;
+}
+
+TaskProfile simple_profile(double cpu_demand = 1.0) {
+  TaskProfile p;
+  p.ips_peak = 2.0e9;
+  p.cpu_demand = cpu_demand;
+  p.working_set_bytes = 1024 * 1024;
+  p.m1_base = 10; p.m1_max = 40;
+  p.m2_base = 4; p.m2_max = 16;
+  p.m3_base = 1; p.m3_max = 8;
+  return p;
+}
+
+TEST(NodeCpu, SoloTaskGetsItsDemand) {
+  Node node(0, NodeConfig{});
+  auto task = make_compute_task("t", 0, 0, simple_profile(0.4));
+  node.compute_rates({task.get()});
+  EXPECT_NEAR(task->rates().cpu_share, 0.4, 1e-12);
+  EXPECT_GT(task->rates().progress, 0.0);
+}
+
+TEST(NodeCpu, SharedCoreSplitsProportionally) {
+  Node node(0, NodeConfig{});
+  auto a = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto b = make_compute_task("b", 0, 0, simple_profile(1.0));
+  node.compute_rates({a.get(), b.get()});
+  EXPECT_NEAR(a->rates().cpu_share, 0.5, 1e-12);
+  EXPECT_NEAR(b->rates().cpu_share, 0.5, 1e-12);
+}
+
+TEST(NodeCpu, SmtAggregateThroughputSoftensSharing) {
+  NodeConfig config;
+  config.smt_aggregate_throughput = 1.3;
+  Node node(0, config);
+  auto a = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto b = make_compute_task("b", 0, 0, simple_profile(1.0));
+  node.compute_rates({a.get(), b.get()});
+  EXPECT_NEAR(a->rates().cpu_share, 0.65, 1e-12);
+  EXPECT_NEAR(b->rates().cpu_share, 0.65, 1e-12);
+}
+
+TEST(NodeCpu, SmtCapacityNeverExceedsDemand) {
+  NodeConfig config;
+  config.smt_aggregate_throughput = 1.3;
+  Node node(0, config);
+  // Total demand 1.1 < 1.3: everyone fully served.
+  auto a = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto b = make_compute_task("b", 0, 0, simple_profile(0.1));
+  node.compute_rates({a.get(), b.get()});
+  EXPECT_NEAR(a->rates().cpu_share, 1.0, 1e-12);
+  EXPECT_NEAR(b->rates().cpu_share, 0.1, 1e-12);
+}
+
+TEST(NodeCpu, DifferentCoresDoNotContend) {
+  Node node(0, NodeConfig{});
+  auto a = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto b = make_compute_task("b", 0, 1, simple_profile(1.0));
+  node.compute_rates({a.get(), b.get()});
+  EXPECT_NEAR(a->rates().cpu_share, 1.0, 1e-12);
+  EXPECT_NEAR(b->rates().cpu_share, 1.0, 1e-12);
+}
+
+TEST(NodeCpu, TasksOnOtherNodesIgnored) {
+  Node node(0, NodeConfig{});
+  auto mine = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto other = make_compute_task("b", 1, 0, simple_profile(1.0));
+  node.compute_rates({mine.get(), other.get()});
+  EXPECT_NEAR(mine->rates().cpu_share, 1.0, 1e-12);
+}
+
+TEST(NodeCache, SharerRaisesVictimMpki) {
+  Node node(0, NodeConfig{});
+  TaskProfile victim_profile = simple_profile();
+  victim_profile.working_set_bytes = 20.0 * 1024 * 1024;
+
+  auto solo = make_compute_task("solo", 0, 0, victim_profile);
+  node.compute_rates({solo.get()});
+  const double solo_mpki =
+      solo->rates().l3_miss_rate / solo->rates().instr_rate * 1000.0;
+
+  // An L3-sized neighbor on another core evicts the victim's lines.
+  TaskProfile hog_profile = simple_profile();
+  hog_profile.working_set_bytes = 40.0 * 1024 * 1024;
+  auto victim = make_compute_task("victim", 0, 0, victim_profile);
+  auto hog = make_compute_task("hog", 0, 1, hog_profile);
+  node.compute_rates({victim.get(), hog.get()});
+  const double contended_mpki =
+      victim->rates().l3_miss_rate / victim->rates().instr_rate * 1000.0;
+
+  EXPECT_GT(contended_mpki, solo_mpki * 1.5);
+}
+
+TEST(NodeCache, PrivateLevelsOnlySharedWithinCore) {
+  Node node(0, NodeConfig{});
+  TaskProfile p = simple_profile();
+  p.working_set_bytes = 32.0 * 1024;  // L1-sized
+
+  // Same core (hyperthread scenario) -> L1 contention -> more L1 misses.
+  auto a1 = make_compute_task("a", 0, 0, p);
+  auto b1 = make_compute_task("b", 0, 0, p);
+  node.compute_rates({a1.get(), b1.get()});
+  const double same_core_m1 =
+      a1->rates().l1_miss_rate / a1->rates().instr_rate * 1000.0;
+
+  auto a2 = make_compute_task("a", 0, 0, p);
+  auto b2 = make_compute_task("b", 0, 1, p);
+  node.compute_rates({a2.get(), b2.get()});
+  const double diff_core_m1 =
+      a2->rates().l1_miss_rate / a2->rates().instr_rate * 1000.0;
+
+  EXPECT_GT(same_core_m1, diff_core_m1 * 1.5);
+}
+
+TEST(NodeMemBw, StreamTaskCappedByCoreLimit) {
+  NodeConfig config;
+  config.core_bw_limit = 10.0e9;
+  config.mem_bw_peak = 100.0e9;
+  Node node(0, config);
+  auto stream = make_stream_task("s", 0, 0, 1e12);
+  node.compute_rates({stream.get()});
+  EXPECT_NEAR(stream->rates().progress, 10.0e9, 1.0);
+}
+
+TEST(NodeMemBw, StreamsShareNodePeakFairly) {
+  NodeConfig config;
+  config.core_bw_limit = 10.0e9;
+  config.mem_bw_peak = 12.0e9;
+  Node node(0, config);
+  auto s1 = make_stream_task("s1", 0, 0, 1e12);
+  auto s2 = make_stream_task("s2", 0, 1, 1e12);
+  node.compute_rates({s1.get(), s2.get()});
+  EXPECT_NEAR(s1->rates().progress, 6.0e9, 1.0);
+  EXPECT_NEAR(s2->rates().progress, 6.0e9, 1.0);
+}
+
+TEST(NodeMemBw, CongestionSlowsMissBoundCompute) {
+  NodeConfig config;
+  Node node(0, config);
+  TaskProfile p = simple_profile();
+  // Genuinely miss-bound: the whole chain must carry the traffic (m3 is
+  // capped at m2, which is capped at m1).
+  p.m1_base = 40;
+  p.m2_base = 20;
+  p.m3_base = 15;
+  auto solo = make_compute_task("solo", 0, 0, p);
+  node.compute_rates({solo.get()});
+  const double solo_rate = solo->rates().progress;
+
+  // A streaming hog on another core saturates the memory controller.
+  auto victim = make_compute_task("victim", 0, 0, p);
+  auto hog = make_stream_task("hog", 0, 1, 1e12);
+  node.compute_rates({victim.get(), hog.get()});
+  EXPECT_LT(victim->rates().progress, solo_rate * 0.9);
+}
+
+TEST(NodeMemBw, CongestionSparesCpuBoundCompute) {
+  NodeConfig config;
+  Node node(0, config);
+  TaskProfile p = simple_profile();
+  p.m3_base = 0.05;  // nearly no DRAM traffic
+  p.m3_max = 0.2;
+  auto solo = make_compute_task("solo", 0, 0, p);
+  node.compute_rates({solo.get()});
+  const double solo_rate = solo->rates().progress;
+
+  auto victim = make_compute_task("victim", 0, 0, p);
+  auto hog = make_stream_task("hog", 0, 1, 1e12);
+  node.compute_rates({victim.get(), hog.get()});
+  EXPECT_GT(victim->rates().progress, solo_rate * 0.95);
+}
+
+TEST(NodeMemory, CapacityAccountingAndRefusal) {
+  NodeConfig config;
+  config.memory_bytes = 10.0 * 1024 * 1024 * 1024;
+  config.os_base_memory = 2.0 * 1024 * 1024 * 1024;
+  Node node(0, config);
+  EXPECT_NEAR(node.memory_free(), 8.0 * 1024 * 1024 * 1024, 1.0);
+  EXPECT_TRUE(node.adjust_memory(4.0 * 1024 * 1024 * 1024));
+  EXPECT_NEAR(node.memory_free(), 4.0 * 1024 * 1024 * 1024, 1.0);
+  EXPECT_FALSE(node.adjust_memory(5.0 * 1024 * 1024 * 1024));  // over
+  EXPECT_NEAR(node.memory_free(), 4.0 * 1024 * 1024 * 1024, 1.0);
+  EXPECT_TRUE(node.adjust_memory(-4.0 * 1024 * 1024 * 1024));
+  EXPECT_NEAR(node.memory_free(), 8.0 * 1024 * 1024 * 1024, 1.0);
+}
+
+TEST(NodeMemory, PageFaultCounterTracksGrowth) {
+  Node node(0, NodeConfig{});
+  node.adjust_memory(8192.0);
+  EXPECT_NEAR(node.counters().pages_faulted, 2.0, 1e-9);
+  node.adjust_memory(-8192.0);  // frees do not fault
+  EXPECT_NEAR(node.counters().pages_faulted, 2.0, 1e-9);
+}
+
+TEST(NodeUtilization, ReflectsCpuShares) {
+  NodeConfig config;
+  config.cores = 4;
+  Node node(0, config);
+  auto a = make_compute_task("a", 0, 0, simple_profile(1.0));
+  auto b = make_compute_task("b", 0, 1, simple_profile(0.5));
+  std::vector<Task*> tasks = {a.get(), b.get()};
+  node.compute_rates(tasks);
+  EXPECT_NEAR(node.cpu_utilization(tasks), 1.5 / 4.0, 1e-9);
+}
+
+TEST(Node, InvalidConfigRejected) {
+  NodeConfig config;
+  config.cores = 0;
+  EXPECT_THROW(Node(0, config), InvariantError);
+}
+
+}  // namespace
+}  // namespace hpas::sim

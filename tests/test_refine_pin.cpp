@@ -1,0 +1,131 @@
+// Tests for the RefineLB-style rebalancer and native CPU pinning.
+#include <gtest/gtest.h>
+
+#include <sched.h>
+
+#include "anomalies/cpuoccupy.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lb/balancers.hpp"
+
+namespace hpas {
+namespace {
+
+using lb::CoreCapacities;
+using lb::GreedyRefineLb;
+using lb::LbObjOnly;
+using lb::ObjectLoads;
+using lb::RefineResult;
+
+TEST(Refine, BalancedInputNeedsNoMigrations) {
+  const ObjectLoads objects(8, 1.0);
+  const CoreCapacities caps(4, 1.0);
+  const std::vector<int> even = LbObjOnly().assign(objects, caps);
+  const RefineResult result = lb::refine_assignment(even, objects, caps);
+  EXPECT_EQ(result.migrations, 0);
+  EXPECT_EQ(result.assignment, even);
+}
+
+TEST(Refine, FixesOverloadWithFewMigrations) {
+  // Everything starts on core 0 of 4 equal cores.
+  const ObjectLoads objects(8, 1.0);
+  const CoreCapacities caps(4, 1.0);
+  const std::vector<int> all_on_zero(8, 0);
+  const RefineResult result =
+      lb::refine_assignment(all_on_zero, objects, caps);
+  EXPECT_GT(result.migrations, 0);
+  // Final time within tolerance of the ideal (2.0s).
+  EXPECT_LE(lb::iteration_time(result.assignment, objects, caps),
+            2.0 * 1.05 + 1e-9);
+  // Exactly 6 objects needed to move (2 stay).
+  EXPECT_EQ(result.migrations, 6);
+}
+
+TEST(Refine, NeverWorsensTheAssignment) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_obj = 4 + rng.next_below(40);
+    const std::size_t n_core = 2 + rng.next_below(8);
+    ObjectLoads objects(n_obj);
+    for (auto& load : objects) load = rng.uniform(0.1, 2.0);
+    CoreCapacities caps(n_core);
+    for (auto& cap : caps) cap = rng.uniform(0.3, 1.0);
+    std::vector<int> initial(n_obj);
+    for (auto& core : initial)
+      core = static_cast<int>(rng.next_below(n_core));
+
+    const double before = lb::iteration_time(initial, objects, caps);
+    const RefineResult result =
+        lb::refine_assignment(initial, objects, caps);
+    const double after =
+        lb::iteration_time(result.assignment, objects, caps);
+    EXPECT_LE(after, before + 1e-9);
+  }
+}
+
+TEST(Refine, MigratesLessThanGreedyFromScratch) {
+  // Mild imbalance: refine should touch only a few objects, while a
+  // from-scratch greedy pass reshuffles many.
+  Rng rng(33);
+  ObjectLoads objects(32);
+  for (auto& load : objects) load = rng.uniform(0.8, 1.2);
+  CoreCapacities caps(8, 1.0);
+  caps[0] = 0.5;  // one degraded core
+  const std::vector<int> previous = LbObjOnly().assign(objects, caps);
+
+  const RefineResult refined =
+      lb::refine_assignment(previous, objects, caps);
+  const auto greedy = GreedyRefineLb().assign(objects, caps);
+  int greedy_moves = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (greedy[i] != previous[i]) ++greedy_moves;
+  }
+  EXPECT_LT(refined.migrations, greedy_moves);
+  EXPECT_GT(refined.migrations, 0);
+}
+
+TEST(Refine, Validates) {
+  EXPECT_THROW(lb::refine_assignment({0, 1}, {1.0}, {1.0, 1.0}),
+               InvariantError);
+  EXPECT_THROW(lb::refine_assignment({0}, {1.0}, {1.0}, 0.9),
+               InvariantError);
+}
+
+TEST(Pinning, CpuOccupyRunsPinned) {
+  anomalies::CpuOccupyOptions opts;
+  opts.common.duration_s = 0.15;
+  opts.common.pin_cpu = 0;
+  anomalies::CpuOccupy anomaly(opts);
+  const auto stats = anomaly.run();
+  EXPECT_GT(stats.iterations, 0u);
+  // The calling thread was pinned by run(); verify the affinity stuck.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(set), &set), 0);
+  EXPECT_TRUE(CPU_ISSET(0, &set));
+  EXPECT_EQ(CPU_COUNT(&set), 1);
+
+  // Restore full affinity so later tests are unaffected.
+  CPU_ZERO(&set);
+  for (int cpu = 0; cpu < CPU_SETSIZE && cpu < 1024; ++cpu)
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+  sched_setaffinity(0, sizeof(set), &set);
+}
+
+TEST(Pinning, UnpinnedLeavesAffinityAlone) {
+  cpu_set_t before;
+  CPU_ZERO(&before);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(before), &before), 0);
+  anomalies::CpuOccupyOptions opts;
+  opts.common.duration_s = 0.05;
+  opts.common.pin_cpu = -1;
+  anomalies::CpuOccupy anomaly(opts);
+  anomaly.run();
+  cpu_set_t after;
+  CPU_ZERO(&after);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(after), &after), 0);
+  EXPECT_TRUE(CPU_EQUAL(&before, &after));
+}
+
+}  // namespace
+}  // namespace hpas

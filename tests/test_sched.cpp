@@ -1,0 +1,98 @@
+// Tests for allocation policies and the node monitor (paper Sec. 5.2).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/monitor.hpp"
+#include "sched/policies.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpas::sched {
+namespace {
+
+std::vector<NodeStatus> uniform_status(int n, double load, double mem_free) {
+  std::vector<NodeStatus> status;
+  for (int i = 0; i < n; ++i)
+    status.push_back({i, load, load, mem_free});
+  return status;
+}
+
+TEST(RoundRobin, PicksLabelOrder) {
+  const RoundRobinPolicy rr;
+  auto status = uniform_status(8, 0.0, 1e9);
+  // Shuffle the status vector; RR must still pick by label order.
+  std::swap(status[0], status[5]);
+  const auto nodes = rr.select_nodes(status, 4);
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RoundRobin, RejectsOversizedRequests) {
+  const RoundRobinPolicy rr;
+  EXPECT_THROW(rr.select_nodes(uniform_status(2, 0, 1), 3),
+               hpas::ConfigError);
+  EXPECT_THROW(rr.select_nodes(uniform_status(2, 0, 1), 0),
+               hpas::ConfigError);
+}
+
+TEST(Wbas, ComputingCapacityFormula) {
+  // CP = (1 - (5/6 cur + 1/6 avg)) * MemFree.
+  const NodeStatus node{.node_id = 0,
+                        .load_current = 0.6,
+                        .load_5min_avg = 0.0,
+                        .mem_free_bytes = 100.0};
+  EXPECT_NEAR(WbasPolicy::computing_capacity(node), (1.0 - 0.5) * 100.0,
+              1e-12);
+}
+
+TEST(Wbas, AvoidsLoadedAndMemoryStarvedNodes) {
+  auto status = uniform_status(8, 0.0, 100e9);
+  status[0].load_current = 1.0 / 32.0;   // cpuoccupy on one core
+  status[0].load_5min_avg = 1.0 / 32.0;
+  status[2].mem_free_bytes = 1e9;        // memleak squatting
+  const WbasPolicy wbas;
+  const auto nodes = wbas.select_nodes(status, 4);
+  EXPECT_EQ(nodes, (std::vector<int>{1, 3, 4, 5}));  // the Fig. 11 outcome
+}
+
+TEST(Wbas, TiesBreakDeterministicallyByNodeId) {
+  const WbasPolicy wbas;
+  const auto nodes = wbas.select_nodes(uniform_status(6, 0.2, 1e9), 3);
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Monitor, TracksLoadAndMemory) {
+  auto world = sim::make_voltrino_world();
+  // A full-node hog on node 1: 32 cores' worth? One compute task = 1 core.
+  world->spawn_task("hog", 1, 0, sim::TaskProfile{},
+                    sim::Phase::compute(1e18),
+                    [](sim::Task&) { return sim::Phase::done(); });
+  NodeMonitor monitor(*world, 10.0);
+  monitor.sample_once();
+  const auto status = monitor.status();
+  ASSERT_EQ(status.size(), 8u);
+  EXPECT_NEAR(status[1].load_current, 1.0 / 32.0, 1e-9);
+  EXPECT_NEAR(status[0].load_current, 0.0, 1e-9);
+  EXPECT_GT(status[0].mem_free_bytes, 100e9);
+}
+
+TEST(Monitor, FiveMinuteAverageLagsCurrentLoad) {
+  auto world = sim::make_voltrino_world();
+  NodeMonitor monitor(*world, 10.0);
+  monitor.start();
+  world->run_until(100.0);  // all-idle history
+  // Hog arrives late; current load jumps, the average lags behind.
+  world->spawn_task("hog", 0, 0, sim::TaskProfile{},
+                    sim::Phase::compute(1e18),
+                    [](sim::Task&) { return sim::Phase::done(); });
+  world->run_until(121.0);
+  const auto status = monitor.status();
+  EXPECT_NEAR(status[0].load_current, 1.0 / 32.0, 1e-9);
+  EXPECT_LT(status[0].load_5min_avg, status[0].load_current * 0.5);
+}
+
+TEST(Monitor, PeriodValidation) {
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(NodeMonitor(*world, 0.0), hpas::InvariantError);
+}
+
+}  // namespace
+}  // namespace hpas::sched

@@ -1,0 +1,124 @@
+// Tests for the DES engine (sim/engine/simulator.hpp).
+#include "sim/engine/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInUsesRelativeTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), InvariantError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), InvariantError);
+  EXPECT_THROW(sim.schedule_at(2.0, nullptr), InvariantError);
+}
+
+TEST(Simulator, CancelledEventsDoNotFire) {
+  Simulator sim;
+  int fired = 0;
+  const EventHandle handle = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  sim.schedule_at(1.0, [] {});
+  sim.run();  // no crash
+}
+
+TEST(Simulator, ManyCancellationsStayCorrect) {
+  // Exercises the lazy-blacklist compaction (> 64 cancels).
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i)
+    handles.push_back(sim.schedule_at(1.0 + i, [&] { ++fired; }));
+  for (int i = 0; i < 200; i += 2) sim.cancel(handles[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventAtExactBoundaryIncluded) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsScheduledDuringRunFire) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace hpas::sim

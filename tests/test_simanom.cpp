@@ -1,0 +1,169 @@
+// Tests for the simulated anomaly injectors: each must reproduce its
+// native counterpart's resource signature on the simulated cluster.
+#include "simanom/injectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/osu_bw.hpp"
+#include "apps/stream.hpp"
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpas::simanom {
+namespace {
+
+TEST(InjectCpuOccupy, ConsumesRequestedShare) {
+  auto world = sim::make_voltrino_world();
+  inject_cpuoccupy(*world, 0, 0, 40.0, 30.0);
+  world->run_until(30.5);
+  // 40% of one core for 30 s = 12 core-seconds of user time.
+  EXPECT_NEAR(world->node(0).counters().cpu_user_seconds, 12.0, 0.5);
+}
+
+TEST(InjectCpuOccupy, StopsAtDeadline) {
+  auto world = sim::make_voltrino_world();
+  sim::Task* task = inject_cpuoccupy(*world, 0, 0, 100.0, 5.0);
+  world->run_until(20.0);
+  EXPECT_TRUE(task->done());
+  const double busy = world->node(0).counters().cpu_user_seconds;
+  EXPECT_NEAR(busy, 5.0, 0.6);  // nothing accrued after t=5
+}
+
+TEST(InjectCpuOccupy, ValidatesUtilization) {
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(inject_cpuoccupy(*world, 0, 0, 0.0, 1.0),
+               hpas::InvariantError);
+  EXPECT_THROW(inject_cpuoccupy(*world, 0, 0, 101.0, 1.0),
+               hpas::InvariantError);
+}
+
+TEST(InjectCacheCopy, WorkingSetMatchesLevel) {
+  auto world = sim::make_voltrino_world();
+  sim::Task* l1 = inject_cachecopy(*world, 0, 0, SimCacheLevel::kL1, 1.0,
+                                   100.0);
+  sim::Task* l3 = inject_cachecopy(*world, 0, 1, SimCacheLevel::kL3, 1.0,
+                                   100.0);
+  EXPECT_NEAR(l1->profile().working_set_bytes, 32.0 * 1024, 1.0);
+  EXPECT_NEAR(l3->profile().working_set_bytes, 40.0 * 1024 * 1024, 1.0);
+}
+
+TEST(InjectMemBw, GeneratesDramTraffic) {
+  auto world = sim::make_voltrino_world();
+  inject_membw(*world, 0, 0, 10.0);
+  world->run_until(10.5);
+  // One membw instance streams at the core limit (12.5 GB/s) for 10 s.
+  EXPECT_NEAR(world->node(0).counters().dram_bytes, 125.0e9, 2.0e9);
+}
+
+TEST(InjectMemBw, ReducesStreamBandwidth) {
+  auto world = sim::make_voltrino_world();
+  for (int i = 0; i < 3; ++i) inject_membw(*world, 0, 1 + i, 1e6);
+  hpas::apps::StreamBench stream(*world, {.node = 0, .core = 0,
+                                          .bytes_per_pass = 1e9,
+                                          .passes = 3});
+  const double best = stream.run_to_completion();
+  EXPECT_LT(best, 0.5 * world->node(0).config().core_bw_limit);
+}
+
+TEST(InjectMemEater, PlateauAndRelease) {
+  auto world = sim::make_voltrino_world();
+  world->enable_monitoring(1.0);
+  inject_memeater(*world, 0, 0, 100e6, 1e9, 0.5, 60.0);
+  world->run_until(30.0);
+  const double used_mid = world->node(0).memory_used();
+  EXPECT_NEAR(used_mid - world->node(0).config().os_base_memory, 1e9, 0.2e9);
+  world->run_until(45.0);
+  // Plateau: no further growth.
+  EXPECT_NEAR(world->node(0).memory_used(), used_mid, 1e6);
+  world->run_until(70.0);
+  // Termination releases everything.
+  EXPECT_NEAR(world->node(0).memory_used(),
+              world->node(0).config().os_base_memory, 1e6);
+}
+
+TEST(InjectMemLeak, MonotoneGrowthUntilDeadline) {
+  auto world = sim::make_voltrino_world();
+  inject_memleak(*world, 0, 0, 50e6, 1.0, 40.0);
+  world->run_until(20.0);
+  const double used_20 = world->node(0).memory_used();
+  world->run_until(35.0);
+  const double used_35 = world->node(0).memory_used();
+  EXPECT_GT(used_35, used_20 + 10 * 50e6);  // kept leaking
+  world->run_until(50.0);
+  EXPECT_NEAR(world->node(0).memory_used(),
+              world->node(0).config().os_base_memory, 1e6);
+}
+
+TEST(InjectMemLeak, CapHoldsFootprint) {
+  auto world = sim::make_voltrino_world();
+  inject_memleak(*world, 0, 0, 1e9, 0.5, 60.0, /*max_bytes=*/3e9);
+  world->run_until(30.0);
+  EXPECT_NEAR(world->node(0).memory_used() -
+                  world->node(0).config().os_base_memory,
+              3e9, 0.1e9);
+}
+
+TEST(InjectMemLeak, UncappedLeakEventuallyOoms) {
+  sim::NodeConfig small;
+  small.memory_bytes = 4.0 * 1024 * 1024 * 1024;
+  small.os_base_memory = 1.0 * 1024 * 1024 * 1024;
+  sim::World world(small, sim::Topology::star(1, 1e9), sim::FsConfig{});
+  sim::Task* leak = inject_memleak(world, 0, 0, 1e9, 0.25, 1e6);
+  world.run_until(10.0);
+  EXPECT_TRUE(leak->done());  // OOM-killed by the default handler
+  EXPECT_NEAR(world.node(0).memory_used(), small.os_base_memory, 1e6);
+}
+
+TEST(InjectNetOccupy, ReducesCrossTrunkBandwidth) {
+  auto world = sim::make_voltrino_world();
+  inject_netoccupy(*world, 1, 5, 2, 100e6, 1e6);
+  hpas::apps::OsuBandwidth osu(*world, {.src_node = 0,
+                                        .dst_node = 4,
+                                        .message_sizes = {8e6},
+                                        .window = 8,
+                                        .msg_latency_s = 15e-6});
+  osu.run_to_completion();
+  EXPECT_LT(osu.results()[0], 0.8 * 10e9);
+  EXPECT_GT(osu.results()[0], 0.3 * 10e9);  // adaptive-routing floor
+}
+
+TEST(InjectNetOccupy, CountsFlits) {
+  auto world = sim::make_voltrino_world();
+  inject_netoccupy(*world, 0, 4, 1, 100e6, 5.0);
+  world->run_until(6.0);
+  EXPECT_GT(world->node(0).counters().nic_tx_bytes, 1e9);
+}
+
+TEST(InjectIoMetadata, SaturatesMds) {
+  auto world = sim::make_chameleon_world();
+  inject_iometadata(*world, 1, 4, 10.0);
+  world->run_until(10.5);
+  // 3000 ops/s MDS saturated for ~10 s (minus ramp).
+  EXPECT_GT(world->filesystem().counters().metadata_ops, 25000.0);
+}
+
+TEST(InjectIoBandwidth, AlternatesReadAndWrite) {
+  auto world = sim::make_chameleon_world();
+  inject_iobandwidth(*world, 1, 1, 50e6, 10.0);
+  world->run_until(11.0);
+  const auto& counters = world->filesystem().counters();
+  EXPECT_GT(counters.bytes_written, 50e6 - 1.0);
+  EXPECT_GT(counters.bytes_read, 1.0);
+}
+
+TEST(InjectByName, AllEightNamesWork) {
+  for (const std::string name :
+       {"cpuoccupy", "cachecopy", "membw", "memeater", "memleak", "netoccupy",
+        "iometadata", "iobandwidth"}) {
+    auto world = sim::make_voltrino_world();
+    const auto tasks = inject_by_name(*world, name, 0, 0, 1.0);
+    EXPECT_FALSE(tasks.empty()) << name;
+    world->run_until(3.0);  // runs cleanly to termination
+  }
+  auto world = sim::make_voltrino_world();
+  EXPECT_THROW(inject_by_name(*world, "bogus", 0, 0, 1.0),
+               hpas::ConfigError);
+}
+
+}  // namespace
+}  // namespace hpas::simanom

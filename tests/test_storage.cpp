@@ -1,0 +1,120 @@
+// Tests for the shared-filesystem model (sim/storage.hpp).
+#include "sim/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+namespace {
+
+std::unique_ptr<Task> io_task(IoKind kind) {
+  TaskProfile profile;
+  auto task = std::make_unique<Task>("io", 0, 0, profile,
+                                     [](Task&) { return Phase::done(); });
+  task->set_phase(Phase::io(kind, 1e12));
+  return task;
+}
+
+FsConfig nfs_config() {
+  return FsConfig{.metadata_ops_per_s = 3000.0,
+                  .disk_write_bw = 300.0e6,
+                  .disk_read_bw = 330.0e6,
+                  .dedicated_mds = false,
+                  .metadata_disk_cost_s = 1.0e-4};
+}
+
+TEST(Storage, SoloWriterGetsFullDisk) {
+  Filesystem fs(nfs_config());
+  auto writer = io_task(IoKind::kWrite);
+  std::vector<Task*> tasks = {writer.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(writer->rates().progress, 300.0e6, 1.0);
+}
+
+TEST(Storage, ReadAndWriteBandwidthsDiffer) {
+  Filesystem fs(nfs_config());
+  auto reader = io_task(IoKind::kRead);
+  std::vector<Task*> tasks = {reader.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(reader->rates().progress, 330.0e6, 1.0);
+}
+
+TEST(Storage, WritersShareDiskEqually) {
+  Filesystem fs(nfs_config());
+  auto w1 = io_task(IoKind::kWrite);
+  auto w2 = io_task(IoKind::kWrite);
+  auto w3 = io_task(IoKind::kWrite);
+  std::vector<Task*> tasks = {w1.get(), w2.get(), w3.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(w1->rates().progress, 100.0e6, 1.0);
+  EXPECT_NEAR(w3->rates().progress, 100.0e6, 1.0);
+}
+
+TEST(Storage, SoloMetadataClientGetsMdsRate) {
+  Filesystem fs(nfs_config());
+  auto meta = io_task(IoKind::kMetadata);
+  std::vector<Task*> tasks = {meta.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(meta->rates().progress, 3000.0, 1e-6);
+}
+
+TEST(Storage, MetadataClientsShareMds) {
+  Filesystem fs(nfs_config());
+  auto m1 = io_task(IoKind::kMetadata);
+  auto m2 = io_task(IoKind::kMetadata);
+  std::vector<Task*> tasks = {m1.get(), m2.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(m1->rates().progress, 1500.0, 1e-6);
+}
+
+TEST(Storage, MetadataEatsDiskTimeWithoutDedicatedMds) {
+  // The Fig. 7 coupling: metadata load reduces writer bandwidth on an
+  // NFS-like (no-MDS) deployment.
+  Filesystem fs(nfs_config());
+  auto writer = io_task(IoKind::kWrite);
+  auto meta = io_task(IoKind::kMetadata);
+  std::vector<Task*> tasks = {writer.get(), meta.get()};
+  fs.compute_rates(tasks);
+  // Metadata's finite demand: 1500 ops/s... it gets up to mds share 3000
+  // ops/s costing 0.3 s/s of disk; writer takes the remaining 0.7.
+  EXPECT_LT(writer->rates().progress, 300.0e6 * 0.75);
+  EXPECT_GT(writer->rates().progress, 300.0e6 * 0.55);
+}
+
+TEST(Storage, DedicatedMdsDecouplesMetadataFromDisk) {
+  FsConfig lustre = nfs_config();
+  lustre.dedicated_mds = true;
+  lustre.metadata_disk_cost_s = 0.0;
+  Filesystem fs(lustre);
+  auto writer = io_task(IoKind::kWrite);
+  auto meta = io_task(IoKind::kMetadata);
+  std::vector<Task*> tasks = {writer.get(), meta.get()};
+  fs.compute_rates(tasks);
+  EXPECT_NEAR(writer->rates().progress, 300.0e6, 1.0);
+  EXPECT_NEAR(meta->rates().progress, 3000.0, 1e-6);
+}
+
+TEST(Storage, NonIoTasksIgnored) {
+  Filesystem fs(nfs_config());
+  TaskProfile profile;
+  Task compute("c", 0, 0, profile, [](Task&) { return Phase::done(); });
+  compute.set_phase(Phase::compute(1e9));
+  std::vector<Task*> tasks = {&compute};
+  fs.compute_rates(tasks);  // must not touch compute rates
+  EXPECT_DOUBLE_EQ(compute.rates().progress, 0.0);
+}
+
+TEST(Storage, InvalidConfigRejected) {
+  FsConfig bad = nfs_config();
+  bad.metadata_ops_per_s = 0.0;
+  EXPECT_THROW(Filesystem{bad}, InvariantError);
+  bad = nfs_config();
+  bad.disk_write_bw = -1.0;
+  EXPECT_THROW(Filesystem{bad}, InvariantError);
+}
+
+}  // namespace
+}  // namespace hpas::sim
