@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_diagnosis"
+  "../bench/ablation_diagnosis.pdb"
+  "CMakeFiles/ablation_diagnosis.dir/ablation_diagnosis.cpp.o"
+  "CMakeFiles/ablation_diagnosis.dir/ablation_diagnosis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

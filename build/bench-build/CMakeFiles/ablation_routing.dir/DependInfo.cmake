@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_routing.cpp" "bench-build/CMakeFiles/ablation_routing.dir/ablation_routing.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_routing.dir/ablation_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hpas_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simanom/CMakeFiles/hpas_simanom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hpas_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

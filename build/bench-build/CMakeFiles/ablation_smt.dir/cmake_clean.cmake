@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_smt"
+  "../bench/ablation_smt.pdb"
+  "CMakeFiles/ablation_smt.dir/ablation_smt.cpp.o"
+  "CMakeFiles/ablation_smt.dir/ablation_smt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

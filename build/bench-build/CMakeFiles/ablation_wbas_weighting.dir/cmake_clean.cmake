@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wbas_weighting"
+  "../bench/ablation_wbas_weighting.pdb"
+  "CMakeFiles/ablation_wbas_weighting.dir/ablation_wbas_weighting.cpp.o"
+  "CMakeFiles/ablation_wbas_weighting.dir/ablation_wbas_weighting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wbas_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

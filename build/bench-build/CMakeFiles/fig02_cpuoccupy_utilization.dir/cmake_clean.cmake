@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_cpuoccupy_utilization"
+  "../bench/fig02_cpuoccupy_utilization.pdb"
+  "CMakeFiles/fig02_cpuoccupy_utilization.dir/fig02_cpuoccupy_utilization.cpp.o"
+  "CMakeFiles/fig02_cpuoccupy_utilization.dir/fig02_cpuoccupy_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cpuoccupy_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

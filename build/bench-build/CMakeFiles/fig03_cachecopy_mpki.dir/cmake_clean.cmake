@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_cachecopy_mpki"
+  "../bench/fig03_cachecopy_mpki.pdb"
+  "CMakeFiles/fig03_cachecopy_mpki.dir/fig03_cachecopy_mpki.cpp.o"
+  "CMakeFiles/fig03_cachecopy_mpki.dir/fig03_cachecopy_mpki.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cachecopy_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

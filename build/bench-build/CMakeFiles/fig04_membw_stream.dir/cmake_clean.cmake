@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_membw_stream"
+  "../bench/fig04_membw_stream.pdb"
+  "CMakeFiles/fig04_membw_stream.dir/fig04_membw_stream.cpp.o"
+  "CMakeFiles/fig04_membw_stream.dir/fig04_membw_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_membw_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

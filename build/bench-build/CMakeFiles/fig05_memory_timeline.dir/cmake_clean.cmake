@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_memory_timeline"
+  "../bench/fig05_memory_timeline.pdb"
+  "CMakeFiles/fig05_memory_timeline.dir/fig05_memory_timeline.cpp.o"
+  "CMakeFiles/fig05_memory_timeline.dir/fig05_memory_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_memory_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

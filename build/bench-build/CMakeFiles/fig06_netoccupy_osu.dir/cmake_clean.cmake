@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_netoccupy_osu"
+  "../bench/fig06_netoccupy_osu.pdb"
+  "CMakeFiles/fig06_netoccupy_osu.dir/fig06_netoccupy_osu.cpp.o"
+  "CMakeFiles/fig06_netoccupy_osu.dir/fig06_netoccupy_osu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_netoccupy_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

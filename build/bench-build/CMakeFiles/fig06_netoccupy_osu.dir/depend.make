@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_netoccupy_osu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_app_anomaly_grid"
+  "../bench/fig08_app_anomaly_grid.pdb"
+  "CMakeFiles/fig08_app_anomaly_grid.dir/fig08_app_anomaly_grid.cpp.o"
+  "CMakeFiles/fig08_app_anomaly_grid.dir/fig08_app_anomaly_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_app_anomaly_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

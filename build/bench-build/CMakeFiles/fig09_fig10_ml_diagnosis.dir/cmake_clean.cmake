@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_fig10_ml_diagnosis"
+  "../bench/fig09_fig10_ml_diagnosis.pdb"
+  "CMakeFiles/fig09_fig10_ml_diagnosis.dir/fig09_fig10_ml_diagnosis.cpp.o"
+  "CMakeFiles/fig09_fig10_ml_diagnosis.dir/fig09_fig10_ml_diagnosis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fig10_ml_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

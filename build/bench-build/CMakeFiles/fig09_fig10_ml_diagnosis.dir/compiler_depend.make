@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_fig10_ml_diagnosis.
+# This may be replaced when dependencies are built.

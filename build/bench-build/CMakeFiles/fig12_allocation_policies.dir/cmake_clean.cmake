@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_allocation_policies"
+  "../bench/fig12_allocation_policies.pdb"
+  "CMakeFiles/fig12_allocation_policies.dir/fig12_allocation_policies.cpp.o"
+  "CMakeFiles/fig12_allocation_policies.dir/fig12_allocation_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_allocation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_load_balancer"
+  "../bench/fig13_load_balancer.pdb"
+  "CMakeFiles/fig13_load_balancer.dir/fig13_load_balancer.cpp.o"
+  "CMakeFiles/fig13_load_balancer.dir/fig13_load_balancer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_anomaly_suite"
+  "../bench/table1_anomaly_suite.pdb"
+  "CMakeFiles/table1_anomaly_suite.dir/table1_anomaly_suite.cpp.o"
+  "CMakeFiles/table1_anomaly_suite.dir/table1_anomaly_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_anomaly_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_app_characterization"
+  "../bench/table2_app_characterization.pdb"
+  "CMakeFiles/table2_app_characterization.dir/table2_app_characterization.cpp.o"
+  "CMakeFiles/table2_app_characterization.dir/table2_app_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_app_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/diagnosis_demo"
+  "../examples/diagnosis_demo.pdb"
+  "CMakeFiles/diagnosis_demo.dir/diagnosis_demo.cpp.o"
+  "CMakeFiles/diagnosis_demo.dir/diagnosis_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

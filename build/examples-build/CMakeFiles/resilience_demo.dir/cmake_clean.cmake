@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/resilience_demo"
+  "../examples/resilience_demo.pdb"
+  "CMakeFiles/resilience_demo.dir/resilience_demo.cpp.o"
+  "CMakeFiles/resilience_demo.dir/resilience_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scheduling_demo"
+  "../examples/scheduling_demo.pdb"
+  "CMakeFiles/scheduling_demo.dir/scheduling_demo.cpp.o"
+  "CMakeFiles/scheduling_demo.dir/scheduling_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

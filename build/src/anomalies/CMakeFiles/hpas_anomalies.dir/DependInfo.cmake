@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomalies/anomaly.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/anomaly.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/anomaly.cpp.o.d"
+  "/root/repo/src/anomalies/cache_topology.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cache_topology.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cache_topology.cpp.o.d"
+  "/root/repo/src/anomalies/cachecopy.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cachecopy.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cachecopy.cpp.o.d"
+  "/root/repo/src/anomalies/cpuoccupy.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cpuoccupy.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/cpuoccupy.cpp.o.d"
+  "/root/repo/src/anomalies/iobandwidth.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/iobandwidth.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/iobandwidth.cpp.o.d"
+  "/root/repo/src/anomalies/iometadata.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/iometadata.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/iometadata.cpp.o.d"
+  "/root/repo/src/anomalies/membw.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/membw.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/membw.cpp.o.d"
+  "/root/repo/src/anomalies/memeater.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/memeater.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/memeater.cpp.o.d"
+  "/root/repo/src/anomalies/memleak.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/memleak.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/memleak.cpp.o.d"
+  "/root/repo/src/anomalies/netoccupy.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/netoccupy.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/netoccupy.cpp.o.d"
+  "/root/repo/src/anomalies/schedule.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/schedule.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/schedule.cpp.o.d"
+  "/root/repo/src/anomalies/suite.cpp" "src/anomalies/CMakeFiles/hpas_anomalies.dir/suite.cpp.o" "gcc" "src/anomalies/CMakeFiles/hpas_anomalies.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_anomalies.dir/anomaly.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/anomaly.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/cache_topology.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/cache_topology.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/cachecopy.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/cachecopy.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/cpuoccupy.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/cpuoccupy.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/iobandwidth.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/iobandwidth.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/iometadata.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/iometadata.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/membw.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/membw.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/memeater.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/memeater.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/memleak.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/memleak.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/netoccupy.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/netoccupy.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/schedule.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/schedule.cpp.o.d"
+  "CMakeFiles/hpas_anomalies.dir/suite.cpp.o"
+  "CMakeFiles/hpas_anomalies.dir/suite.cpp.o.d"
+  "libhpas_anomalies.a"
+  "libhpas_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bsp_app.cpp" "src/apps/CMakeFiles/hpas_apps.dir/bsp_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpas_apps.dir/bsp_app.cpp.o.d"
+  "/root/repo/src/apps/ior.cpp" "src/apps/CMakeFiles/hpas_apps.dir/ior.cpp.o" "gcc" "src/apps/CMakeFiles/hpas_apps.dir/ior.cpp.o.d"
+  "/root/repo/src/apps/osu_bw.cpp" "src/apps/CMakeFiles/hpas_apps.dir/osu_bw.cpp.o" "gcc" "src/apps/CMakeFiles/hpas_apps.dir/osu_bw.cpp.o.d"
+  "/root/repo/src/apps/profiles.cpp" "src/apps/CMakeFiles/hpas_apps.dir/profiles.cpp.o" "gcc" "src/apps/CMakeFiles/hpas_apps.dir/profiles.cpp.o.d"
+  "/root/repo/src/apps/stream.cpp" "src/apps/CMakeFiles/hpas_apps.dir/stream.cpp.o" "gcc" "src/apps/CMakeFiles/hpas_apps.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hpas_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_apps.dir/bsp_app.cpp.o"
+  "CMakeFiles/hpas_apps.dir/bsp_app.cpp.o.d"
+  "CMakeFiles/hpas_apps.dir/ior.cpp.o"
+  "CMakeFiles/hpas_apps.dir/ior.cpp.o.d"
+  "CMakeFiles/hpas_apps.dir/osu_bw.cpp.o"
+  "CMakeFiles/hpas_apps.dir/osu_bw.cpp.o.d"
+  "CMakeFiles/hpas_apps.dir/profiles.cpp.o"
+  "CMakeFiles/hpas_apps.dir/profiles.cpp.o.d"
+  "CMakeFiles/hpas_apps.dir/stream.cpp.o"
+  "CMakeFiles/hpas_apps.dir/stream.cpp.o.d"
+  "libhpas_apps.a"
+  "libhpas_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/hpas-sim"
+  "../../bin/hpas-sim.pdb"
+  "CMakeFiles/hpas-sim.dir/hpas_sim_main.cpp.o"
+  "CMakeFiles/hpas-sim.dir/hpas_sim_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/hpas"
+  "../../bin/hpas.pdb"
+  "CMakeFiles/hpas.dir/hpas_main.cpp.o"
+  "CMakeFiles/hpas.dir/hpas_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_common.dir/cli.cpp.o"
+  "CMakeFiles/hpas_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hpas_common.dir/log.cpp.o"
+  "CMakeFiles/hpas_common.dir/log.cpp.o.d"
+  "CMakeFiles/hpas_common.dir/rng.cpp.o"
+  "CMakeFiles/hpas_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hpas_common.dir/stats.cpp.o"
+  "CMakeFiles/hpas_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hpas_common.dir/units.cpp.o"
+  "CMakeFiles/hpas_common.dir/units.cpp.o.d"
+  "libhpas_common.a"
+  "libhpas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/balancers.cpp" "src/lb/CMakeFiles/hpas_lb.dir/balancers.cpp.o" "gcc" "src/lb/CMakeFiles/hpas_lb.dir/balancers.cpp.o.d"
+  "/root/repo/src/lb/stencil.cpp" "src/lb/CMakeFiles/hpas_lb.dir/stencil.cpp.o" "gcc" "src/lb/CMakeFiles/hpas_lb.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

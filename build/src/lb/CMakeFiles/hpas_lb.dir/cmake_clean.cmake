@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_lb.dir/balancers.cpp.o"
+  "CMakeFiles/hpas_lb.dir/balancers.cpp.o.d"
+  "CMakeFiles/hpas_lb.dir/stencil.cpp.o"
+  "CMakeFiles/hpas_lb.dir/stencil.cpp.o.d"
+  "libhpas_lb.a"
+  "libhpas_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

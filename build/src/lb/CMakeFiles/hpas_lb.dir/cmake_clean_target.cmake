@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpas_lb.a"
+)

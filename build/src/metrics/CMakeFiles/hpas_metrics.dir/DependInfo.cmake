@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/features.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/features.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/features.cpp.o.d"
+  "/root/repo/src/metrics/host_samplers.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/host_samplers.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/host_samplers.cpp.o.d"
+  "/root/repo/src/metrics/store.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/store.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/store.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/hpas_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/hpas_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_metrics.dir/collector.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/hpas_metrics.dir/csv.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/hpas_metrics.dir/features.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/features.cpp.o.d"
+  "CMakeFiles/hpas_metrics.dir/host_samplers.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/host_samplers.cpp.o.d"
+  "CMakeFiles/hpas_metrics.dir/store.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/store.cpp.o.d"
+  "CMakeFiles/hpas_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/hpas_metrics.dir/time_series.cpp.o.d"
+  "libhpas_metrics.a"
+  "libhpas_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/hpas_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/hpas_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/hpas_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/diagnosis.cpp" "src/ml/CMakeFiles/hpas_ml.dir/diagnosis.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/ml/evaluation.cpp" "src/ml/CMakeFiles/hpas_ml.dir/evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/hpas_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/hpas_ml.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hpas_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpas_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simanom/CMakeFiles/hpas_simanom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/hpas_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/hpas_ml.dir/dataset.cpp.o"
+  "CMakeFiles/hpas_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/hpas_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/hpas_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/hpas_ml.dir/diagnosis.cpp.o"
+  "CMakeFiles/hpas_ml.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/hpas_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/hpas_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hpas_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/hpas_ml.dir/random_forest.cpp.o.d"
+  "libhpas_ml.a"
+  "libhpas_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

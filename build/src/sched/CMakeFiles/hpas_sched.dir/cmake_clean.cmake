@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_sched.dir/monitor.cpp.o"
+  "CMakeFiles/hpas_sched.dir/monitor.cpp.o.d"
+  "CMakeFiles/hpas_sched.dir/policies.cpp.o"
+  "CMakeFiles/hpas_sched.dir/policies.cpp.o.d"
+  "libhpas_sched.a"
+  "libhpas_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

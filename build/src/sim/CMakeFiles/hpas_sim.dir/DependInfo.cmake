@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/hpas_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine/simulator.cpp" "src/sim/CMakeFiles/hpas_sim.dir/engine/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/engine/simulator.cpp.o.d"
+  "/root/repo/src/sim/maxmin.cpp" "src/sim/CMakeFiles/hpas_sim.dir/maxmin.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/maxmin.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hpas_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/hpas_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/samplers.cpp" "src/sim/CMakeFiles/hpas_sim.dir/samplers.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/samplers.cpp.o.d"
+  "/root/repo/src/sim/storage.cpp" "src/sim/CMakeFiles/hpas_sim.dir/storage.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/storage.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/sim/CMakeFiles/hpas_sim.dir/task.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/task.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/hpas_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/hpas_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hpas_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

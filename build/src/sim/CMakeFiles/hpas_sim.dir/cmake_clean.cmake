@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_sim.dir/cluster.cpp.o"
+  "CMakeFiles/hpas_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/engine/simulator.cpp.o"
+  "CMakeFiles/hpas_sim.dir/engine/simulator.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/maxmin.cpp.o"
+  "CMakeFiles/hpas_sim.dir/maxmin.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/network.cpp.o"
+  "CMakeFiles/hpas_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/node.cpp.o"
+  "CMakeFiles/hpas_sim.dir/node.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/samplers.cpp.o"
+  "CMakeFiles/hpas_sim.dir/samplers.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/storage.cpp.o"
+  "CMakeFiles/hpas_sim.dir/storage.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/task.cpp.o"
+  "CMakeFiles/hpas_sim.dir/task.cpp.o.d"
+  "CMakeFiles/hpas_sim.dir/world.cpp.o"
+  "CMakeFiles/hpas_sim.dir/world.cpp.o.d"
+  "libhpas_sim.a"
+  "libhpas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_simanom.dir/injectors.cpp.o"
+  "CMakeFiles/hpas_simanom.dir/injectors.cpp.o.d"
+  "libhpas_simanom.a"
+  "libhpas_simanom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_simanom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomaly_suite.dir/test_anomaly_suite.cpp.o"
+  "CMakeFiles/test_anomaly_suite.dir/test_anomaly_suite.cpp.o.d"
+  "test_anomaly_suite"
+  "test_anomaly_suite.pdb"
+  "test_anomaly_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomaly_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

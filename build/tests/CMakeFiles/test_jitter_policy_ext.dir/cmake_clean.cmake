@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter_policy_ext.dir/test_jitter_policy_ext.cpp.o"
+  "CMakeFiles/test_jitter_policy_ext.dir/test_jitter_policy_ext.cpp.o.d"
+  "test_jitter_policy_ext"
+  "test_jitter_policy_ext.pdb"
+  "test_jitter_policy_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter_policy_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_diagnosis.dir/test_online_diagnosis.cpp.o"
+  "CMakeFiles/test_online_diagnosis.dir/test_online_diagnosis.cpp.o.d"
+  "test_online_diagnosis"
+  "test_online_diagnosis.pdb"
+  "test_online_diagnosis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refine_pin.dir/test_refine_pin.cpp.o"
+  "CMakeFiles/test_refine_pin.dir/test_refine_pin.cpp.o.d"
+  "test_refine_pin"
+  "test_refine_pin.pdb"
+  "test_refine_pin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refine_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

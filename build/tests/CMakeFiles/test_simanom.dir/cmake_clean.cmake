@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simanom.dir/test_simanom.cpp.o"
+  "CMakeFiles/test_simanom.dir/test_simanom.cpp.o.d"
+  "test_simanom"
+  "test_simanom.pdb"
+  "test_simanom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simanom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_counters.dir/test_task_counters.cpp.o"
+  "CMakeFiles/test_task_counters.dir/test_task_counters.cpp.o.d"
+  "test_task_counters"
+  "test_task_counters.pdb"
+  "test_task_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

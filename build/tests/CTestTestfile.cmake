@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_anomalies[1]_include.cmake")
+include("/root/repo/build/tests/test_anomaly_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_maxmin[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_dragonfly[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_simanom[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_jitter_policy_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_online_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_refine_pin[1]_include.cmake")
+include("/root/repo/build/tests/test_task_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_model_properties[1]_include.cmake")
