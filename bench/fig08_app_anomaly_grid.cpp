@@ -1,56 +1,51 @@
 // Figure 8: execution time of each application under each anomaly.
 //
+// Ported onto the deterministic parallel experiment runner: the 8 apps x
+// 7 anomalies grid is expressed declaratively and fanned across the
+// work-stealing pool, once at 1 thread and once at all hardware threads.
+// The two sweeps must produce byte-identical summaries (the runner's
+// reproducibility contract); the wall-clock ratio is the batching speedup
+// the bench records as a BENCH_JSON line.
+//
 // Placement (mirrors the paper's node-sharing experiment): each app runs
-// 4 ranks x 2 nodes, spanning the two switch groups (nodes 0 and 4);
-// the anomaly runs on node 0:
-//   - cpuoccupy / cachecopy share rank 0's core (the orphan-process /
-//     hyperthread scenario);
-//   - membw / memeater / memleak run on a free core of node 0;
-//   - netoccupy streams between two *other* nodes (1 -> 5) across the
-//     same inter-switch trunk the app's halo exchange uses.
+// 4 ranks x 2 nodes spanning the two switch groups; cpuoccupy/cachecopy
+// share rank 0's core, membw/memeater/memleak take a free core, and
+// netoccupy streams between two *other* nodes (1 -> 5) across the same
+// inter-switch trunk the app's halo exchange uses (runner::inject_anomaly
+// encodes exactly this policy).
 //
 // Paper shape: cachecopy, cpuoccupy and membw dominate; CPU-intensive
 // apps (CoMD, miniMD, SW4lite) are hit hardest by cpuoccupy/cachecopy;
 // memory-intensive apps (Cloverleaf, MILC, miniAMR, miniGhost) by membw;
 // memleak/memeater/netoccupy barely register (no swap; fat network).
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "apps/bsp_app.hpp"
 #include "apps/profiles.hpp"
-#include "sim/cluster.hpp"
-#include "simanom/injectors.hpp"
+#include "common/stopwatch.hpp"
+#include "runner/grid.hpp"
+#include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace {
 
-double run_app_with_anomaly(const std::string& app_name,
-                            const std::string& anomaly) {
-  auto world = hpas::sim::make_voltrino_world();
-
-  if (anomaly == "cpuoccupy") {
-    hpas::simanom::inject_cpuoccupy(*world, 0, 0, 100.0, 1e6);
-  } else if (anomaly == "cachecopy") {
-    hpas::simanom::inject_cachecopy(*world, 0, 0,
-                                    hpas::simanom::SimCacheLevel::kL3, 1.0,
-                                    1e6);
-  } else if (anomaly == "membw") {
-    hpas::simanom::inject_membw(*world, 0, 8, 1e6);
-  } else if (anomaly == "memeater") {
-    hpas::simanom::inject_memeater(*world, 0, 8, 35.0 * 1024 * 1024,
-                                   8.0e9, 1.0, 1e6);
-  } else if (anomaly == "memleak") {
-    hpas::simanom::inject_memleak(*world, 0, 8, 20.0 * 1024 * 1024, 1.0, 1e6);
-  } else if (anomaly == "netoccupy") {
-    hpas::simanom::inject_netoccupy(*world, 1, 5, 2, 100.0 * 1024 * 1024,
-                                    1e6);
-  }
-
-  hpas::apps::BspApp app(*world, hpas::apps::app_by_name(app_name),
-                         {.nodes = {0, 4}, .ranks_per_node = 4,
-                          .first_core = 0});
-  return app.run_to_completion();
+hpas::runner::SweepGrid fig08_grid() {
+  hpas::Json spec = hpas::Json::object();
+  spec.set("name", "fig08_app_anomaly_grid");
+  spec.set("system", "voltrino");
+  spec.set("duration_s", 1.0e6);  // anomaly outlives every app run
+  spec.set("sample_period_s", 1.0);
+  spec.set("run_to_completion", true);
+  hpas::Json anomalies = hpas::Json::array();
+  for (const char* a : {"cachecopy", "cpuoccupy", "membw", "memeater",
+                        "memleak", "netoccupy", "none"})
+    anomalies.push_back(a);
+  spec.set("anomalies", std::move(anomalies));
+  // "apps" axis omitted: defaults to all eight proxy apps.
+  return hpas::runner::expand_grid(spec);
 }
 
 }  // namespace
@@ -61,10 +56,38 @@ int main() {
       "paper shape: cachecopy/cpuoccupy hit CPU-bound apps; membw hits\n"
       "memory-bound apps; memleak/memeater/netoccupy ~= none\n\n");
 
+  const auto grid = fig08_grid();
+  // At least 4 workers even on small machines: an oversubscribed pool
+  // shuffles completion order the hardest, which is exactly what the
+  // byte-identity check needs to be meaningful.
+  const int hw_threads =
+      std::max(4, hpas::runner::WorkStealingPool::default_thread_count());
+
+  hpas::Stopwatch serial_watch;
+  const auto serial = hpas::runner::run_sweep(grid, {.threads = 1});
+  const double serial_s = serial_watch.elapsed_seconds();
+
+  hpas::Stopwatch parallel_watch;
+  const auto parallel = hpas::runner::run_sweep(grid, {.threads = hw_threads});
+  const double parallel_s = parallel_watch.elapsed_seconds();
+
+  if (!serial.ok() || !parallel.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 (serial.ok() ? parallel : serial).first_error().c_str());
+    return 1;
+  }
+  const bool identical =
+      serial.summary_json().dump(2) == parallel.summary_json().dump(2);
+
+  // App-time table, row per app, column per anomaly (grid order is
+  // app-major so results regroup directly).
+  std::map<std::string, std::map<std::string, double>> time;
+  for (const auto& s : parallel.scenarios)
+    time[s.spec.app][s.spec.anomaly] = s.app_elapsed_s;
+
   const std::vector<std::string> anomalies = {
       "cachecopy", "cpuoccupy", "membw", "memeater",
       "memleak",   "netoccupy", "none"};
-
   std::printf("%-12s", "app");
   for (const auto& anomaly : anomalies)
     std::printf(" %10s", anomaly.c_str());
@@ -72,27 +95,38 @@ int main() {
 
   bool shape_ok = true;
   for (const auto& app : hpas::apps::proxy_apps()) {
+    const auto& row = time[app.name];
     std::printf("%-12s", app.name.c_str());
-    std::map<std::string, double> time;
-    for (const auto& anomaly : anomalies) {
-      time[anomaly] = run_app_with_anomaly(app.name, anomaly);
-      std::printf(" %10.1f", time[anomaly]);
-    }
+    for (const auto& anomaly : anomalies)
+      std::printf(" %10.1f", row.at(anomaly));
     std::printf("\n");
 
     // Per-app shape: cachecopy worst, then cpuoccupy; memleak/memeater/
     // netoccupy indistinguishable from none; membw only hurts the
     // memory-intensive apps.
-    shape_ok = shape_ok && time["cachecopy"] > time["cpuoccupy"] &&
-               time["cpuoccupy"] > 1.5 * time["none"];
+    shape_ok = shape_ok && row.at("cachecopy") > row.at("cpuoccupy") &&
+               row.at("cpuoccupy") > 1.5 * row.at("none");
     for (const char* benign : {"memeater", "memleak", "netoccupy"})
-      shape_ok = shape_ok && time[benign] < 1.05 * time["none"];
+      shape_ok = shape_ok && row.at(benign) < 1.05 * row.at("none");
     if (app.memory_intensive) {
-      shape_ok = shape_ok && time["membw"] > 1.15 * time["none"];
+      shape_ok = shape_ok && row.at("membw") > 1.15 * row.at("none");
     } else {
-      shape_ok = shape_ok && time["membw"] < 1.10 * time["none"];
+      shape_ok = shape_ok && row.at("membw") < 1.10 * row.at("none");
     }
   }
-  std::printf("shape check: %s\n", shape_ok ? "OK" : "FAILED");
-  return shape_ok ? 0 : 1;
+
+  std::printf("\nrunner: %zu scenarios  serial %.2fs  %d-thread %.2fs  "
+              "speedup %.2fx  outputs %s\n",
+              grid.scenarios.size(), serial_s, hw_threads, parallel_s,
+              serial_s / parallel_s,
+              identical ? "byte-identical" : "DIVERGED");
+  std::printf(
+      "BENCH_JSON {\"bench\":\"fig08_app_anomaly_grid\",\"scenarios\":%zu,"
+      "\"serial_s\":%.3f,\"parallel_s\":%.3f,\"threads\":%d,"
+      "\"speedup\":%.2f,\"byte_identical\":%s}\n",
+      grid.scenarios.size(), serial_s, parallel_s, hw_threads,
+      serial_s / parallel_s, identical ? "true" : "false");
+  std::printf("shape check: %s\n",
+              shape_ok && identical ? "OK" : "FAILED");
+  return shape_ok && identical ? 0 : 1;
 }

@@ -15,17 +15,51 @@
 #include <cstdio>
 #include <numeric>
 
+#include "common/stopwatch.hpp"
 #include "ml/diagnosis.hpp"
 #include "ml/random_forest.hpp"
+#include "runner/diagnosis_sweep.hpp"
+#include "runner/thread_pool.hpp"
 
 int main() {
   std::printf("== Figures 9 & 10: anomaly diagnosis (3-fold CV) ==\n");
-  std::printf("generating dataset (simulated runs)...\n");
+  std::printf("generating dataset (simulated runs, parallel sweep)...\n");
 
+  // The training sweep (classes x apps x variants = 240 simulated runs)
+  // goes through the experiment runner's thread pool; 1-thread and
+  // N-thread generation must agree feature-for-feature (the runner's
+  // determinism contract) and their wall-clock ratio is the recorded
+  // batching speedup.
   hpas::ml::DiagnosisDataOptions options;
-  const auto data = hpas::ml::generate_diagnosis_dataset(options);
-  std::printf("dataset: %zu samples x %zu features, %d classes\n\n",
+  // At least 4 workers even on small machines so the parallel run really
+  // reorders task completion (the determinism check is vacuous at 1).
+  const int hw_threads =
+      std::max(4, hpas::runner::WorkStealingPool::default_thread_count());
+
+  hpas::Stopwatch serial_watch;
+  const auto serial_data =
+      hpas::runner::generate_diagnosis_dataset_parallel(options, 1);
+  const double serial_s = serial_watch.elapsed_seconds();
+
+  hpas::Stopwatch parallel_watch;
+  const auto data =
+      hpas::runner::generate_diagnosis_dataset_parallel(options, hw_threads);
+  const double parallel_s = parallel_watch.elapsed_seconds();
+
+  const bool identical = serial_data.features == data.features &&
+                         serial_data.labels == data.labels;
+  std::printf("dataset: %zu samples x %zu features, %d classes\n",
               data.size(), data.num_features(), data.num_classes());
+  std::printf("sweep: serial %.2fs  %d-thread %.2fs  speedup %.2fx  %s\n",
+              serial_s, hw_threads, parallel_s, serial_s / parallel_s,
+              identical ? "bit-identical" : "DIVERGED");
+  std::printf(
+      "BENCH_JSON {\"bench\":\"fig09_fig10_ml_diagnosis\",\"runs\":%zu,"
+      "\"serial_s\":%.3f,\"parallel_s\":%.3f,\"threads\":%d,"
+      "\"speedup\":%.2f,\"byte_identical\":%s}\n\n",
+      data.size(), serial_s, parallel_s, hw_threads, serial_s / parallel_s,
+      identical ? "true" : "false");
+  if (!identical) return 1;
 
   const auto results = hpas::ml::evaluate_classifiers(data, /*k_folds=*/3);
 

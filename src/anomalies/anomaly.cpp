@@ -7,12 +7,15 @@
 #include <chrono>
 #include <thread>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 
 namespace hpas::anomalies {
 
-Anomaly::Anomaly(CommonOptions opts) : opts_(opts) {}
+Anomaly::Anomaly(CommonOptions opts) : opts_(opts) {
+  require(opts_.start_delay_s >= 0.0, "start-delay must be non-negative");
+}
 
 void Anomaly::pace(double seconds) const {
   // Sleep in slices so a stop request is honoured within ~50 ms even in

@@ -14,6 +14,9 @@
 //   hpas netoccupy --mode send --host <A>   # on node B
 //   hpas iometadata --dir /shared/fs -n 48 -d 60s
 //
+// Batch experiments run through the deterministic parallel runner:
+//   hpas sweep grid.json -j 8 -o out/   # scenario grid across 8 workers
+//
 // Generators exit cleanly on SIGINT/SIGTERM and print a one-line summary.
 #include <atomic>
 #include <csignal>
@@ -26,6 +29,8 @@
 #include "anomalies/suite.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace {
 
@@ -72,6 +77,67 @@ int run_schedule_command(const std::vector<std::string>& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int run_sweep_command(const std::vector<std::string>& argv) {
+  hpas::CliParser parser(
+      "hpas sweep",
+      "run a scenario grid through the deterministic parallel runner");
+  parser
+      .add({.long_name = "threads", .short_name = 'j', .value_name = "N",
+            .help = "worker threads; 0 = all hardware threads",
+            .default_value = "0"})
+      .add({.long_name = "out", .short_name = 'o', .value_name = "DIR",
+            .help = "output directory (per-scenario CSVs + summary.json)",
+            .default_value = "sweep-out"})
+      .add({.long_name = "dry-run", .short_name = '\0', .value_name = "",
+            .help = "expand and print the grid without running it",
+            .default_value = std::nullopt});
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: hpas sweep <grid.json> [-j N] [-o DIR]\n");
+    return 2;
+  }
+
+  const auto grid = hpas::runner::load_grid_file(args.positional()[0]);
+  int threads = static_cast<int>(hpas::parse_u64(args.value("threads")));
+  if (threads == 0)
+    threads = hpas::runner::WorkStealingPool::default_thread_count();
+  std::printf("sweep '%s': %zu scenarios across %d threads\n",
+              grid.name.c_str(), grid.scenarios.size(), threads);
+
+  if (args.flag("dry-run")) {
+    for (const auto& s : grid.scenarios)
+      std::printf("  %-40s seed=%llu\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.seed));
+    return 0;
+  }
+
+  const auto result = hpas::runner::run_sweep(
+      grid, {.threads = threads, .queue_capacity = 256});
+  if (!result.ok()) {
+    std::fprintf(stderr, "hpas: sweep failed: %s\n",
+                 result.first_error().c_str());
+    return 1;
+  }
+
+  const std::string out_dir = args.value("out");
+  hpas::runner::write_outputs(result, out_dir);
+  const auto summary = result.summary_json();
+  for (const auto& group : summary.find("by_anomaly")->as_array()) {
+    std::printf("  %-12s median=%8.1fs  p95=%8.1fs  cv=%5.1f%%\n",
+                group.find("anomaly")->as_string().c_str(),
+                group.number_or("median_s", 0.0),
+                group.number_or("p95_s", 0.0),
+                group.number_or("cv_pct", 0.0));
+  }
+  std::printf("wrote %zu scenario CSVs + summary.json to %s/\n",
+              result.scenarios.size(), out_dir.c_str());
+  return 0;
+}
+
 void print_catalog() {
   std::printf("%-12s %-16s %-34s %s\n", "NAME", "SUBSYSTEM", "BEHAVIOR",
               "KNOBS");
@@ -82,8 +148,9 @@ void print_catalog() {
   }
   std::printf(
       "\nEvery anomaly accepts --duration, --start-delay and --seed.\n"
-      "Run `hpas <anomaly> --help` for its knobs, or compose instances\n"
-      "with `hpas schedule <file>`.\n");
+      "Run `hpas <anomaly> --help` for its knobs, compose instances\n"
+      "with `hpas schedule <file>`, or batch simulated experiments with\n"
+      "`hpas sweep <grid.json>` (deterministic parallel runner).\n");
 }
 
 int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
@@ -127,6 +194,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "schedule") {
       return run_schedule_command({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "sweep") {
+      return run_sweep_command({args.begin() + 1, args.end()});
     }
     if (!hpas::anomalies::is_known_anomaly(args[0])) {
       std::fprintf(stderr, "hpas: unknown anomaly '%s'; try `hpas list`\n",

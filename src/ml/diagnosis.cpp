@@ -75,11 +75,11 @@ namespace {
 
 /// Runs one (app, anomaly, intensity) scenario and extracts the feature
 /// vector from node 0's monitoring window.
-std::vector<double> run_scenario(const std::string& app_name,
-                                 const std::string& anomaly,
-                                 double intensity,
-                                 const DiagnosisDataOptions& options,
-                                 Rng& noise_rng) {
+std::vector<double> run_one_scenario(const std::string& app_name,
+                                     const std::string& anomaly,
+                                     double intensity,
+                                     const DiagnosisDataOptions& options,
+                                     Rng& noise_rng) {
   auto world = sim::make_voltrino_world();
   world->enable_monitoring(1.0);
 
@@ -145,31 +145,57 @@ double intensity_for_variant(const std::string& anomaly, int variant,
 
 }  // namespace
 
-Dataset generate_diagnosis_dataset(const DiagnosisDataOptions& options) {
+std::vector<DiagnosisRunPlan> plan_diagnosis_runs(
+    const DiagnosisDataOptions& options) {
   require(!options.classes.empty() && options.classes[0] == "none",
-          "generate_diagnosis_dataset: class 0 must be 'none'");
-  Dataset data;
-  data.class_names = options.classes;
-  for (const MetricId& id :
-       feature_metrics(options.include_bandwidth_metrics)) {
-    for (const auto& stat : metrics::feature_statistic_names())
-      data.feature_names.push_back(id.full_name() + "#" + stat);
-  }
-
+          "plan_diagnosis_runs: class 0 must be 'none'");
+  // The split()/uniform() consumption order below must stay exactly the
+  // historical serial-sweep order: the plan IS the dataset's random tape,
+  // and every executor (serial or pooled) replays it bit-identically.
   Rng rng(options.seed);
+  std::vector<DiagnosisRunPlan> plan;
   for (std::size_t label = 0; label < options.classes.size(); ++label) {
     const std::string& anomaly = options.classes[label];
     for (const auto& app : apps::proxy_apps()) {
       for (int variant = 0; variant < options.variants_per_app; ++variant) {
-        Rng noise_rng = rng.split();
-        const double intensity = intensity_for_variant(
+        DiagnosisRunPlan run{.app = app.name,
+                             .anomaly = anomaly,
+                             .label = static_cast<int>(label),
+                             .intensity = 0.0,
+                             .noise_rng = rng.split()};
+        run.intensity = intensity_for_variant(
             anomaly, variant, options.variants_per_app, rng);
-        auto features =
-            run_scenario(app.name, anomaly, intensity, options, noise_rng);
-        data.add(std::move(features), static_cast<int>(label));
+        plan.push_back(std::move(run));
       }
     }
   }
+  return plan;
+}
+
+std::vector<double> run_diagnosis_scenario(const DiagnosisRunPlan& plan,
+                                           const DiagnosisDataOptions& options) {
+  Rng noise_rng = plan.noise_rng;  // private copy: the plan stays reusable
+  return run_one_scenario(plan.app, plan.anomaly, plan.intensity, options,
+                          noise_rng);
+}
+
+std::vector<std::string> diagnosis_feature_names(
+    const DiagnosisDataOptions& options) {
+  std::vector<std::string> names;
+  for (const MetricId& id :
+       feature_metrics(options.include_bandwidth_metrics)) {
+    for (const auto& stat : metrics::feature_statistic_names())
+      names.push_back(id.full_name() + "#" + stat);
+  }
+  return names;
+}
+
+Dataset generate_diagnosis_dataset(const DiagnosisDataOptions& options) {
+  Dataset data;
+  data.class_names = options.classes;
+  data.feature_names = diagnosis_feature_names(options);
+  for (const DiagnosisRunPlan& run : plan_diagnosis_runs(options))
+    data.add(run_diagnosis_scenario(run, options), run.label);
   return data;
 }
 

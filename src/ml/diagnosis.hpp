@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "metrics/store.hpp"
 #include "ml/dataset.hpp"
 #include "ml/random_forest.hpp"
@@ -45,9 +46,37 @@ struct DiagnosisDataOptions {
   std::uint64_t seed = 0x44494147;  // "DIAG"
 };
 
+/// One planned (app, anomaly, intensity) training run. The plan carries
+/// its own pre-split sensor-noise RNG, so executing a run is a pure
+/// function of the plan -- runs can execute in any order, on any thread,
+/// and still produce the exact bytes the serial sweep would.
+struct DiagnosisRunPlan {
+  std::string app;
+  std::string anomaly;  ///< class name; "none" for the clean runs
+  int label = 0;        ///< index into DiagnosisDataOptions::classes
+  double intensity = 1.0;
+  Rng noise_rng;        ///< per-run sensor-noise stream
+};
+
+/// Consumes the options seed *serially* (split order matters) and returns
+/// the full class x app x variant run list in dataset order.
+std::vector<DiagnosisRunPlan> plan_diagnosis_runs(
+    const DiagnosisDataOptions& options);
+
+/// Executes one planned run: simulates the scenario on a fresh world and
+/// extracts its feature vector. Thread-safe (no shared state).
+std::vector<double> run_diagnosis_scenario(const DiagnosisRunPlan& plan,
+                                           const DiagnosisDataOptions& options);
+
+/// Feature names in extraction order (metric x statistic).
+std::vector<std::string> diagnosis_feature_names(
+    const DiagnosisDataOptions& options);
+
 /// Runs the full sweep (classes x apps x variants simulated runs) and
 /// returns the labeled feature dataset. Deterministic for a given
-/// options value.
+/// options value. Equivalent to executing plan_diagnosis_runs() in order;
+/// runner::generate_diagnosis_dataset_parallel() fans the same plan
+/// across a thread pool with bit-identical results.
 Dataset generate_diagnosis_dataset(const DiagnosisDataOptions& options = {});
 
 /// Cross-validated evaluation result for one classifier.

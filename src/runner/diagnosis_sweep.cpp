@@ -1,0 +1,32 @@
+#include "runner/diagnosis_sweep.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace hpas::runner {
+
+ml::Dataset generate_diagnosis_dataset_parallel(
+    const ml::DiagnosisDataOptions& options, WorkStealingPool& pool) {
+  const std::vector<ml::DiagnosisRunPlan> plan =
+      ml::plan_diagnosis_runs(options);
+
+  std::vector<std::vector<double>> features(plan.size());
+  parallel_for(pool, plan.size(), [&](std::size_t i) {
+    features[i] = ml::run_diagnosis_scenario(plan[i], options);
+  });
+
+  ml::Dataset data;
+  data.class_names = options.classes;
+  data.feature_names = ml::diagnosis_feature_names(options);
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    data.add(std::move(features[i]), plan[i].label);
+  return data;
+}
+
+ml::Dataset generate_diagnosis_dataset_parallel(
+    const ml::DiagnosisDataOptions& options, int threads) {
+  WorkStealingPool pool({.threads = threads});
+  return generate_diagnosis_dataset_parallel(options, pool);
+}
+
+}  // namespace hpas::runner

@@ -1,0 +1,24 @@
+// Parallel diagnosis-dataset generation.
+//
+// The ML training sweep (classes x apps x variants, paper Sec. 5.1) is
+// embarrassingly parallel once the run plan -- including every run's
+// pre-split sensor-noise RNG -- is fixed up front. This fans the plan
+// across a WorkStealingPool and reassembles features in plan order, so the
+// resulting Dataset is bit-identical to ml::generate_diagnosis_dataset()
+// at any thread count.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "ml/diagnosis.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace hpas::runner {
+
+ml::Dataset generate_diagnosis_dataset_parallel(
+    const ml::DiagnosisDataOptions& options, WorkStealingPool& pool);
+
+/// Convenience overload constructing a pool with `threads` workers.
+ml::Dataset generate_diagnosis_dataset_parallel(
+    const ml::DiagnosisDataOptions& options, int threads);
+
+}  // namespace hpas::runner

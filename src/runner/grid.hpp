@@ -1,0 +1,74 @@
+// Declarative scenario grids for the experiment runner.
+//
+// A grid file (JSON) names axes -- applications, anomalies, intensities,
+// repeats -- plus shared scalars (system preset, duration, sampling
+// period, base seed). expand_grid() takes the cartesian product in a
+// fixed order (app x anomaly x intensity x repeat) and assigns every
+// scenario a counter-based RNG seed derived from (base_seed, index), so
+// scenario i's random stream is a pure function of the grid text: it does
+// not depend on which worker thread runs it, or on whether scenarios
+// before it ran at all.
+//
+// Example (bench/fig08 as a grid):
+//   {
+//     "name": "fig08",
+//     "system": "voltrino",
+//     "seed": 42,
+//     "apps": ["CoMD", "MILC"],
+//     "anomalies": ["none", "cpuoccupy", "cachecopy"],
+//     "intensities": [1.0],
+//     "repeats": 1,
+//     "duration_s": 1000000,
+//     "sample_period_s": 1.0,
+//     "run_to_completion": true
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace hpas::runner {
+
+/// One fully-resolved experiment: everything run_scenario() needs.
+struct ScenarioSpec {
+  std::string name;                ///< unique, filesystem-safe
+  std::string system = "voltrino"; ///< "voltrino" | "chameleon"
+  std::string app = "none";        ///< proxy app name, or "none"
+  std::string anomaly = "none";    ///< one of the eight, or "none"
+  double intensity = 1.0;
+  double duration_s = 60.0;        ///< anomaly/monitoring window length
+  double sample_period_s = 1.0;    ///< LDMS-like collection period
+  int app_nodes = 2;               ///< nodes the app spans
+  int ranks_per_node = 4;
+  /// true: run the app to completion (fig08 semantics; duration_s bounds
+  /// the anomaly). false: observe a fixed monitoring window of
+  /// duration_s simulated seconds (diagnosis semantics).
+  bool run_to_completion = false;
+  std::uint64_t seed = 0;          ///< per-scenario counter-derived stream
+};
+
+struct SweepGrid {
+  std::string name = "sweep";
+  std::uint64_t base_seed = 0x48504153;  // "HPAS"
+  std::vector<ScenarioSpec> scenarios;
+};
+
+/// Counter-based per-scenario seed: a splitmix64 hash of (base, index).
+/// Any (base, index) pair maps to an independent stream; no sequential
+/// state is consumed, which is what keeps parallel expansion exact.
+std::uint64_t derive_scenario_seed(std::uint64_t base, std::uint64_t index);
+
+/// Expands a grid document into the full scenario list. Validates every
+/// axis value (unknown app/anomaly/system, non-positive durations or
+/// intensities, repeats < 1) and throws ConfigError with the offending
+/// value on error.
+SweepGrid expand_grid(const Json& spec);
+
+/// Reads and expands a grid file; throws SystemError when unreadable and
+/// ConfigError when invalid.
+SweepGrid load_grid_file(const std::string& path);
+
+}  // namespace hpas::runner

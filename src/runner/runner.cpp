@@ -1,0 +1,241 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "apps/bsp_app.hpp"
+#include "apps/profiles.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "metrics/csv.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/cluster.hpp"
+#include "simanom/injectors.hpp"
+
+namespace hpas::runner {
+namespace {
+
+/// Anomaly placement mirrors the paper's node-sharing experiment (see
+/// bench/fig08): the busy anomalies (cpuoccupy, cachecopy) share rank 0's
+/// core -- the orphan-process / hyperthread scenario -- while the
+/// footprint and I/O anomalies take the first core the app does not use.
+/// netoccupy streams between two non-app nodes across the inter-switch
+/// trunk the app's halo exchange crosses.
+void inject_anomaly(sim::World& world, const ScenarioSpec& spec, Rng& stream) {
+  if (spec.anomaly == "none") return;
+  const double duration = spec.duration_s;
+  const double intensity = spec.intensity;
+  const int busy_core = 0;
+  const int free_core = spec.ranks_per_node;
+
+  if (spec.anomaly == "cpuoccupy") {
+    simanom::inject_cpuoccupy(world, 0, busy_core,
+                              100.0 * std::min(intensity, 1.0), duration);
+  } else if (spec.anomaly == "cachecopy") {
+    simanom::inject_cachecopy(world, 0, busy_core,
+                              simanom::SimCacheLevel::kL3, intensity,
+                              duration);
+  } else if (spec.anomaly == "membw") {
+    simanom::inject_membw(world, 0, free_core, duration,
+                          std::clamp(intensity, 0.05, 1.0));
+  } else if (spec.anomaly == "netoccupy") {
+    const int n = world.num_nodes();
+    int src = 1 % n;
+    int dst = (1 + n / 2) % n;
+    if (src == dst) { src = 0; dst = n - 1; }
+    simanom::inject_netoccupy(world, src, dst, /*ntasks=*/2,
+                              intensity * 100.0 * 1024 * 1024, duration);
+  } else if (spec.anomaly == "os_jitter") {
+    // The jitter daemon's gap sequence is the scenario's random stream in
+    // action: same seed => same storm, regardless of the worker thread.
+    simanom::inject_os_jitter(world, 0, free_core,
+                              /*burst_s=*/0.002 * intensity,
+                              /*mean_gap_s=*/0.05, duration, stream.next());
+  } else {
+    simanom::inject_by_name(world, spec.anomaly, /*node=*/0, free_core,
+                            duration, intensity);
+  }
+}
+
+void append_stats_members(Json& obj, const std::vector<double>& xs) {
+  obj.set("count", static_cast<double>(xs.size()));
+  if (xs.empty()) return;
+  const double m = mean(xs);
+  const double cv = m != 0.0 ? 100.0 * stddev(xs) / m : 0.0;
+  obj.set("median_s", median(xs));
+  obj.set("p95_s", percentile(xs, 95.0));
+  obj.set("cv_pct", cv);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.spec = spec;
+
+  auto world = spec.system == "chameleon" ? sim::make_chameleon_world()
+                                          : sim::make_voltrino_world();
+  const int num_nodes = world->num_nodes();
+  if (spec.app_nodes > num_nodes)
+    throw ConfigError("run_scenario: app_nodes exceeds the " + spec.system +
+                      " preset's " + std::to_string(num_nodes) + " nodes");
+  world->enable_monitoring(spec.sample_period_s);
+
+  Rng stream(spec.seed);
+  inject_anomaly(*world, spec, stream);
+
+  if (spec.app != "none") {
+    apps::AppSpec app_spec = apps::app_by_name(spec.app);
+    apps::BspApp::Placement placement;
+    const int stride = num_nodes / spec.app_nodes;
+    for (int i = 0; i < spec.app_nodes; ++i)
+      placement.nodes.push_back(i * stride);
+    placement.ranks_per_node = spec.ranks_per_node;
+    placement.first_core = 0;
+    if (spec.run_to_completion) {
+      apps::BspApp app(*world, app_spec, placement);
+      result.app_elapsed_s = app.run_to_completion();
+      result.app_iterations = app.completed_iterations();
+    } else {
+      app_spec.iterations = 1000000;  // runs past the window; we observe
+      apps::BspApp app(*world, app_spec, placement);
+      world->run_until(spec.duration_s);
+      result.app_elapsed_s = app.finished() ? app.elapsed() : spec.duration_s;
+      result.app_iterations = app.completed_iterations();
+    }
+  } else {
+    world->run_until(spec.duration_s);
+  }
+
+  std::ostringstream csv;
+  metrics::write_csv(csv, world->node_store(0));
+  result.metrics_csv = csv.str();
+  result.ran = true;
+  return result;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  SweepResult result;
+  result.grid_name = grid.name;
+  result.scenarios.resize(grid.scenarios.size());
+
+  WorkStealingPool pool(
+      {.threads = options.threads, .queue_capacity = options.queue_capacity});
+  for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
+    // Each task owns slot i exclusively; no result ordering depends on
+    // scheduling, so thread count cannot leak into the output.
+    pool.submit([&result, &grid, &pool, i] {
+      try {
+        result.scenarios[i] = run_scenario(grid.scenarios[i]);
+      } catch (const std::exception& e) {
+        result.scenarios[i].spec = grid.scenarios[i];
+        result.scenarios[i].ran = true;
+        result.scenarios[i].error = e.what();
+        pool.request_cancel();
+      }
+    });
+    if (pool.cancelled()) break;
+  }
+  pool.wait_idle();
+
+  // Slots cancelled before starting keep ran == false; give them their
+  // spec so reports stay readable.
+  for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+    if (!result.scenarios[i].ran)
+      result.scenarios[i].spec = grid.scenarios[i];
+  }
+  return result;
+}
+
+bool SweepResult::ok() const {
+  for (const ScenarioResult& s : scenarios)
+    if (!s.ran || !s.error.empty()) return false;
+  return true;
+}
+
+std::string SweepResult::first_error() const {
+  for (const ScenarioResult& s : scenarios) {
+    if (!s.error.empty()) return s.spec.name + ": " + s.error;
+    if (!s.ran) return s.spec.name + ": cancelled";
+  }
+  return {};
+}
+
+Json SweepResult::summary_json() const {
+  Json doc = Json::object();
+  doc.set("grid", grid_name);
+  doc.set("scenario_count", static_cast<double>(scenarios.size()));
+
+  Json rows = Json::array();
+  for (const ScenarioResult& s : scenarios) {
+    Json row = Json::object();
+    row.set("name", s.spec.name);
+    row.set("app", s.spec.app);
+    row.set("anomaly", s.spec.anomaly);
+    row.set("intensity", s.spec.intensity);
+    // 64-bit seeds do not round-trip through JSON doubles; keep exact.
+    row.set("seed", std::to_string(s.spec.seed));
+    if (!s.error.empty()) row.set("error", s.error);
+    row.set("app_time_s", s.app_elapsed_s);
+    row.set("iterations", static_cast<double>(s.app_iterations));
+    rows.push_back(std::move(row));
+  }
+  doc.set("scenarios", std::move(rows));
+
+  // Aggregates in the spirit of a bench harness: median / p95 / %CV of
+  // the app execution times, per anomaly (first-appearance order) and
+  // overall.
+  std::vector<std::string> anomaly_order;
+  std::vector<double> all_times;
+  for (const ScenarioResult& s : scenarios) {
+    if (!s.ran || !s.error.empty() || s.spec.app == "none") continue;
+    if (std::find(anomaly_order.begin(), anomaly_order.end(),
+                  s.spec.anomaly) == anomaly_order.end())
+      anomaly_order.push_back(s.spec.anomaly);
+    all_times.push_back(s.app_elapsed_s);
+  }
+  Json groups = Json::array();
+  for (const std::string& anomaly : anomaly_order) {
+    std::vector<double> times;
+    for (const ScenarioResult& s : scenarios) {
+      if (s.ran && s.error.empty() && s.spec.app != "none" &&
+          s.spec.anomaly == anomaly)
+        times.push_back(s.app_elapsed_s);
+    }
+    Json group = Json::object();
+    group.set("anomaly", anomaly);
+    append_stats_members(group, times);
+    groups.push_back(std::move(group));
+  }
+  doc.set("by_anomaly", std::move(groups));
+
+  Json overall = Json::object();
+  append_stats_members(overall, all_times);
+  doc.set("overall", std::move(overall));
+  return doc;
+}
+
+void write_outputs(const SweepResult& result, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw SystemError("cannot create output directory: " + dir);
+
+  for (const ScenarioResult& s : result.scenarios) {
+    if (!s.ran || !s.error.empty()) continue;
+    const std::string path = dir + "/" + s.spec.name + ".csv";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw SystemError("cannot open for writing: " + path);
+    out << s.metrics_csv;
+    if (!out) throw SystemError("write failed: " + path);
+  }
+  const std::string summary_path = dir + "/summary.json";
+  std::ofstream out(summary_path, std::ios::binary);
+  if (!out) throw SystemError("cannot open for writing: " + summary_path);
+  out << result.summary_json().dump(2);
+  if (!out) throw SystemError("write failed: " + summary_path);
+}
+
+}  // namespace hpas::runner

@@ -1,0 +1,63 @@
+// Deterministic parallel experiment runner.
+//
+// Fans a SweepGrid across a WorkStealingPool: every scenario gets its own
+// isolated Simulator/World (no shared mutable state between tasks) and a
+// per-scenario counter-based RNG stream, runs to completion, and deposits
+// its result in a slot pre-assigned by grid index. Aggregation then reads
+// the slots in grid order, which is what makes the output -- per-scenario
+// metric CSVs plus a JSON summary with median / p95 / %CV -- byte-identical
+// at any thread count, including 1. The first failing scenario cancels the
+// remaining queued work (running scenarios finish) and is reported
+// deterministically (lowest grid index wins).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "runner/grid.hpp"
+
+namespace hpas::runner {
+
+struct SweepOptions {
+  int threads = 1;                   ///< 0 = hardware concurrency
+  std::size_t queue_capacity = 256;  ///< backpressure bound
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  bool ran = false;          ///< false when cancelled before starting
+  std::string error;         ///< non-empty when the scenario threw
+  double app_elapsed_s = 0.0;  ///< simulated app wall time (0 if no app)
+  int app_iterations = 0;
+  std::string metrics_csv;   ///< node-0 monitoring series, CSV bytes
+};
+
+struct SweepResult {
+  std::string grid_name;
+  std::vector<ScenarioResult> scenarios;  ///< in grid order
+
+  bool ok() const;
+  /// First error in grid order, or empty.
+  std::string first_error() const;
+
+  /// Deterministic summary: per-scenario rows plus per-anomaly and overall
+  /// aggregate statistics (median / p95 / coefficient of variation %) of
+  /// the app execution times. Contains nothing execution-dependent (no
+  /// wall-clock, no thread count) -- byte-identical across runs.
+  Json summary_json() const;
+};
+
+/// Runs one scenario in isolation. Exposed for tests; run_sweep() calls
+/// exactly this for every grid entry.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Runs the whole grid across `options.threads` workers.
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+/// Writes `<dir>/<scenario>.csv` for every completed scenario plus
+/// `<dir>/summary.json`; creates `dir` if needed. Throws SystemError on
+/// I/O failure.
+void write_outputs(const SweepResult& result, const std::string& dir);
+
+}  // namespace hpas::runner

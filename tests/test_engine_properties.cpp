@@ -1,0 +1,168 @@
+// Property-based tests for the DES engine (sim/engine/simulator.cpp).
+//
+// Seeded-random schedule/cancel programs are executed against a naive
+// reference model -- a list sorted by (time, insertion sequence) with
+// cancelled entries skipped -- and the engine must fire exactly the same
+// events in exactly the same order. Plus the EventHandle cancellation
+// semantics the runner relies on: cancel is lazy, cancelling a fired or
+// invalid handle is a no-op, double-cancel is safe.
+#include "sim/engine/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpas::sim {
+namespace {
+
+TEST(EventHandle, DefaultConstructedIsInvalidAndCancelIsNoOp) {
+  Simulator sim;
+  EventHandle none;
+  EXPECT_FALSE(none.valid());
+  sim.cancel(none);  // must not crash or affect anything
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandle, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  const auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.valid());
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);  // cancelled events don't advance time
+}
+
+TEST(EventHandle, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(h);  // already fired: nothing to do
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventHandle, DoubleCancelIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  const auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.cancel(h);
+  sim.cancel(h);
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandle, CancelFromInsideAnEarlierEvent) {
+  Simulator sim;
+  int fired = 0;
+  const auto victim = sim.schedule_at(2.0, [&] { fired += 100; });
+  sim.schedule_at(1.0, [&, victim] { sim.cancel(victim); ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorOrdering, EqualTimestampsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expected);
+}
+
+// Reference model: every scheduled event with (time, seq, cancelled);
+// replay fires live entries in (time, seq) order.
+struct ModelEvent {
+  double time;
+  int seq;
+  bool cancelled = false;
+};
+
+TEST(SimulatorOrdering, RandomProgramsMatchReferenceModel) {
+  Rng rng(0xD35u);
+  for (int trial = 0; trial < 100; ++trial) {
+    Simulator sim;
+    std::vector<ModelEvent> model;
+    std::vector<EventHandle> handles;
+    std::vector<int> fired;  // seq numbers, in engine firing order
+
+    const int ops = static_cast<int>(rng.uniform_int(5, 60));
+    for (int op = 0; op < ops; ++op) {
+      if (!handles.empty() && rng.uniform01() < 0.25) {
+        // Cancel a random prior event (possibly one already cancelled).
+        const auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(handles.size()) - 1));
+        sim.cancel(handles[pick]);
+        model[pick].cancelled = true;
+      } else {
+        // Coarse time grid on purpose: collisions exercise FIFO ties.
+        const double t = static_cast<double>(rng.uniform_int(0, 9));
+        const int seq = static_cast<int>(model.size());
+        handles.push_back(
+            sim.schedule_at(t, [&fired, seq] { fired.push_back(seq); }));
+        model.push_back({t, seq, false});
+      }
+    }
+
+    sim.run();
+
+    std::vector<int> expected;
+    std::vector<std::size_t> order(model.size());
+    for (std::size_t i = 0; i < model.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return model[a].time < model[b].time;
+                     });
+    for (const std::size_t i : order)
+      if (!model[i].cancelled) expected.push_back(model[i].seq);
+
+    EXPECT_EQ(fired, expected) << "trial " << trial;
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+TEST(SimulatorOrdering, EventsScheduledWhileRunningInterleaveCorrectly) {
+  Simulator sim;
+  std::vector<std::pair<double, int>> fired;
+  sim.schedule_at(1.0, [&] {
+    fired.emplace_back(sim.now(), 0);
+    // A same-time event scheduled from inside a handler still fires
+    // (after the already-queued same-time events, by seq order).
+    sim.schedule_at(1.0, [&] { fired.emplace_back(sim.now(), 2); });
+    sim.schedule_in(0.5, [&] { fired.emplace_back(sim.now(), 3); });
+  });
+  sim.schedule_at(1.0, [&] { fired.emplace_back(sim.now(), 1); });
+  sim.run();
+  const std::vector<std::pair<double, int>> expected = {
+      {1.0, 0}, {1.0, 1}, {1.0, 2}, {1.5, 3}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(SimulatorOrdering, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace hpas::sim
