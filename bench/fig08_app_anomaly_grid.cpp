@@ -19,6 +19,7 @@
 // memory-intensive apps (Cloverleaf, MILC, miniAMR, miniGhost) by membw;
 // memleak/memeater/netoccupy barely register (no swap; fat network).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -71,13 +72,32 @@ int main() {
   const auto parallel = hpas::runner::run_sweep(grid, {.threads = hw_threads});
   const double parallel_s = parallel_watch.elapsed_seconds();
 
-  if (!serial.ok() || !parallel.ok()) {
+  // Third sweep with per-scenario trace capture at the same thread count:
+  // parallel_s vs traced_s is the tracing on/off overhead the BENCH_JSON
+  // line records (disabled tracing must stay free; enabled capture of the
+  // full event stream is expected to cost, and this quantifies it).
+  hpas::Stopwatch traced_watch;
+  const auto traced = hpas::runner::run_sweep(
+      grid, {.threads = hw_threads, .capture_traces = true});
+  const double traced_s = traced_watch.elapsed_seconds();
+
+  if (!serial.ok() || !parallel.ok() || !traced.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
-                 (serial.ok() ? parallel : serial).first_error().c_str());
+                 (!serial.ok()   ? serial
+                  : !parallel.ok() ? parallel
+                                   : traced)
+                     .first_error()
+                     .c_str());
     return 1;
   }
   const bool identical =
       serial.summary_json().dump(2) == parallel.summary_json().dump(2);
+  std::uint64_t trace_records = 0;
+  bool traces_captured = true;
+  for (const auto& s : traced.scenarios) {
+    trace_records += s.trace_records;
+    traces_captured = traces_captured && !s.trace_bin.empty();
+  }
 
   // App-time table, row per app, column per anomaly (grid order is
   // app-major so results regroup directly).
@@ -120,13 +140,20 @@ int main() {
               grid.scenarios.size(), serial_s, hw_threads, parallel_s,
               serial_s / parallel_s,
               identical ? "byte-identical" : "DIVERGED");
+  std::printf("tracing: off %.2fs  on %.2fs (%.2fx, %llu records)\n",
+              parallel_s, traced_s, traced_s / parallel_s,
+              static_cast<unsigned long long>(trace_records));
   std::printf(
       "BENCH_JSON {\"bench\":\"fig08_app_anomaly_grid\",\"scenarios\":%zu,"
       "\"serial_s\":%.3f,\"parallel_s\":%.3f,\"threads\":%d,"
-      "\"speedup\":%.2f,\"byte_identical\":%s}\n",
+      "\"speedup\":%.2f,\"byte_identical\":%s,"
+      "\"trace_off_s\":%.3f,\"trace_on_s\":%.3f,\"trace_overhead\":%.2f,"
+      "\"trace_records\":%llu}\n",
       grid.scenarios.size(), serial_s, parallel_s, hw_threads,
-      serial_s / parallel_s, identical ? "true" : "false");
+      serial_s / parallel_s, identical ? "true" : "false", parallel_s,
+      traced_s, traced_s / parallel_s,
+      static_cast<unsigned long long>(trace_records));
   std::printf("shape check: %s\n",
-              shape_ok && identical ? "OK" : "FAILED");
-  return shape_ok && identical ? 0 : 1;
+              shape_ok && identical && traces_captured ? "OK" : "FAILED");
+  return shape_ok && identical && traces_captured ? 0 : 1;
 }

@@ -88,6 +88,9 @@ int run_sweep_command(const std::vector<std::string>& argv) {
       .add({.long_name = "out", .short_name = 'o', .value_name = "DIR",
             .help = "output directory (per-scenario CSVs + summary.json)",
             .default_value = "sweep-out"})
+      .add({.long_name = "trace", .short_name = '\0', .value_name = "",
+            .help = "capture a per-scenario trace (writes NAME.trace.bin)",
+            .default_value = std::nullopt})
       .add({.long_name = "dry-run", .short_name = '\0', .value_name = "",
             .help = "expand and print the grid without running it",
             .default_value = std::nullopt});
@@ -116,7 +119,8 @@ int run_sweep_command(const std::vector<std::string>& argv) {
   }
 
   const auto result = hpas::runner::run_sweep(
-      grid, {.threads = threads, .queue_capacity = 256});
+      grid, {.threads = threads, .queue_capacity = 256,
+             .capture_traces = args.flag("trace")});
   if (!result.ok()) {
     std::fprintf(stderr, "hpas: sweep failed: %s\n",
                  result.first_error().c_str());

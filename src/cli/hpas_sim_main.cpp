@@ -9,7 +9,14 @@
 // The CSVs feed external analysis pipelines (pandas, scikit-learn, ...)
 // exactly like LDMS dumps would; the ML pipeline in src/ml consumes the
 // same data in-process.
+//
+// Reproducibility workflow:
+//   hpas-sim ... --trace run.bin -o out        # record a structured trace
+//   hpas-sim ... --check-trace run.bin -o out  # re-run + diff against it
+// --check-trace exits 3 and names the first divergent event when the
+// re-run does not reproduce the recorded stream bit for bit.
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +28,9 @@
 #include "metrics/csv.hpp"
 #include "sim/cluster.hpp"
 #include "simanom/injectors.hpp"
+#include "trace/export.hpp"
+#include "trace/replay.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -53,6 +63,13 @@ hpas::CliParser make_parser() {
       .add({.long_name = "sample-period", .short_name = '\0',
             .value_name = "TIME", .help = "monitoring cadence",
             .default_value = "1s"})
+      .add({.long_name = "trace", .short_name = '\0', .value_name = "FILE",
+            .help = "record a structured binary trace to FILE",
+            .default_value = ""})
+      .add({.long_name = "check-trace", .short_name = '\0',
+            .value_name = "FILE",
+            .help = "re-run and verify bit-exact replay against FILE",
+            .default_value = ""})
       .add({.long_name = "output", .short_name = 'o', .value_name = "PREFIX",
             .help = "CSV path prefix (writes PREFIX.node<i>.csv)",
             .default_value = std::nullopt, .required = true});
@@ -74,6 +91,16 @@ int run(const hpas::ParsedArgs& args) {
   const double duration = hpas::parse_duration_seconds(args.value("duration"));
   const double period =
       hpas::parse_duration_seconds(args.value("sample-period"));
+
+  const std::string trace_path = args.value("trace");
+  const std::string check_path = args.value("check-trace");
+  std::optional<hpas::trace::TraceCapture> capture;
+  if (!trace_path.empty() || !check_path.empty()) {
+    // Attach before monitoring and injection: the trace must cover the
+    // whole scenario or replay checking would diverge on the prefix.
+    capture.emplace();
+    world->attach_tracer(&capture->tracer());
+  }
   world->enable_monitoring(period);
 
   const std::string anomaly = args.value("anomaly");
@@ -101,6 +128,27 @@ int run(const hpas::ParsedArgs& args) {
   }
 
   world->run_until(duration);
+
+  if (capture) {
+    const hpas::trace::TraceFile fresh = capture->take();
+    if (!trace_path.empty()) {
+      hpas::trace::write_binary_file(trace_path, fresh);
+      std::printf("hpas-sim: trace: %zu records -> %s\n",
+                  fresh.records.size(), trace_path.c_str());
+    }
+    if (!check_path.empty()) {
+      const hpas::trace::TraceFile recorded =
+          hpas::trace::read_binary_file(check_path);
+      const auto divergence = hpas::trace::diff_traces(recorded, fresh);
+      if (divergence.diverged) {
+        std::fprintf(stderr, "hpas-sim: replay check FAILED: %s\n",
+                     divergence.description.c_str());
+        return 3;
+      }
+      std::printf("hpas-sim: replay check passed (%zu records match %s)\n",
+                  fresh.records.size(), check_path.c_str());
+    }
+  }
 
   const std::string prefix = args.value("output");
   for (int node = 0; node < world->num_nodes(); ++node) {

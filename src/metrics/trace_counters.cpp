@@ -1,0 +1,31 @@
+#include "metrics/trace_counters.hpp"
+
+namespace hpas::metrics {
+
+TraceCounters count_trace(const trace::TraceFile& file) {
+  TraceCounters counters;
+  counters.total = static_cast<std::uint64_t>(file.records.size());
+  counters.dropped = file.dropped;
+  for (const trace::TraceRecord& r : file.records) {
+    const auto kind = static_cast<std::size_t>(r.kind);
+    if (kind < counters.by_kind.size()) ++counters.by_kind[kind];
+  }
+  return counters;
+}
+
+Json trace_counters_json(const TraceCounters& counters) {
+  Json doc = Json::object();
+  doc.set("total", static_cast<double>(counters.total));
+  doc.set("dropped", static_cast<double>(counters.dropped));
+  Json kinds = Json::object();
+  for (std::size_t i = 0; i < counters.by_kind.size(); ++i) {
+    if (counters.by_kind[i] == 0) continue;
+    kinds.set(
+        std::string(trace::record_kind_name(static_cast<trace::RecordKind>(i))),
+        static_cast<double>(counters.by_kind[i]));
+  }
+  doc.set("by_kind", std::move(kinds));
+  return doc;
+}
+
+}  // namespace hpas::metrics

@@ -1,0 +1,30 @@
+// Trace-derived counters: aggregates a captured trace into per-kind
+// record counts. Used by the bench harness and the sweep summary to
+// report what a scenario's trace contains without re-parsing it, and by
+// tests to assert that instrumentation coverage does not silently
+// regress (a subsystem whose count drops to zero stopped emitting).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/json.hpp"
+#include "trace/record.hpp"
+#include "trace/tracer.hpp"
+
+namespace hpas::metrics {
+
+struct TraceCounters {
+  std::uint64_t total = 0;    ///< records present in the capture
+  std::uint64_t dropped = 0;  ///< ring overwrites (0 for sink captures)
+  std::array<std::uint64_t, trace::kNumRecordKinds> by_kind{};
+};
+
+/// Tallies every record in `file` by kind.
+TraceCounters count_trace(const trace::TraceFile& file);
+
+/// {"total": N, "dropped": D, "by_kind": {"event_fired": ..., ...}}
+/// with only non-zero kinds listed, in RecordKind order.
+Json trace_counters_json(const TraceCounters& counters);
+
+}  // namespace hpas::metrics

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "apps/bsp_app.hpp"
@@ -14,6 +15,8 @@
 #include "runner/thread_pool.hpp"
 #include "sim/cluster.hpp"
 #include "simanom/injectors.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::runner {
 namespace {
@@ -72,7 +75,7 @@ void append_stats_members(Json& obj, const std::vector<double>& xs) {
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace) {
   ScenarioResult result;
   result.spec = spec;
 
@@ -82,6 +85,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (spec.app_nodes > num_nodes)
     throw ConfigError("run_scenario: app_nodes exceeds the " + spec.system +
                       " preset's " + std::to_string(num_nodes) + " nodes");
+
+  // Tracing attaches before monitoring/injection so the captured stream
+  // covers every event the scenario generates.
+  std::optional<trace::TraceCapture> capture;
+  if (capture_trace) {
+    capture.emplace();
+    world->attach_tracer(&capture->tracer());
+  }
   world->enable_monitoring(spec.sample_period_s);
 
   Rng stream(spec.seed);
@@ -113,6 +124,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   std::ostringstream csv;
   metrics::write_csv(csv, world->node_store(0));
   result.metrics_csv = csv.str();
+  if (capture) {
+    const trace::TraceFile file = capture->take();
+    result.trace_records = static_cast<std::uint64_t>(file.records.size());
+    std::ostringstream bin(std::ios::binary);
+    trace::write_binary(bin, file);
+    result.trace_bin = bin.str();
+  }
   result.ran = true;
   return result;
 }
@@ -127,9 +145,10 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
     // Each task owns slot i exclusively; no result ordering depends on
     // scheduling, so thread count cannot leak into the output.
-    pool.submit([&result, &grid, &pool, i] {
+    pool.submit([&result, &grid, &pool, &options, i] {
       try {
-        result.scenarios[i] = run_scenario(grid.scenarios[i]);
+        result.scenarios[i] =
+            run_scenario(grid.scenarios[i], options.capture_traces);
       } catch (const std::exception& e) {
         result.scenarios[i].spec = grid.scenarios[i];
         result.scenarios[i].ran = true;
@@ -181,6 +200,8 @@ Json SweepResult::summary_json() const {
     if (!s.error.empty()) row.set("error", s.error);
     row.set("app_time_s", s.app_elapsed_s);
     row.set("iterations", static_cast<double>(s.app_iterations));
+    if (!s.trace_bin.empty())
+      row.set("trace_records", static_cast<double>(s.trace_records));
     rows.push_back(std::move(row));
   }
   doc.set("scenarios", std::move(rows));
@@ -218,6 +239,38 @@ Json SweepResult::summary_json() const {
   return doc;
 }
 
+namespace {
+
+/// Writes `bytes` to `<path>.tmp` and renames it over `path`, so readers
+/// never observe a partially written file and a failure (full disk,
+/// cancelled sweep) leaves the target untouched. The temporary is removed
+/// on any error before the SystemError propagates.
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SystemError("cannot open for writing: " + tmp);
+    out << bytes;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw SystemError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw SystemError("cannot rename " + tmp + " to " + path + ": " +
+                      ec.message());
+  }
+}
+
+}  // namespace
+
 void write_outputs(const SweepResult& result, const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -225,17 +278,11 @@ void write_outputs(const SweepResult& result, const std::string& dir) {
 
   for (const ScenarioResult& s : result.scenarios) {
     if (!s.ran || !s.error.empty()) continue;
-    const std::string path = dir + "/" + s.spec.name + ".csv";
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw SystemError("cannot open for writing: " + path);
-    out << s.metrics_csv;
-    if (!out) throw SystemError("write failed: " + path);
+    write_file_atomic(dir + "/" + s.spec.name + ".csv", s.metrics_csv);
+    if (!s.trace_bin.empty())
+      write_file_atomic(dir + "/" + s.spec.name + ".trace.bin", s.trace_bin);
   }
-  const std::string summary_path = dir + "/summary.json";
-  std::ofstream out(summary_path, std::ios::binary);
-  if (!out) throw SystemError("cannot open for writing: " + summary_path);
-  out << result.summary_json().dump(2);
-  if (!out) throw SystemError("write failed: " + summary_path);
+  write_file_atomic(dir + "/summary.json", result.summary_json().dump(2));
 }
 
 }  // namespace hpas::runner

@@ -11,6 +11,7 @@
 // deterministically (lowest grid index wins).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@ namespace hpas::runner {
 struct SweepOptions {
   int threads = 1;                   ///< 0 = hardware concurrency
   std::size_t queue_capacity = 256;  ///< backpressure bound
+  bool capture_traces = false;       ///< record a per-scenario trace
 };
 
 struct ScenarioResult {
@@ -31,6 +33,8 @@ struct ScenarioResult {
   double app_elapsed_s = 0.0;  ///< simulated app wall time (0 if no app)
   int app_iterations = 0;
   std::string metrics_csv;   ///< node-0 monitoring series, CSV bytes
+  std::string trace_bin;     ///< serialized trace (empty unless captured)
+  std::uint64_t trace_records = 0;  ///< record count in trace_bin
 };
 
 struct SweepResult {
@@ -49,14 +53,21 @@ struct SweepResult {
 };
 
 /// Runs one scenario in isolation. Exposed for tests; run_sweep() calls
-/// exactly this for every grid entry.
-ScenarioResult run_scenario(const ScenarioSpec& spec);
+/// exactly this for every grid entry. With `capture_trace` the scenario's
+/// world runs under a lossless TraceCapture (attached before monitoring
+/// and injection, so the stream is complete) and the result carries the
+/// serialized binary trace.
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            bool capture_trace = false);
 
 /// Runs the whole grid across `options.threads` workers.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
 
-/// Writes `<dir>/<scenario>.csv` for every completed scenario plus
-/// `<dir>/summary.json`; creates `dir` if needed. Throws SystemError on
+/// Writes `<dir>/<scenario>.csv` for every completed scenario (plus
+/// `<dir>/<scenario>.trace.bin` when a trace was captured) and
+/// `<dir>/summary.json`; creates `dir` if needed. Each file is written to
+/// a temporary sibling and renamed into place, so a failure mid-sweep
+/// never leaves a partially written output behind. Throws SystemError on
 /// I/O failure.
 void write_outputs(const SweepResult& result, const std::string& dir);
 

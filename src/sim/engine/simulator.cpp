@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::sim {
 
@@ -11,6 +12,8 @@ EventHandle Simulator::schedule_at(double t, std::function<void()> fn) {
   require(fn != nullptr, "Simulator: event function must not be null");
   const std::uint64_t id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  if (tracer_)
+    tracer_->emit(trace::RecordKind::kEventScheduled, 0, 0, id, t);
   return EventHandle(id);
 }
 
@@ -21,6 +24,8 @@ EventHandle Simulator::schedule_in(double dt, std::function<void()> fn) {
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
+  if (tracer_)
+    tracer_->emit(trace::RecordKind::kEventCancelled, 0, 0, handle.id_);
   cancelled_.push_back(handle.id_);
   ++cancelled_dirty_;
   if (cancelled_dirty_ > 64) {
@@ -42,6 +47,10 @@ bool Simulator::step() {
     queue_.pop();
     if (is_cancelled(ev.id)) continue;
     now_ = ev.time;
+    if (tracer_) {
+      tracer_->set_time(now_);
+      tracer_->emit(trace::RecordKind::kEventFired, 0, 0, ev.id);
+    }
     ev.fn();
     return true;
   }
@@ -54,6 +63,7 @@ void Simulator::run_until(double t) {
     if (!step()) break;
   }
   now_ = t;
+  if (tracer_) tracer_->set_time(t);
 }
 
 void Simulator::run() {

@@ -13,6 +13,10 @@
 #include <queue>
 #include <vector>
 
+namespace hpas::trace {
+class Tracer;
+}
+
 namespace hpas::sim {
 
 /// Handle used to cancel a scheduled event. Cancellation is lazy: the
@@ -53,6 +57,13 @@ class Simulator {
 
   std::size_t pending_events() const;
 
+  /// Attaches a structured tracer (nullptr detaches). Every schedule /
+  /// fire / cancel then emits a record; the engine also keeps the
+  /// tracer's clock mirror current so other emitters stamp correctly.
+  /// Null (the default) costs nothing on the hot path.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Event {
     double time;
@@ -68,6 +79,7 @@ class Simulator {
   };
 
   double now_ = 0.0;
+  trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::sim {
 
@@ -24,6 +25,17 @@ void Task::set_phase(const Phase& phase) {
   latency_left_ =
       (phase.kind == PhaseKind::kMessage) ? profile_.msg_latency_s : 0.0;
   rates_ = TaskRates{};
+  if (tracer_) {
+    // a: peer node for messages, io kind for I/O, 0 otherwise.
+    std::uint64_t a = 0;
+    if (phase.kind == PhaseKind::kMessage) {
+      a = static_cast<std::uint64_t>(static_cast<std::int64_t>(phase.peer_node));
+    } else if (phase.kind == PhaseKind::kIo) {
+      a = static_cast<std::uint64_t>(phase.io_kind);
+    }
+    tracer_->emit(trace::RecordKind::kPhaseTransition, trace_id_,
+                  static_cast<std::uint16_t>(phase.kind), a, phase.work);
+  }
 }
 
 double Task::completion_tolerance() const {

@@ -20,8 +20,13 @@
 // anomaly injectors) are state machines in src/apps and src/simanom.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+
+namespace hpas::trace {
+class Tracer;
+}
 
 namespace hpas::sim {
 
@@ -151,6 +156,15 @@ class Task {
   double allocated_bytes() const { return allocated_bytes_; }
   void set_allocated_bytes(double bytes) { allocated_bytes_ = bytes; }
 
+  /// Structured tracing: the World wires every task to its tracer and
+  /// assigns a stable subject id, so set_phase() can emit transition
+  /// records. A null tracer (the default) disables emission.
+  void set_tracing(trace::Tracer* tracer, std::uint32_t trace_id) {
+    tracer_ = tracer;
+    trace_id_ = trace_id;
+  }
+  std::uint32_t trace_id() const { return trace_id_; }
+
  private:
   /// Work-relative slack under which a phase counts as finished.
   double completion_tolerance() const;
@@ -166,6 +180,8 @@ class Task {
   double allocated_bytes_ = 0.0;
   TaskRates rates_;
   TaskCounters counters_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace hpas::sim

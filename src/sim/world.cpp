@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "sim/samplers.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::sim {
 
@@ -42,6 +43,14 @@ Task* World::spawn_task(const std::string& name, int node_id, int core,
           "spawn_task: core out of range");
   auto task = std::make_unique<Task>(name, node_id, core, profile,
                                      std::move(next_phase));
+  const std::uint32_t trace_id = next_trace_id_++;
+  task->set_tracing(tracer_, trace_id);
+  if (tracer_) {
+    tracer_->set_label(trace_id, name);
+    tracer_->emit(trace::RecordKind::kTaskSpawn, trace_id,
+                  static_cast<std::uint16_t>(node_id),
+                  static_cast<std::uint64_t>(core));
+  }
   task->set_phase(initial);
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
@@ -52,6 +61,11 @@ Task* World::spawn_task(const std::string& name, int node_id, int core,
 
 void World::kill_task(Task* task) {
   require(task != nullptr, "kill_task: null task");
+  if (tracer_) {
+    tracer_->emit(trace::RecordKind::kTaskKill, task->trace_id(),
+                  static_cast<std::uint16_t>(task->node()), 0,
+                  task->allocated_bytes());
+  }
   if (task->allocated_bytes() > 0.0) {
     node(task->node()).adjust_memory(-task->allocated_bytes());
     task->set_allocated_bytes(0.0);
@@ -66,10 +80,20 @@ bool World::allocate_memory(Task* task, double delta_bytes) {
   require(task != nullptr, "allocate_memory: null task");
   Node& host = node(task->node());
   if (!host.adjust_memory(delta_bytes)) {
+    if (tracer_) {
+      tracer_->emit(trace::RecordKind::kOom, task->trace_id(),
+                    static_cast<std::uint16_t>(task->node()), 0, delta_bytes,
+                    host.memory_free());
+    }
     if (oom_) oom_(*this, *task);
     return false;
   }
   task->set_allocated_bytes(task->allocated_bytes() + delta_bytes);
+  if (tracer_) {
+    tracer_->emit(trace::RecordKind::kMemoryAlloc, task->trace_id(),
+                  static_cast<std::uint16_t>(task->node()), 0, delta_bytes,
+                  host.memory_used());
+  }
   return true;
 }
 
@@ -165,6 +189,42 @@ void World::recompute_rates() {
   if (!flows.empty()) network_.compute_rates(flows);
 
   fs_.compute_rates(task_ptrs_);
+
+  if (tracer_ && tracer_->enabled()) trace_rates();
+}
+
+/// Emits the rate picture the max-min models just installed: one
+/// aggregate record, one per node with active residents (CPU share and
+/// DRAM bandwidth totals -- the membw/cachecopy contention channel), and
+/// one per active task (progress rate). This is what lets trace_diff say
+/// "share 0.42 vs 0.39 on node 7" instead of "a CSV changed".
+void World::trace_rates() {
+  tracer_->emit(trace::RecordKind::kRateRecompute, 0, 0, task_ptrs_.size());
+  struct NodeAgg {
+    std::uint16_t active = 0;
+    double cpu_share = 0.0;
+    double dram_rate = 0.0;
+  };
+  std::vector<NodeAgg> agg(static_cast<std::size_t>(num_nodes()));
+  for (const Task* task : task_ptrs_) {
+    if (!task->active()) continue;
+    NodeAgg& a = agg[static_cast<std::size_t>(task->node())];
+    ++a.active;
+    a.cpu_share += task->rates().cpu_share;
+    a.dram_rate += task->rates().dram_rate;
+  }
+  for (std::size_t i = 0; i < agg.size(); ++i) {
+    if (agg[i].active == 0) continue;
+    tracer_->emit(trace::RecordKind::kNodeRates,
+                  static_cast<std::uint32_t>(i), agg[i].active, 0,
+                  agg[i].cpu_share, agg[i].dram_rate);
+  }
+  for (const Task* task : task_ptrs_) {
+    if (!task->active()) continue;
+    tracer_->emit(trace::RecordKind::kTaskRate, task->trace_id(),
+                  static_cast<std::uint16_t>(task->phase().kind), 0,
+                  task->rates().progress, task->rates().cpu_share);
+  }
 }
 
 void World::schedule_next_completion() {
@@ -215,7 +275,22 @@ void World::sample_all(double period_s) {
   // Bring counters up to date, then poll every node's samplers.
   update();
   for (const auto& collector : collectors_) collector->collect(sim_.now());
+  if (tracer_) {
+    tracer_->emit(trace::RecordKind::kSample, 0, 0, collectors_.size(),
+                  period_s);
+  }
   sim_.schedule_in(period_s, [this, period_s] { sample_all(period_s); });
+}
+
+void World::attach_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  sim_.set_tracer(tracer);
+  // Adopt tasks that already exist (attach-before-spawn gives a complete
+  // stream; this keeps late attachment consistent rather than silent).
+  for (Task* task : task_ptrs_) {
+    task->set_tracing(tracer_, task->trace_id());
+    if (tracer_) tracer_->set_label(task->trace_id(), task->name());
+  }
 }
 
 metrics::MetricStore& World::node_store(int id) {

@@ -19,6 +19,7 @@
 // tie-breaks, no wall-clock dependence.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -76,6 +77,14 @@ class World {
   void enable_monitoring(double period_s);
   metrics::MetricStore& node_store(int id);
 
+  /// Attaches a structured tracer to the whole substrate: the engine's
+  /// event lifecycle, task spawn/kill/phase transitions, rate
+  /// recomputations, memory traffic and monitoring samples all emit into
+  /// it. Attach before spawning tasks for a complete stream (already-live
+  /// tasks are adopted, but their history starts now). nullptr detaches.
+  void attach_tracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Re-derives all rates and reschedules the next completion. Called
   /// automatically by spawn/kill/allocate and by phase completions; call
   /// manually after mutating task profiles or phases from outside.
@@ -88,6 +97,7 @@ class World {
   void advance_tasks(double dt);
   void handle_completions();
   void recompute_rates();
+  void trace_rates();
   void schedule_next_completion();
   void sample_all(double period_s);
 
@@ -101,6 +111,8 @@ class World {
   EventHandle pending_completion_;
   OomHandler oom_;
   bool in_update_ = false;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t next_trace_id_ = 1;  ///< task subject ids, stable per world
 
   std::vector<std::unique_ptr<metrics::MetricStore>> stores_;
   std::vector<std::unique_ptr<metrics::Collector>> collectors_;

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::simanom {
 
@@ -20,11 +21,41 @@ namespace {
 // check the deadline, so chunks are ~0.5 simulated seconds of work.
 constexpr double kChunkSeconds = 0.5;
 
+// Stable numeric ids carried in anomaly trace records (detail field);
+// order mirrors the Table 1 catalog, os_jitter appended.
+enum AnomalyId : std::uint16_t {
+  kIdCpuoccupy = 1,
+  kIdCachecopy = 2,
+  kIdMembw = 3,
+  kIdMemeater = 4,
+  kIdMemleak = 5,
+  kIdNetoccupy = 6,
+  kIdIometadata = 7,
+  kIdIobandwidth = 8,
+  kIdOsJitter = 9,
+};
+
+/// One kAnomalyStart per injector call: where it lands (node/core), how
+/// long it runs, and its primary knob -- the fields replay divergence
+/// reports lead with.
+void trace_start(World& world, AnomalyId id, int node, int core,
+                 double duration_s, double knob) {
+  if (auto* tracer = world.tracer(); tracer != nullptr) {
+    tracer->emit(trace::RecordKind::kAnomalyStart,
+                 static_cast<std::uint32_t>(node), id,
+                 static_cast<std::uint64_t>(core), duration_s, knob);
+  }
+}
+
 /// Shared epilogue: release memory and finish when the deadline passed.
 bool deadline_reached(World& world, Task& task, double end_time) {
   if (world.now() + 1e-9 < end_time) return false;
   if (task.allocated_bytes() > 0.0)
     world.allocate_memory(&task, -task.allocated_bytes());
+  if (auto* tracer = world.tracer(); tracer != nullptr) {
+    tracer->emit(trace::RecordKind::kAnomalyStop, task.trace_id(), 0, 0,
+                 world.now());
+  }
   return true;
 }
 
@@ -34,6 +65,7 @@ Task* inject_cpuoccupy(World& world, int node, int core,
                        double utilization_pct, double duration_s) {
   require(utilization_pct > 0.0 && utilization_pct <= 100.0,
           "inject_cpuoccupy: utilization in (0,100]");
+  trace_start(world, kIdCpuoccupy, node, core, duration_s, utilization_pct);
   TaskProfile profile;
   profile.ips_peak = 2.3e9;  // tight ALU loop, ~1 IPC
   profile.cpu_demand = utilization_pct / 100.0;
@@ -54,6 +86,7 @@ Task* inject_cpuoccupy(World& world, int node, int core,
 Task* inject_cachecopy(World& world, int node, int core, SimCacheLevel level,
                        double multiplier, double duration_s) {
   require(multiplier > 0.0, "inject_cachecopy: multiplier must be positive");
+  trace_start(world, kIdCachecopy, node, core, duration_s, multiplier);
   const sim::NodeConfig& cfg = world.node(node).config();
   double level_bytes = cfg.l3_bytes;
   if (level == SimCacheLevel::kL1) level_bytes = cfg.l1_bytes;
@@ -81,6 +114,7 @@ Task* inject_cachecopy(World& world, int node, int core, SimCacheLevel level,
 Task* inject_membw(World& world, int node, int core, double duration_s,
                    double duty) {
   require(duty > 0.0 && duty <= 1.0, "inject_membw: duty in (0,1]");
+  trace_start(world, kIdMembw, node, core, duration_s, duty);
   const sim::NodeConfig& cfg = world.node(node).config();
   TaskProfile profile;
   profile.ips_peak = 2.3e9;
@@ -102,6 +136,7 @@ Task* inject_memeater(World& world, int node, int core, double step_bytes,
                       double max_bytes, double step_interval_s,
                       double duration_s) {
   require(step_bytes > 0, "inject_memeater: step must be positive");
+  trace_start(world, kIdMemeater, node, core, duration_s, step_bytes);
   TaskProfile profile;
   profile.ips_peak = 2.0e9;
   profile.cpu_demand = 1.0;
@@ -134,6 +169,7 @@ Task* inject_memleak(World& world, int node, int core, double chunk_bytes,
                      double chunk_interval_s, double duration_s,
                      double max_bytes) {
   require(chunk_bytes > 0, "inject_memleak: chunk must be positive");
+  trace_start(world, kIdMemleak, node, core, duration_s, chunk_bytes);
   TaskProfile profile;
   profile.ips_peak = 2.0e9;
   profile.cpu_demand = 1.0;
@@ -165,6 +201,8 @@ std::vector<Task*> inject_netoccupy(World& world, int src_node, int dst_node,
                                     double duration_s) {
   require(ntasks >= 1, "inject_netoccupy: ntasks must be >= 1");
   require(message_bytes > 0, "inject_netoccupy: message size positive");
+  trace_start(world, kIdNetoccupy, src_node, dst_node, duration_s,
+              message_bytes);
   std::vector<Task*> tasks;
   const double end_time = world.now() + duration_s;
   for (int rank = 0; rank < ntasks; ++rank) {
@@ -187,6 +225,7 @@ std::vector<Task*> inject_netoccupy(World& world, int src_node, int dst_node,
 std::vector<Task*> inject_iometadata(World& world, int node, int ntasks,
                                      double duration_s) {
   require(ntasks >= 1, "inject_iometadata: ntasks must be >= 1");
+  trace_start(world, kIdIometadata, node, 0, duration_s, ntasks);
   std::vector<Task*> tasks;
   const double end_time = world.now() + duration_s;
   constexpr double kOpsBatch = 200.0;  // ops per phase (create/close/unlink)
@@ -209,6 +248,7 @@ std::vector<Task*> inject_iobandwidth(World& world, int node, int ntasks,
                                       double file_bytes, double duration_s) {
   require(ntasks >= 1, "inject_iobandwidth: ntasks must be >= 1");
   require(file_bytes > 0, "inject_iobandwidth: file size positive");
+  trace_start(world, kIdIobandwidth, node, 0, duration_s, file_bytes);
   std::vector<Task*> tasks;
   const double end_time = world.now() + duration_s;
   for (int rank = 0; rank < ntasks; ++rank) {
@@ -235,6 +275,7 @@ Task* inject_os_jitter(World& world, int node, int core, double burst_s,
                        std::uint64_t seed) {
   require(burst_s > 0.0 && mean_gap_s > 0.0,
           "inject_os_jitter: burst and gap must be positive");
+  trace_start(world, kIdOsJitter, node, core, duration_s, mean_gap_s);
   TaskProfile profile;
   profile.ips_peak = 2.3e9;
   profile.cpu_demand = 1.0;  // daemons run at full tilt while active

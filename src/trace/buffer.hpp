@@ -1,0 +1,94 @@
+// Fixed-capacity record ring with explicit overflow accounting.
+//
+// Unlike common/ring_buffer.hpp (monitoring history, where silently
+// forgetting old samples is the point), the trace ring must never lose
+// records *silently*: every overwrite of an unexported record increments a
+// dropped counter that is surfaced in the trace header, the text export
+// and the CLI tools. A default-constructed buffer has capacity zero and
+// owns no storage, which is what makes disabled tracing allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/record.hpp"
+
+namespace hpas::trace {
+
+class TraceBuffer {
+ public:
+  /// Capacity 0: every push drops (and is counted). No allocation.
+  TraceBuffer() = default;
+  explicit TraceBuffer(std::size_t capacity) { reset(capacity); }
+
+  /// Re-allocates to exactly `capacity` slots and forgets retained records
+  /// (the cumulative dropped/pushed counters survive).
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, TraceRecord{});
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Appends a record. Returns false when the buffer was full and the
+  /// oldest retained record was overwritten (counted in dropped()).
+  bool push(const TraceRecord& record) {
+    ++pushed_;
+    if (buf_.empty()) {
+      ++dropped_;
+      return false;
+    }
+    const bool overwrote = size_ == buf_.size();
+    buf_[head_] = record;
+    head_ = (head_ + 1) % buf_.size();
+    if (overwrote) {
+      ++dropped_;
+    } else {
+      ++size_;
+    }
+    return !overwrote;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return !buf_.empty() && size_ == buf_.size(); }
+
+  /// Records pushed over the buffer's lifetime, retained or not.
+  std::uint64_t total_pushed() const { return pushed_; }
+  /// Records lost to overwrites (or to capacity 0). Never reset by
+  /// clear()/reset(): a drop that happened stays on the books.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// i = 0 is the oldest *retained* record.
+  const TraceRecord& operator[](std::size_t i) const {
+    require(i < size_, "TraceBuffer: index out of range");
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Drops retained records (not counted: they were consumed, typically by
+  /// a sink flush) while keeping capacity and cumulative counters.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies the retained window, oldest first.
+  std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hpas::trace

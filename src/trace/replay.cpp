@@ -1,0 +1,79 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "trace/export.hpp"
+
+namespace hpas::trace {
+namespace {
+
+/// Index of the first record with seq >= target (records are seq-sorted
+/// by construction). size() when none.
+std::size_t lower_bound_seq(const TraceFile& file, std::uint64_t target) {
+  const auto it = std::lower_bound(
+      file.records.begin(), file.records.end(), target,
+      [](const TraceRecord& r, std::uint64_t s) { return r.seq < s; });
+  return static_cast<std::size_t>(it - file.records.begin());
+}
+
+TraceDivergence diverged_at(std::uint64_t seq, std::string description) {
+  TraceDivergence d;
+  d.diverged = true;
+  d.seq = seq;
+  d.description = std::move(description);
+  return d;
+}
+
+}  // namespace
+
+TraceDivergence diff_traces(const TraceFile& recorded,
+                            const TraceFile& fresh) {
+  // Align on the first seq both traces retain (either side may have lost
+  // its head to a bounded ring).
+  std::uint64_t start_seq = 0;
+  if (!recorded.records.empty()) start_seq = recorded.records.front().seq;
+  if (!fresh.records.empty())
+    start_seq = std::max(start_seq, fresh.records.front().seq);
+  std::size_t i = lower_bound_seq(recorded, start_seq);
+  std::size_t j = lower_bound_seq(fresh, start_seq);
+
+  while (i < recorded.records.size() && j < fresh.records.size()) {
+    const TraceRecord& a = recorded.records[i];
+    const TraceRecord& b = fresh.records[j];
+    if (!bitwise_equal(a, b)) {
+      return diverged_at(std::min(a.seq, b.seq),
+                         "event #" + std::to_string(std::min(a.seq, b.seq)) +
+                             ": recorded {" + format_record(a, recorded) +
+                             "} vs fresh {" + format_record(b, fresh) + "}");
+    }
+    ++i;
+    ++j;
+  }
+
+  if (i < recorded.records.size()) {
+    const TraceRecord& a = recorded.records[i];
+    return diverged_at(
+        a.seq, "fresh trace ended before event #" + std::to_string(a.seq) +
+                   ": recorded {" + format_record(a, recorded) + "}");
+  }
+  if (j < fresh.records.size()) {
+    const TraceRecord& b = fresh.records[j];
+    return diverged_at(
+        b.seq, "recorded trace ended before event #" + std::to_string(b.seq) +
+                   ": fresh {" + format_record(b, fresh) + "}");
+  }
+
+  // Record streams agree; a label-table mismatch still means the runs
+  // created different subjects (names matter for report fidelity).
+  if (recorded.labels != fresh.labels) {
+    return diverged_at(start_seq,
+                       "label tables differ (" +
+                           std::to_string(recorded.labels.size()) +
+                           " recorded vs " +
+                           std::to_string(fresh.labels.size()) + " fresh)");
+  }
+  return {};
+}
+
+}  // namespace hpas::trace

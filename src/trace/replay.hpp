@@ -1,0 +1,36 @@
+// Deterministic replay checking and trace differencing.
+//
+// The replay guarantee: running the same scenario (same grid text, same
+// seed) twice yields bit-identical record streams. diff_traces() is the
+// checker behind `hpas-sim --check-trace` and the `trace_diff` tool: it
+// walks two streams in seq order and reports the *first* divergent
+// record, with both sides formatted -- turning "the golden file changed"
+// into "event #4217: node_rates subj=7 x=0.42 vs x=0.39".
+//
+// Ring-truncated traces (dropped > 0) are handled by aligning on seq:
+// comparison starts at the first seq both traces retain, so a bounded
+// in-memory ring can still be checked against a lossless re-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace hpas::trace {
+
+struct TraceDivergence {
+  bool diverged = false;
+  /// Seq number of the first divergent record (when both sides have one);
+  /// for length mismatches, the seq where the shorter side ended.
+  std::uint64_t seq = 0;
+  /// Human-readable one-stop report: empty when the traces agree.
+  std::string description;
+};
+
+/// Compares `recorded` against `fresh` record-by-record (bitwise on
+/// doubles) after seq alignment; also cross-checks the label tables.
+/// Returns diverged == false when every comparable record agrees.
+TraceDivergence diff_traces(const TraceFile& recorded, const TraceFile& fresh);
+
+}  // namespace hpas::trace

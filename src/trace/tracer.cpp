@@ -1,0 +1,69 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace hpas::trace {
+
+std::string_view record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kEventScheduled: return "event_scheduled";
+    case RecordKind::kEventFired: return "event_fired";
+    case RecordKind::kEventCancelled: return "event_cancelled";
+    case RecordKind::kTaskSpawn: return "task_spawn";
+    case RecordKind::kTaskKill: return "task_kill";
+    case RecordKind::kPhaseTransition: return "phase_transition";
+    case RecordKind::kRateRecompute: return "rate_recompute";
+    case RecordKind::kNodeRates: return "node_rates";
+    case RecordKind::kTaskRate: return "task_rate";
+    case RecordKind::kMemoryAlloc: return "memory_alloc";
+    case RecordKind::kOom: return "oom";
+    case RecordKind::kAnomalyStart: return "anomaly_start";
+    case RecordKind::kAnomalyStop: return "anomaly_stop";
+    case RecordKind::kSample: return "sample";
+  }
+  return "unknown";
+}
+
+void Tracer::set_label(std::uint32_t subject, std::string label) {
+  if (!enabled_) return;
+  for (const auto& [id, name] : labels_) {
+    if (id == subject) return;  // first label wins
+  }
+  labels_.emplace_back(subject, std::move(label));
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::sorted_labels()
+    const {
+  auto sorted = labels_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
+void Tracer::flush() {
+  if (!sink_ || ring_.empty()) return;
+  // Snapshot then clear before invoking the sink so a sink that emits
+  // (it should not, but defensively) cannot recurse into a full ring.
+  const std::vector<TraceRecord> batch = ring_.snapshot();
+  ring_.clear();
+  sink_(batch.data(), batch.size());
+}
+
+TraceCapture::TraceCapture(std::size_t ring_capacity) {
+  tracer_.enable(ring_capacity);
+  tracer_.set_sink([this](const TraceRecord* records, std::size_t n) {
+    records_.insert(records_.end(), records, records + n);
+  });
+}
+
+TraceFile TraceCapture::take() {
+  tracer_.flush();
+  TraceFile file;
+  file.emitted = tracer_.emitted();
+  file.dropped = tracer_.dropped();
+  file.labels = tracer_.sorted_labels();
+  file.records = records_;
+  return file;
+}
+
+}  // namespace hpas::trace

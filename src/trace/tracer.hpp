@@ -1,0 +1,127 @@
+// Tracer: the per-simulation structured event sink.
+//
+// One Tracer serves one Simulator/World (sweeps give every scenario its
+// own, so parallel capture shares nothing). The contract that keeps the
+// instrumentation honest:
+//
+//   * zero cost when off -- a disabled (default-constructed) Tracer owns
+//     no storage and emit() is one predicted branch; instrumentation
+//     sites additionally guard on a null Tracer pointer, so untraced
+//     simulations do not even take that branch;
+//   * never silently lossy -- ring overflow increments a dropped counter
+//     carried into every export; attaching a sink makes capture lossless
+//     (the ring flushes to the sink instead of overwriting);
+//   * deterministic -- records carry only simulation state (no wall
+//     clock, no pointers), so equal seeds yield bit-equal streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+
+namespace hpas::trace {
+
+class Tracer {
+ public:
+  /// Receives flushed batches (oldest first) when the ring fills and on
+  /// flush(); installing one makes capture lossless.
+  using Sink = std::function<void(const TraceRecord* records, std::size_t n)>;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// Disabled; allocation-free until enable().
+  Tracer() = default;
+  explicit Tracer(std::size_t capacity) { enable(capacity); }
+
+  bool enabled() const { return enabled_; }
+
+  /// Allocates the ring (first call only, unless the capacity changes) and
+  /// starts recording.
+  void enable(std::size_t capacity = kDefaultCapacity) {
+    if (ring_.capacity() != capacity) ring_.reset(capacity);
+    enabled_ = true;
+  }
+
+  /// Stops recording; retained records and counters stay readable.
+  void disable() { enabled_ = false; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// The simulation clock mirror; the engine updates it as events fire so
+  /// emitters that do not know the time (e.g. Task) stamp correctly.
+  void set_time(double t) { time_ = t; }
+  double time() const { return time_; }
+
+  /// Appends one record stamped with the current trace clock. No-op when
+  /// disabled (the only cost is this branch).
+  void emit(RecordKind kind, std::uint32_t subject, std::uint16_t detail,
+            std::uint64_t a, double x = 0.0, double y = 0.0) {
+    if (!enabled_) return;
+    if (sink_ && ring_.full()) flush();
+    TraceRecord record;
+    record.seq = emitted_++;
+    record.time = time_;
+    record.kind = kind;
+    record.subject = subject;
+    record.detail = detail;
+    record.a = a;
+    record.x = x;
+    record.y = y;
+    ring_.push(record);
+  }
+
+  /// Names a subject id (task names, mostly); carried into every export so
+  /// divergence reports read "memleak#3", not "subject 3". Idempotent per
+  /// id: the first label wins.
+  void set_label(std::uint32_t subject, std::string label);
+  /// Labels sorted by subject id (deterministic export order).
+  std::vector<std::pair<std::uint32_t, std::string>> sorted_labels() const;
+
+  /// Pushes retained records to the sink (if any) and clears the ring.
+  void flush();
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  const TraceBuffer& buffer() const { return ring_; }
+
+ private:
+  bool enabled_ = false;
+  double time_ = 0.0;
+  std::uint64_t emitted_ = 0;
+  TraceBuffer ring_;
+  Sink sink_;
+  std::vector<std::pair<std::uint32_t, std::string>> labels_;
+};
+
+/// In-memory trace: header counters + label table + the record stream.
+/// What the binary/text exporters serialize and the replay checker diffs.
+struct TraceFile {
+  std::uint64_t emitted = 0;  ///< records emitted by the tracer in total
+  std::uint64_t dropped = 0;  ///< of those, lost to ring overwrites
+  std::vector<std::pair<std::uint32_t, std::string>> labels;
+  std::vector<TraceRecord> records;  ///< seq-ordered; first may be > 0
+};
+
+/// Lossless capture convenience: a Tracer whose sink accumulates every
+/// record in memory. take() assembles the final TraceFile.
+class TraceCapture {
+ public:
+  explicit TraceCapture(std::size_t ring_capacity = 4096);
+
+  Tracer& tracer() { return tracer_; }
+
+  /// Flushes the ring and returns the complete trace. The capture stays
+  /// usable (subsequent records keep accumulating).
+  TraceFile take();
+
+ private:
+  Tracer tracer_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hpas::trace

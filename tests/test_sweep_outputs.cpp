@@ -1,0 +1,126 @@
+// Sweep output writing: every file lands atomically (temp + rename), so
+// a failure mid-write never leaves a partially written or stray .tmp
+// file behind -- the bug this pins down was `hpas sweep` leaving partial
+// CSVs when cancel-on-first-failure interrupted a run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "runner/grid.hpp"
+#include "runner/runner.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+hpas::runner::SweepGrid tiny_grid(bool with_failure = false) {
+  hpas::runner::SweepGrid grid;
+  grid.name = "outputs_grid";
+  for (int i = 0; i < 2; ++i) {
+    hpas::runner::ScenarioSpec spec;
+    spec.name = "scenario" + std::to_string(i);
+    spec.anomaly = i == 0 ? "memleak" : "none";
+    spec.duration_s = 3.0;
+    spec.sample_period_s = 1.0;
+    spec.seed = hpas::runner::derive_scenario_seed(7, static_cast<std::uint64_t>(i));
+    grid.scenarios.push_back(spec);
+  }
+  if (with_failure) {
+    // app_nodes beyond the preset's node count makes run_scenario throw.
+    grid.scenarios[1].app = "CoMD";
+    grid.scenarios[1].app_nodes = 1000;
+  }
+  return grid;
+}
+
+std::set<std::string> list_dir(const fs::path& dir) {
+  std::set<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir))
+    names.insert(entry.path().filename().string());
+  return names;
+}
+
+class SweepOutputsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hpas_sweep_outputs_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(SweepOutputsTest, WritesAllFilesAndLeavesNoTemporaries) {
+  const auto result = hpas::runner::run_sweep(tiny_grid(), {.threads = 2});
+  ASSERT_TRUE(result.ok()) << result.first_error();
+  hpas::runner::write_outputs(result, dir_.string());
+
+  const auto names = list_dir(dir_);
+  EXPECT_TRUE(names.count("scenario0.csv"));
+  EXPECT_TRUE(names.count("scenario1.csv"));
+  EXPECT_TRUE(names.count("summary.json"));
+  for (const std::string& name : names)
+    EXPECT_TRUE(name.find(".tmp") == std::string::npos)
+        << "stray temporary left behind: " << name;
+}
+
+TEST_F(SweepOutputsTest, CapturedTracesLandNextToTheCsvs) {
+  const auto result = hpas::runner::run_sweep(
+      tiny_grid(), {.threads = 1, .capture_traces = true});
+  ASSERT_TRUE(result.ok()) << result.first_error();
+  hpas::runner::write_outputs(result, dir_.string());
+  const auto names = list_dir(dir_);
+  EXPECT_TRUE(names.count("scenario0.trace.bin"));
+  EXPECT_TRUE(names.count("scenario1.trace.bin"));
+  EXPECT_GT(fs::file_size(dir_ / "scenario0.trace.bin"), 0u);
+}
+
+TEST_F(SweepOutputsTest, FailedScenariosProduceNoPartialFiles) {
+  // Scenario 1 throws inside run_scenario and cancel-on-first-failure may
+  // skip scenario 0 entirely; write_outputs must emit files only for
+  // scenarios that completed, never a partial or temporary one.
+  const auto result =
+      hpas::runner::run_sweep(tiny_grid(/*with_failure=*/true), {.threads = 1});
+  ASSERT_FALSE(result.ok());
+  hpas::runner::write_outputs(result, dir_.string());
+  const auto names = list_dir(dir_);
+  EXPECT_FALSE(names.count("scenario1.csv"));
+  EXPECT_TRUE(names.count("summary.json"));
+  for (const auto& s : result.scenarios) {
+    const bool completed = s.ran && s.error.empty();
+    EXPECT_EQ(names.count(s.spec.name + ".csv") == 1, completed)
+        << s.spec.name;
+  }
+  for (const std::string& name : names)
+    EXPECT_TRUE(name.find(".tmp") == std::string::npos)
+        << "stray temporary left behind: " << name;
+}
+
+TEST_F(SweepOutputsTest, ObstructedTargetThrowsAndRemovesTemporary) {
+  const auto result = hpas::runner::run_sweep(tiny_grid(), {.threads = 1});
+  ASSERT_TRUE(result.ok()) << result.first_error();
+
+  // A directory squatting on summary.json's path makes the final rename
+  // fail; the write must surface SystemError and clean up its temporary
+  // rather than leaving summary.json.tmp (or a half-written target).
+  fs::create_directories(dir_ / "summary.json" / "squatter");
+  EXPECT_THROW(hpas::runner::write_outputs(result, dir_.string()),
+               hpas::SystemError);
+  EXPECT_FALSE(fs::exists(dir_ / "summary.json.tmp"))
+      << "temporary not cleaned up after a failed rename";
+  // The CSVs written before the failure are complete files, not stubs.
+  EXPECT_TRUE(fs::exists(dir_ / "scenario0.csv"));
+  EXPECT_GT(fs::file_size(dir_ / "scenario0.csv"), 0u);
+}
+
+}  // namespace
