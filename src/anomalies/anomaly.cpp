@@ -15,6 +15,21 @@ namespace hpas::anomalies {
 
 Anomaly::Anomaly(CommonOptions opts) : opts_(opts) {
   require(opts_.start_delay_s >= 0.0, "start-delay must be non-negative");
+  require(opts_.max_retries >= 1, "max-retries must be >= 1");
+  SupervisorOptions sup;
+  sup.on_error = opts_.on_error;
+  sup.retry.max_attempts = opts_.max_retries;
+  supervisor_.set_options(sup);
+  // Anomaly is non-movable, so capturing `this` here is safe.
+  supervisor_.set_cancel([this] { return stop_requested(); });
+}
+
+const SupervisionReport& Anomaly::supervision_report() {
+  if (!report_ready_) {
+    report_ = supervisor_.make_report(name());
+    report_ready_ = true;
+  }
+  return report_;
 }
 
 void Anomaly::pace(double seconds) const {
@@ -53,6 +68,8 @@ RunStats Anomaly::run() {
   RunStats stats;
   Stopwatch total;
 
+  report_ready_ = false;
+  supervisor_.start_clock();
   pin_current_thread();
   if (opts_.start_delay_s > 0.0) pace(opts_.start_delay_s);
 
@@ -64,6 +81,7 @@ RunStats Anomaly::run() {
           active_window.elapsed_seconds() >= opts_.duration_s) {
         break;
       }
+      if (supervisor_.should_stop()) break;
       Stopwatch iter;
       const double idle_before =
           idle_seconds_.load(std::memory_order_relaxed);

@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <string>
 
+#include "anomalies/failure.hpp"
+#include "anomalies/supervisor.hpp"
+
 namespace hpas::anomalies {
 
 /// Knobs shared by all anomalies ("Every anomaly has configurable
@@ -28,6 +31,13 @@ struct CommonOptions {
   /// placement: Fig. 3 colocates cachecopy with the victim's core,
   /// Fig. 4 keeps membw *off* STREAM's core.
   int pin_cpu = -1;
+  /// What to do about worker failures (see supervisor.hpp): retry
+  /// transients (default), degrade onto the survivors, or abort on the
+  /// first error.
+  OnError on_error = OnError::kRetry;
+  /// Attempt budget per operation for transient errors (>= 1). Ignored
+  /// in abort mode, where it collapses to 1.
+  int max_retries = 8;
 };
 
 /// Counters reported after a run; `work_amount` is anomaly-specific
@@ -68,6 +78,15 @@ class Anomaly {
 
   const CommonOptions& common_options() const { return opts_; }
 
+  /// Worker supervision state: failure records, retry policy, degrade
+  /// accounting. Workers report through this instead of a bare bool.
+  Supervisor& supervisor() { return supervisor_; }
+  const Supervisor& supervisor() const { return supervisor_; }
+
+  /// Terminal failure summary for the last run(). Assembled lazily (and
+  /// cached) so it is available even when run() threw from setup().
+  const SupervisionReport& supervision_report();
+
  protected:
   /// One bounded unit of work (aim for <= ~100 ms so stop stays
   /// responsive). Return false to end the run early (e.g. memeater reached
@@ -90,6 +109,9 @@ class Anomaly {
 
  private:
   CommonOptions opts_;
+  Supervisor supervisor_;
+  SupervisionReport report_;
+  bool report_ready_ = false;
   std::atomic<bool> stop_{false};
   // Accumulated pace() time; atomic because netoccupy/io generators call
   // pace() from worker threads.

@@ -1,5 +1,6 @@
 #include "anomalies/cachecopy.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -28,8 +29,12 @@ void CacheCopy::setup() {
   void* mem = nullptr;
   const std::size_t total = 2 * static_cast<std::size_t>(array_bytes_);
   const int rc = ::posix_memalign(&mem, 4096, total);
-  if (rc != 0 || mem == nullptr)
+  if (rc != 0 || mem == nullptr) {
+    // Record the structured failure too so the supervision report names
+    // the allocation even when the caller swallows the exception.
+    supervisor().report_failure(0, FailureOp::kAlloc, rc != 0 ? rc : ENOMEM);
     throw SystemError("cachecopy: posix_memalign failed");
+  }
   block_ = static_cast<unsigned char*>(mem);
   rng_.fill_bytes(block_, total);
 }

@@ -1,0 +1,273 @@
+#include "anomalies/failure.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+
+OnError parse_on_error(const std::string& text) {
+  if (text == "retry") return OnError::kRetry;
+  if (text == "degrade") return OnError::kDegrade;
+  if (text == "abort") return OnError::kAbort;
+  throw ConfigError("unknown --on-error mode '" + text +
+                    "' (expected retry, degrade, or abort)");
+}
+
+std::string_view on_error_name(OnError mode) {
+  switch (mode) {
+    case OnError::kRetry: return "retry";
+    case OnError::kDegrade: return "degrade";
+    case OnError::kAbort: return "abort";
+  }
+  return "unknown";
+}
+
+std::string_view failure_op_name(FailureOp op) {
+  switch (op) {
+    case FailureOp::kOpen: return "open";
+    case FailureOp::kRead: return "read";
+    case FailureOp::kWrite: return "write";
+    case FailureOp::kFsync: return "fsync";
+    case FailureOp::kClose: return "close";
+    case FailureOp::kUnlink: return "unlink";
+    case FailureOp::kAlloc: return "alloc";
+    case FailureOp::kSocket: return "socket";
+    case FailureOp::kBind: return "bind";
+    case FailureOp::kConnect: return "connect";
+    case FailureOp::kAccept: return "accept";
+    case FailureOp::kSend: return "send";
+    case FailureOp::kRecv: return "recv";
+    case FailureOp::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::string errno_name(int err) {
+  switch (err) {
+    case 0: return "OK";
+    case EINTR: return "EINTR";
+    case EAGAIN: return "EAGAIN";
+    case EBUSY: return "EBUSY";
+    case ENOSPC: return "ENOSPC";
+    case EDQUOT: return "EDQUOT";
+    case EMFILE: return "EMFILE";
+    case ENFILE: return "ENFILE";
+    case ENOMEM: return "ENOMEM";
+    case ENOBUFS: return "ENOBUFS";
+    case EIO: return "EIO";
+    case EBADF: return "EBADF";
+    case ENOENT: return "ENOENT";
+    case EACCES: return "EACCES";
+    case EPIPE: return "EPIPE";
+    case ECONNRESET: return "ECONNRESET";
+    case ECONNREFUSED: return "ECONNREFUSED";
+    case ETIMEDOUT: return "ETIMEDOUT";
+    case ECANCELED: return "ECANCELED";
+    case EROFS: return "EROFS";
+    case ENOTDIR: return "ENOTDIR";
+    default: return "errno " + std::to_string(err);
+  }
+}
+
+ErrorClass classify_errno(FailureOp op, int err) {
+  switch (err) {
+    // Interrupted / try-again conditions are always worth retrying.
+    case EINTR:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ENOBUFS:
+      return ErrorClass::kTransient;
+    // Resource exhaustion is transient for operations whose owner can
+    // free its own resources (delete scratch files, wait for another
+    // job's burst to pass) -- the "momentary ENOSPC after cleanup" case.
+    case ENOSPC:
+    case EDQUOT:
+    case EMFILE:
+    case ENFILE:
+    case ENOMEM:
+      return ErrorClass::kTransient;
+    // A refused connection usually means the peer is not up *yet*.
+    case ECONNREFUSED:
+    case ETIMEDOUT:
+      return op == FailureOp::kConnect ? ErrorClass::kTransient
+                                       : ErrorClass::kFatal;
+    default:
+      return ErrorClass::kFatal;
+  }
+}
+
+std::string describe(const WorkerFailure& failure) {
+  std::string out = "task " + std::to_string(failure.task) + ": ";
+  out += failure_op_name(failure.op);
+  out += ": ";
+  out += errno_name(failure.err);
+  if (failure.err != 0) {
+    out += " (";
+    out += std::strerror(failure.err);
+    out += ")";
+  }
+  out += failure.cls == ErrorClass::kTransient ? ", transient" : ", fatal";
+  if (failure.attempts > 1) {
+    out += ", gave up after " + std::to_string(failure.attempts) + " attempts";
+  }
+  char when[32];
+  std::snprintf(when, sizeof when, ", t=+%.2fs", failure.time_s);
+  out += when;
+  return out;
+}
+
+double RetryPolicy::backoff_s(int attempt) const {
+  double wait = initial_backoff_s;
+  for (int i = 1; i < attempt; ++i) wait *= backoff_multiplier;
+  return std::min(wait, max_backoff_s);
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FailureChannel::FailureChannel(std::size_t capacity)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool FailureChannel::push(const WorkerFailure& failure) noexcept {
+  std::size_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(seq) -
+                      static_cast<std::intptr_t>(pos);
+    if (diff == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        slot.value = failure;
+        slot.seq.store(pos + 1, std::memory_order_release);
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    } else if (diff < 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // full
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FailureChannel::pop(WorkerFailure& out) noexcept {
+  std::size_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(seq) -
+                      static_cast<std::intptr_t>(pos + 1);
+    if (diff == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        out = slot.value;
+        slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (diff < 0) {
+      return false;  // empty
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<WorkerFailure> FailureChannel::drain() {
+  std::vector<WorkerFailure> out;
+  WorkerFailure failure;
+  while (pop(failure)) out.push_back(failure);
+  return out;
+}
+
+bool IoResult::cancelled() const { return err == ECANCELED; }
+
+IoResult retry_syscall(FailureOp op, const RetryPolicy& policy,
+                       const SyscallFn& call, const CancelFn& cancelled,
+                       const SleepFn& sleep,
+                       const TransientHookFn& on_transient) {
+  IoResult result;
+  const int budget = std::max(policy.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = static_cast<std::uint32_t>(attempt);
+    if (cancelled && cancelled()) {
+      result.err = ECANCELED;
+      return result;
+    }
+    errno = 0;
+    const std::int64_t value = call();
+    if (value >= 0) {
+      result.value = value;
+      result.err = 0;
+      return result;
+    }
+    result.err = errno != 0 ? errno : EIO;
+    if (classify_errno(op, result.err) == ErrorClass::kFatal ||
+        attempt >= budget) {
+      return result;
+    }
+    if (on_transient) on_transient(result.err);
+    if (sleep) sleep(policy.backoff_s(attempt));
+  }
+}
+
+IoResult write_fully(const WriteFn& write_fn, const char* data,
+                     std::size_t n, const RetryPolicy& policy,
+                     const CancelFn& cancelled, const SleepFn& sleep,
+                     const TransientHookFn& on_transient) {
+  IoResult result;
+  result.value = 0;  // bytes written so far
+  const int budget = std::max(policy.max_attempts, 1);
+  int attempt = 0;
+  std::size_t done = 0;
+  while (done < n) {
+    if (cancelled && cancelled()) {
+      result.err = ECANCELED;
+      return result;
+    }
+    errno = 0;
+    const std::int64_t put = write_fn(data + done, n - done);
+    if (put > 0) {
+      // Forward progress -- a short write is legal, not an error. Resume
+      // with the remainder and reset the transient budget.
+      done += static_cast<std::size_t>(put);
+      result.value = static_cast<std::int64_t>(done);
+      attempt = 0;
+      continue;
+    }
+    // put == 0 (no progress) or -1 (error): consume a transient attempt.
+    result.err = put < 0 ? (errno != 0 ? errno : EIO) : ENOSPC;
+    result.attempts = static_cast<std::uint32_t>(++attempt);
+    if (put < 0 &&
+        classify_errno(FailureOp::kWrite, result.err) == ErrorClass::kFatal) {
+      return result;
+    }
+    if (attempt >= budget) return result;
+    if (on_transient) on_transient(result.err);
+    if (sleep) sleep(policy.backoff_s(attempt));
+  }
+  result.err = 0;
+  result.attempts = static_cast<std::uint32_t>(std::max(attempt, 0)) + 1;
+  return result;
+}
+
+}  // namespace hpas::anomalies

@@ -1,0 +1,186 @@
+// Structured worker-failure vocabulary for the native anomaly generators.
+//
+// HPAS generators run unattended for whole job lifetimes, so a transient
+// syscall hiccup (EINTR, a short write, a momentary ENOSPC) must not
+// silently kill a worker thread: FINJ (Netti et al.) argues a fault
+// injector is only trustworthy if *its own* failures are detected,
+// classified and reported. This header defines that vocabulary:
+//
+//   * FailureOp / ErrorClass / classify_errno -- which operation failed
+//     and whether the errno is worth retrying;
+//   * WorkerFailure -- one structured, fixed-size failure record
+//     (task index, operation, errno, attempts, timestamp);
+//   * FailureChannel -- a lock-free bounded MPMC channel workers push
+//     records through (never blocks a worker; overflow is counted, not
+//     silently lost);
+//   * RetryPolicy + retry_syscall/write_fully -- bounded retry with
+//     exponential backoff, written against injectable callables so unit
+//     tests can shim the "syscalls" and prove the EINTR/short-write
+//     logic without real fault hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpas::anomalies {
+
+/// Transient errors are retried with backoff (and possibly after the
+/// worker cleans up after itself, e.g. deleting its scratch files on
+/// ENOSPC); fatal errors terminate the worker immediately.
+enum class ErrorClass : std::uint8_t { kTransient = 0, kFatal = 1 };
+
+/// What the whole anomaly does about a worker's *terminal* failure
+/// (transient retries exhausted, or a fatal errno):
+///   retry   -- transients are retried; a dead worker still fails the
+///              anomaly (clean shutdown + report + nonzero exit);
+///   degrade -- a dead worker's duty is redistributed to the survivors;
+///              the anomaly only stops when every worker is dead;
+///   abort   -- no retries at all; the first error stops the anomaly.
+enum class OnError : std::uint8_t { kRetry = 0, kDegrade = 1, kAbort = 2 };
+
+OnError parse_on_error(const std::string& text);
+std::string_view on_error_name(OnError mode);
+
+/// The operation a failure record is about.
+enum class FailureOp : std::uint8_t {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kFsync,
+  kClose,
+  kUnlink,
+  kAlloc,
+  kSocket,
+  kBind,
+  kConnect,
+  kAccept,
+  kSend,
+  kRecv,
+  kOther,
+};
+
+std::string_view failure_op_name(FailureOp op);
+
+/// Symbolic name for common errno values ("ENOSPC"); "errno N" otherwise.
+std::string errno_name(int err);
+
+/// Transient vs fatal, in the context of the failed operation. The table
+/// is deliberately conservative: anything not explicitly transient is
+/// fatal. See DESIGN.md "Failure supervision" for the full table.
+ErrorClass classify_errno(FailureOp op, int err);
+
+/// One structured failure record. Fixed-size / trivially copyable so the
+/// channel slots need no allocation and pushes stay lock-free.
+struct WorkerFailure {
+  std::uint32_t task = 0;   ///< worker (task) index within the anomaly
+  FailureOp op = FailureOp::kOther;
+  ErrorClass cls = ErrorClass::kFatal;
+  int err = 0;              ///< errno at failure time; 0 = none recorded
+  std::uint32_t attempts = 1;  ///< attempts made before giving up
+  double time_s = 0.0;      ///< seconds since the anomaly's run() started
+};
+
+/// One human-readable line: "task 1: write: ENOSPC (No space left on
+/// device), transient, gave up after 8 attempts, t=+2.41s".
+std::string describe(const WorkerFailure& failure);
+
+/// Bounded retry with exponential backoff. attempt is 1-based: the wait
+/// *after* the attempt'th try.
+struct RetryPolicy {
+  int max_attempts = 8;             ///< total tries per operation
+  double initial_backoff_s = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 0.25;
+
+  double backoff_s(int attempt) const;
+};
+
+/// Lock-free bounded MPMC channel for WorkerFailure records (Vyukov's
+/// bounded queue). push() never blocks and never allocates: when the
+/// channel is full the record is dropped and counted, so a failure storm
+/// cannot stall the workers it is reporting on.
+class FailureChannel {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit FailureChannel(std::size_t capacity = 256);
+
+  FailureChannel(const FailureChannel&) = delete;
+  FailureChannel& operator=(const FailureChannel&) = delete;
+
+  /// Thread-safe; returns false (and counts a drop) when full.
+  bool push(const WorkerFailure& failure) noexcept;
+
+  /// Pops everything currently in the channel, oldest first.
+  std::vector<WorkerFailure> drain();
+
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    WorkerFailure value;
+  };
+
+  bool pop(WorkerFailure& out) noexcept;
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Outcome of a (possibly retried) I/O-ish operation.
+struct IoResult {
+  std::int64_t value = -1;    ///< last return value / total bytes written
+  int err = 0;                ///< errno of the terminal failure; 0 if ok
+  std::uint32_t attempts = 1; ///< tries consumed (1 = first-try success)
+
+  bool ok() const { return err == 0 && value >= 0; }
+  bool cancelled() const;     ///< gave up because the run is stopping
+};
+
+/// The injectable pieces of the retry machinery: `call` is the
+/// "syscall" (returns >= 0 on success, -1 with errno set on failure),
+/// `cancelled` ends the loop early (stop request / supervisor shutdown),
+/// `sleep` serves the backoff, and `on_transient` runs before each
+/// retry so callers can clean up after themselves (the "momentary
+/// ENOSPC after cleanup" case: delete your scratch files, then retry).
+using SyscallFn = std::function<std::int64_t()>;
+using CancelFn = std::function<bool()>;
+using SleepFn = std::function<void(double)>;
+using TransientHookFn = std::function<void(int err)>;
+
+/// Retries `call` on transient errnos until it succeeds, a fatal errno
+/// appears, `policy.max_attempts` tries are consumed, or `cancelled`
+/// fires (result.err == ECANCELED, which is never reported as a
+/// failure).
+IoResult retry_syscall(FailureOp op, const RetryPolicy& policy,
+                       const SyscallFn& call, const CancelFn& cancelled,
+                       const SleepFn& sleep,
+                       const TransientHookFn& on_transient = nullptr);
+
+/// Writes all `n` bytes through `write_fn`, resuming after short writes
+/// (a legal outcome, not an error: writing continues with the unwritten
+/// remainder) and retrying transient errnos with backoff. A return of 0
+/// counts as a transient no-progress error; any forward progress resets
+/// the attempt budget. On success result.value == n; on failure it holds
+/// the bytes that did make it out.
+using WriteFn = std::function<std::int64_t(const char* data, std::size_t n)>;
+IoResult write_fully(const WriteFn& write_fn, const char* data,
+                     std::size_t n, const RetryPolicy& policy,
+                     const CancelFn& cancelled, const SleepFn& sleep,
+                     const TransientHookFn& on_transient = nullptr);
+
+}  // namespace hpas::anomalies

@@ -49,7 +49,6 @@ struct IoBandwidth::Impl {
   std::vector<std::thread> workers;
   std::vector<fs::path> task_dirs;
   std::atomic<std::uint64_t> written{0};
-  std::atomic<bool> failed{false};
 };
 
 IoBandwidth::IoBandwidth(IoBandwidthOptions opts)
@@ -62,6 +61,7 @@ IoBandwidth::IoBandwidth(IoBandwidthOptions opts)
 IoBandwidth::~IoBandwidth() { teardown(); }
 
 void IoBandwidth::setup() {
+  supervisor().set_worker_count(opts_.ntasks);
   for (unsigned task = 0; task < opts_.ntasks; ++task) {
     const fs::path dir = fs::path(opts_.directory) /
                          ("hpas_iobandwidth_" + std::to_string(::getpid()) +
@@ -78,6 +78,13 @@ void IoBandwidth::setup() {
     const fs::path dir = impl_->task_dirs[task];
     impl_->workers.emplace_back([this, dir, task] {
       pin_current_thread(static_cast<int>(task));
+      Supervisor& sup = supervisor();
+      const auto sleep = [this](double s) { pace(s); };
+      const auto count_written = [this](std::int64_t bytes) {
+        if (bytes > 0)
+          impl_->written.fetch_add(static_cast<std::uint64_t>(bytes),
+                                   std::memory_order_relaxed);
+      };
       std::vector<char> block(static_cast<std::size_t>(
           std::min<std::uint64_t>(opts_.block_bytes, opts_.file_bytes)));
       Rng rng(common_options().seed + task);
@@ -87,57 +94,86 @@ void IoBandwidth::setup() {
       const fs::path file_a = dir / "chain_a";
       const fs::path file_b = dir / "chain_b";
       {
-        Fd out(::open(file_a.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
-        if (!out.valid()) {
-          impl_->failed.store(true);
-          return;
-        }
+        const IoResult opened = supervised_io(
+            sup, task, FailureOp::kOpen,
+            [&]() -> std::int64_t {
+              return ::open(file_a.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                            0644);
+            },
+            sleep);
+        if (!opened.ok()) return;
+        Fd out(static_cast<int>(opened.value));
         std::uint64_t remaining = opts_.file_bytes;
-        while (remaining > 0 && !stop_requested()) {
+        while (remaining > 0 && !sup.cancelled()) {
           const std::size_t chunk = static_cast<std::size_t>(
               std::min<std::uint64_t>(remaining, block.size()));
-          const ssize_t put = ::write(out.fd(), block.data(), chunk);
-          if (put <= 0) {
-            impl_->failed.store(true);
-            return;
-          }
-          impl_->written.fetch_add(static_cast<std::uint64_t>(put),
-                                   std::memory_order_relaxed);
-          remaining -= static_cast<std::uint64_t>(put);
+          const IoResult put = supervised_write_fully(
+              sup, task,
+              [&](const char* data, std::size_t n) -> std::int64_t {
+                return ::write(out.fd(), data, n);
+              },
+              block.data(), chunk, sleep);
+          count_written(put.value);
+          if (!put.ok()) return;
+          remaining -= chunk;
         }
-        if (opts_.sync_each_copy) ::fsync(out.fd());
+        if (opts_.sync_each_copy &&
+            !supervised_io(
+                 sup, task, FailureOp::kFsync,
+                 [&]() -> std::int64_t { return ::fsync(out.fd()); }, sleep)
+                 .ok()) {
+          return;
+        }
       }
 
       // Copy chain: a -> b -> a -> ... ("copies that file to another file
       // and so on").
       fs::path src = file_a, dst = file_b;
-      while (!stop_requested()) {
-        Fd in(::open(src.c_str(), O_RDONLY));
-        Fd out(::open(dst.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
-        if (!in.valid() || !out.valid()) {
-          impl_->failed.store(true);
+      while (!sup.cancelled()) {
+        const IoResult in_r = supervised_io(
+            sup, task, FailureOp::kOpen,
+            [&]() -> std::int64_t { return ::open(src.c_str(), O_RDONLY); },
+            sleep);
+        if (!in_r.ok()) return;
+        Fd in(static_cast<int>(in_r.value));
+        const IoResult out_r = supervised_io(
+            sup, task, FailureOp::kOpen,
+            [&]() -> std::int64_t {
+              return ::open(dst.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            },
+            sleep);
+        if (!out_r.ok()) return;
+        Fd out(static_cast<int>(out_r.value));
+        while (!sup.cancelled()) {
+          const IoResult got = supervised_io(
+              sup, task, FailureOp::kRead,
+              [&]() -> std::int64_t {
+                return ::read(in.fd(), block.data(), block.size());
+              },
+              sleep);
+          if (!got.ok()) return;
+          if (got.value == 0) break;  // end of file
+          const IoResult put = supervised_write_fully(
+              sup, task,
+              [&](const char* data, std::size_t n) -> std::int64_t {
+                return ::write(out.fd(), data, n);
+              },
+              block.data(), static_cast<std::size_t>(got.value), sleep);
+          count_written(put.value);
+          if (!put.ok()) return;
+        }
+        if (opts_.sync_each_copy &&
+            !supervised_io(
+                 sup, task, FailureOp::kFsync,
+                 [&]() -> std::int64_t { return ::fsync(out.fd()); }, sleep)
+                 .ok()) {
           return;
         }
-        while (!stop_requested()) {
-          const ssize_t got = ::read(in.fd(), block.data(), block.size());
-          if (got < 0) {
-            impl_->failed.store(true);
-            return;
-          }
-          if (got == 0) break;  // end of file
-          const ssize_t put =
-              ::write(out.fd(), block.data(), static_cast<std::size_t>(got));
-          if (put != got) {
-            impl_->failed.store(true);
-            return;
-          }
-          impl_->written.fetch_add(static_cast<std::uint64_t>(put),
-                                   std::memory_order_relaxed);
-        }
-        if (opts_.sync_each_copy) ::fsync(out.fd());
         std::swap(src, dst);
+        // Degrade mode: survivors shrink their pauses to cover the duty of
+        // dead workers.
         if (opts_.sleep_between_copies_s > 0.0)
-          pace(opts_.sleep_between_copies_s);
+          pace(opts_.sleep_between_copies_s / sup.duty_factor());
       }
     });
   }
@@ -147,7 +183,7 @@ bool IoBandwidth::iterate(RunStats& stats) {
   pace(0.05);
   stats.work_amount =
       static_cast<double>(impl_->written.load(std::memory_order_relaxed));
-  return !impl_->failed.load(std::memory_order_relaxed);
+  return !supervisor().should_stop();
 }
 
 void IoBandwidth::teardown() {

@@ -1,6 +1,8 @@
 #include "anomalies/membw.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <new>
 
 #include "common/error.hpp"
 
@@ -57,8 +59,13 @@ bool MemBw::uses_nontemporal_stores() {
 }
 
 void MemBw::setup() {
-  src_.resize(n_ * n_);
-  dst_.resize(n_ * n_);
+  try {
+    src_.resize(n_ * n_);
+    dst_.resize(n_ * n_);
+  } catch (const std::bad_alloc&) {
+    supervisor().report_failure(0, FailureOp::kAlloc, ENOMEM);
+    throw;
+  }
   rng_.fill_bytes(src_.data(), src_.size() * sizeof(double));
   // NaN bit patterns are harmless here (data is only moved, never used in
   // arithmetic), matching the paper's "fills one of them with random

@@ -1,5 +1,6 @@
 #include "anomalies/memeater.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -28,11 +29,16 @@ bool MemEater::iterate(RunStats& stats) {
   auto* grown = static_cast<unsigned char*>(
       std::realloc(buffer_, new_size));  // NOLINT: realloc per the paper
   if (grown == nullptr) {
+    if (common_options().on_error == OnError::kAbort) {
+      supervisor().report_failure(0, FailureOp::kAlloc, ENOMEM);
+      return false;
+    }
     // Allocation failure is an expected runtime condition for a memory
     // hog (the paper notes apps get killed when memory runs out); stop
-    // growing but keep what we have.
+    // growing but keep what we have -- a recovered transient.
     log_warn("memeater: realloc to ", new_size, " bytes failed; holding at ",
              allocated_, " bytes");
+    supervisor().note_recovered(1);
     pace(1.0);
     return true;
   }

@@ -1,5 +1,6 @@
 #include "anomalies/memleak.hpp"
 
+#include <cerrno>
 #include <new>
 
 #include "common/error.hpp"
@@ -22,8 +23,13 @@ bool MemLeak::iterate(RunStats& stats) {
   std::unique_ptr<unsigned char[]> chunk(
       new (std::nothrow) unsigned char[opts_.chunk_bytes]);
   if (chunk == nullptr) {
+    if (common_options().on_error == OnError::kAbort) {
+      supervisor().report_failure(0, FailureOp::kAlloc, ENOMEM);
+      return false;
+    }
     log_warn("memleak: allocation of ", opts_.chunk_bytes,
              " bytes failed; holding at ", leaked_, " bytes");
+    supervisor().note_recovered(1);
     pace(1.0);
     return true;
   }

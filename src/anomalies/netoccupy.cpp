@@ -82,7 +82,6 @@ struct NetOccupy::Impl {
   std::vector<std::thread> workers;
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> received{0};
-  std::atomic<bool> failed{false};
 };
 
 NetOccupy::NetOccupy(NetOccupyOptions opts)
@@ -102,6 +101,8 @@ void NetOccupy::setup() {
       opts_.mode == NetMode::kSend || opts_.mode == NetMode::kLoopback;
   const std::string send_host =
       opts_.mode == NetMode::kLoopback ? "127.0.0.1" : opts_.host;
+  supervisor().set_worker_count(opts_.ntasks *
+                                ((run_recv ? 1u : 0u) + (run_send ? 1u : 0u)));
 
   if (run_recv) {
     for (unsigned task = 0; task < opts_.ntasks; ++task) {
@@ -122,31 +123,38 @@ void NetOccupy::setup() {
       set_io_timeout(listener.fd(), 0.1);
 
       impl_->workers.emplace_back(
-          [this, listener = std::move(listener)]() mutable {
+          [this, task, listener = std::move(listener)]() mutable {
+            Supervisor& sup = supervisor();
             // Accept one peer (retrying on timeout until stop).
             Socket conn;
-            while (!stop_requested() && !conn.valid()) {
+            while (!sup.cancelled() && !conn.valid()) {
               const int fd = ::accept(listener.fd(), nullptr, nullptr);
               if (fd >= 0) {
                 conn = Socket(fd);
                 set_io_timeout(conn.fd(), 0.1);
               } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
                          errno != EINTR) {
-                impl_->failed.store(true);
+                sup.report_failure(task, FailureOp::kAccept, errno);
                 return;
               }
             }
             std::vector<char> scratch(kChunkBytes);
-            while (!stop_requested() && conn.valid()) {
+            while (!sup.cancelled() && conn.valid()) {
               const ssize_t got =
                   ::recv(conn.fd(), scratch.data(), scratch.size(), 0);
               if (got > 0) {
                 impl_->received.fetch_add(static_cast<std::uint64_t>(got),
                                           std::memory_order_relaxed);
               } else if (got == 0) {
-                return;  // peer closed
+                // Peer closed. Expected during shutdown (the paired sender
+                // exits first); otherwise the receiver is out of a job.
+                if (!sup.cancelled())
+                  sup.report_failure(task, FailureOp::kRecv, ECONNRESET);
+                return;
               } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
                          errno != EINTR) {
+                if (!sup.cancelled())
+                  sup.report_failure(task, FailureOp::kRecv, errno);
                 return;
               }
             }
@@ -157,14 +165,18 @@ void NetOccupy::setup() {
   if (run_send) {
     for (unsigned task = 0; task < opts_.ntasks; ++task) {
       const auto port = static_cast<std::uint16_t>(opts_.port + task);
-      impl_->workers.emplace_back([this, send_host, port, task] {
+      // In loopback mode tasks 0..ntasks-1 are the receivers; give the
+      // senders distinct ids so failure reports name the right worker.
+      const unsigned report_id = task + (run_recv ? opts_.ntasks : 0);
+      impl_->workers.emplace_back([this, send_host, port, task, report_id] {
         pin_current_thread(static_cast<int>(task));
+        Supervisor& sup = supervisor();
         // Connect with retry: the paired receiver may come up later.
         Socket conn;
-        while (!stop_requested() && !conn.valid()) {
+        while (!sup.cancelled() && !conn.valid()) {
           Socket attempt(::socket(AF_INET, SOCK_STREAM, 0));
           if (!attempt.valid()) {
-            impl_->failed.store(true);
+            sup.report_failure(report_id, FailureOp::kSocket, errno);
             return;
           }
           sockaddr_in addr = make_addr(send_host, port);
@@ -184,9 +196,9 @@ void NetOccupy::setup() {
         Rng rng(common_options().seed + port);
         rng.fill_bytes(message.data(), message.size());
 
-        while (!stop_requested()) {
+        while (!sup.cancelled()) {
           std::uint64_t remaining = opts_.message_bytes;
-          while (remaining > 0 && !stop_requested()) {
+          while (remaining > 0 && !sup.cancelled()) {
             const std::size_t chunk =
                 static_cast<std::size_t>(std::min<std::uint64_t>(
                     remaining, message.size()));
@@ -198,11 +210,17 @@ void NetOccupy::setup() {
               remaining -= static_cast<std::uint64_t>(put);
             } else if (put < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                        errno != EINTR) {
-              return;  // connection gone
+              // Connection gone (EPIPE/ECONNRESET/...): report, don't just
+              // vanish.
+              if (!sup.cancelled())
+                sup.report_failure(report_id, FailureOp::kSend, errno);
+              return;
             }
           }
+          // Degrade mode: survivors shrink their pauses to cover the duty
+          // of dead workers.
           if (opts_.sleep_between_messages_s > 0.0)
-            pace(opts_.sleep_between_messages_s);
+            pace(opts_.sleep_between_messages_s / sup.duty_factor());
         }
       });
     }
@@ -215,7 +233,7 @@ bool NetOccupy::iterate(RunStats& stats) {
   pace(0.05);
   stats.work_amount =
       static_cast<double>(impl_->sent.load(std::memory_order_relaxed));
-  return !impl_->failed.load(std::memory_order_relaxed);
+  return !supervisor().should_stop();
 }
 
 void NetOccupy::teardown() {

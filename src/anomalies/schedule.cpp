@@ -123,6 +123,7 @@ std::vector<ScheduleEntryResult> run_schedule(const Schedule& schedule,
       } catch (const std::exception& e) {
         results[i].error = e.what();
       }
+      results[i].supervision = instances[i]->supervision_report();
     });
   }
 

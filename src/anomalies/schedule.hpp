@@ -48,6 +48,7 @@ struct ScheduleEntryResult {
   ScheduleEntry entry;
   RunStats stats;
   std::string error;  ///< non-empty if the instance failed
+  SupervisionReport supervision;  ///< worker failures / recoveries
 };
 
 /// Runs all entries concurrently, honouring their start offsets.

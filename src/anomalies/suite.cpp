@@ -22,6 +22,9 @@ CommonOptions parse_common(const ParsedArgs& args) {
   const std::string pin = args.value("pin");
   common.pin_cpu =
       pin == "-1" ? -1 : static_cast<int>(parse_u64(pin));
+  common.on_error = parse_on_error(args.value("on-error"));
+  common.max_retries = static_cast<int>(parse_u64(args.value("max-retries")));
+  require(common.max_retries >= 1, "max-retries must be >= 1");
   return common;
 }
 
@@ -40,7 +43,14 @@ void add_common_options(CliParser& parser) {
             .default_value = "1212437843"})
       .add({.long_name = "pin", .short_name = '\0', .value_name = "CPU",
             .help = "pin to this CPU (workers use CPU+i); -1 = unpinned",
-            .default_value = "-1"});
+            .default_value = "-1"})
+      .add({.long_name = "on-error", .short_name = '\0', .value_name = "MODE",
+            .help = "worker failure policy: retry, degrade, or abort",
+            .default_value = "retry"})
+      .add({.long_name = "max-retries", .short_name = '\0',
+            .value_name = "N",
+            .help = "attempt budget per operation for transient errors",
+            .default_value = "8"});
 }
 
 }  // namespace

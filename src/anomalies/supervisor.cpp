@@ -1,0 +1,129 @@
+#include "anomalies/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace hpas::anomalies {
+
+std::string SupervisionReport::to_string() const {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "%s: %u/%u worker(s) failed (on-error=%s, %llu transient "
+                "recovered, %llu retries)",
+                anomaly.c_str(), workers_failed, workers_total,
+                std::string(on_error_name(on_error)).c_str(),
+                static_cast<unsigned long long>(transient_recovered),
+                static_cast<unsigned long long>(retries));
+  std::string out = head;
+  for (const WorkerFailure& failure : failures) {
+    out += "\n  ";
+    out += describe(failure);
+  }
+  if (failures_dropped > 0) {
+    out += "\n  (+" + std::to_string(failures_dropped) +
+           " failure record(s) dropped: channel overflow)";
+  }
+  return out;
+}
+
+RetryPolicy Supervisor::effective_retry() const {
+  RetryPolicy policy = opts_.retry;
+  if (opts_.on_error == OnError::kAbort) policy.max_attempts = 1;
+  return policy;
+}
+
+void Supervisor::set_worker_count(unsigned n) {
+  workers_total_.store(std::max(n, 1u), std::memory_order_relaxed);
+}
+
+void Supervisor::report_failure(std::uint32_t task, FailureOp op, int err,
+                                std::uint32_t attempts) {
+  WorkerFailure failure;
+  failure.task = task;
+  failure.op = op;
+  failure.cls = classify_errno(op, err);
+  failure.err = err;
+  failure.attempts = attempts;
+  failure.time_s = now_s();
+  channel_.push(failure);
+  const unsigned failed =
+      workers_failed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  switch (opts_.on_error) {
+    case OnError::kRetry:
+    case OnError::kAbort:
+      // A terminally dead worker fails the whole anomaly: stop the
+      // survivors so we shut down cleanly instead of running at an
+      // unannounced fraction of the configured load.
+      stop_all_.store(true, std::memory_order_release);
+      break;
+    case OnError::kDegrade:
+      // Survivors absorb the duty; only a total wipeout stops the run.
+      if (failed >= workers_total_.load(std::memory_order_relaxed)) {
+        stop_all_.store(true, std::memory_order_release);
+      }
+      break;
+  }
+}
+
+void Supervisor::note_recovered(std::uint64_t retries) {
+  recovered_.fetch_add(1, std::memory_order_relaxed);
+  retries_.fetch_add(retries, std::memory_order_relaxed);
+}
+
+bool Supervisor::should_stop() const {
+  if (stop_all_.load(std::memory_order_acquire)) return true;
+  return workers_failed_.load(std::memory_order_relaxed) >=
+         workers_total_.load(std::memory_order_relaxed);
+}
+
+double Supervisor::duty_factor() const {
+  const unsigned total = workers_total_.load(std::memory_order_relaxed);
+  const unsigned failed = workers_failed_.load(std::memory_order_relaxed);
+  const unsigned alive = failed < total ? total - failed : 1;
+  return static_cast<double>(total) / static_cast<double>(alive);
+}
+
+SupervisionReport Supervisor::make_report(const std::string& anomaly_name) {
+  SupervisionReport report;
+  report.anomaly = anomaly_name;
+  report.on_error = opts_.on_error;
+  report.workers_total = workers_total_.load(std::memory_order_relaxed);
+  report.workers_failed = workers_failed_.load(std::memory_order_relaxed);
+  report.transient_recovered = recovered_.load(std::memory_order_relaxed);
+  report.retries = retries_.load(std::memory_order_relaxed);
+  report.failures_dropped = channel_.dropped();
+  report.failures = channel_.drain();
+  return report;
+}
+
+IoResult supervised_io(Supervisor& sup, std::uint32_t task, FailureOp op,
+                       const SyscallFn& call, const SleepFn& sleep,
+                       const TransientHookFn& on_transient) {
+  const IoResult result =
+      retry_syscall(op, sup.effective_retry(), call,
+                    [&sup] { return sup.cancelled(); }, sleep, on_transient);
+  if (result.ok()) {
+    if (result.attempts > 1) sup.note_recovered(result.attempts - 1);
+  } else if (!result.cancelled()) {
+    sup.report_failure(task, op, result.err, result.attempts);
+  }
+  return result;
+}
+
+IoResult supervised_write_fully(Supervisor& sup, std::uint32_t task,
+                                const WriteFn& write_fn, const char* data,
+                                std::size_t n, const SleepFn& sleep,
+                                const TransientHookFn& on_transient) {
+  const IoResult result =
+      write_fully(write_fn, data, n, sup.effective_retry(),
+                  [&sup] { return sup.cancelled(); }, sleep, on_transient);
+  if (result.ok()) {
+    if (result.attempts > 1) sup.note_recovered(result.attempts - 1);
+  } else if (!result.cancelled()) {
+    sup.report_failure(task, FailureOp::kWrite, result.err, result.attempts);
+  }
+  return result;
+}
+
+}  // namespace hpas::anomalies

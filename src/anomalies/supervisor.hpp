@@ -1,0 +1,140 @@
+// Worker supervision for the native anomaly generators.
+//
+// Every generator owns one Supervisor (via the Anomaly base class). The
+// worker threads report structured WorkerFailure records through its
+// lock-free channel instead of flipping a bare "failed" bool; the
+// supervisor applies the --on-error policy:
+//
+//   retry   (default) -- transient errors are retried with exponential
+//           backoff; a worker that still dies fails the whole anomaly
+//           (clean shutdown, failure report, nonzero exit);
+//   degrade -- a dead worker's duty is redistributed to the survivors
+//           (duty_factor() tells them how much harder to work); the
+//           anomaly stops only when every worker is dead;
+//   abort   -- no retries; the first error stops the anomaly.
+//
+// The terminal report (SupervisionReport) names every failure's task,
+// operation, errno and timestamp -- a generator can degrade or die, but
+// never silently.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "anomalies/failure.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hpas::anomalies {
+
+struct SupervisorOptions {
+  OnError on_error = OnError::kRetry;
+  RetryPolicy retry;
+};
+
+/// End-of-run summary: what failed, what recovered, what got dropped.
+struct SupervisionReport {
+  std::string anomaly;
+  OnError on_error = OnError::kRetry;
+  unsigned workers_total = 1;
+  unsigned workers_failed = 0;
+  std::uint64_t transient_recovered = 0;  ///< errors retried successfully
+  std::uint64_t retries = 0;              ///< retry attempts consumed
+  std::uint64_t failures_dropped = 0;     ///< records lost to channel overflow
+  std::vector<WorkerFailure> failures;    ///< terminal failures, oldest first
+
+  /// True when at least one worker terminally failed: the anomaly did not
+  /// deliver its full configured load and the run must exit nonzero.
+  bool fatal() const { return workers_failed > 0; }
+  bool healthy() const { return workers_failed == 0 && failures.empty(); }
+
+  /// Multi-line human-readable report (one header + one line per failure).
+  std::string to_string() const;
+};
+
+class Supervisor {
+ public:
+  Supervisor() = default;
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void set_options(const SupervisorOptions& opts) { opts_ = opts; }
+  const SupervisorOptions& options() const { return opts_; }
+
+  /// The retry policy workers should actually apply: abort mode forbids
+  /// retries, so the attempt budget collapses to 1.
+  RetryPolicy effective_retry() const;
+
+  /// External cancellation (the anomaly's stop_requested); checked by
+  /// cancelled() together with should_stop().
+  void set_cancel(std::function<bool()> cancel) { cancel_ = std::move(cancel); }
+
+  /// Declared by multi-worker generators in setup(); defaults to 1.
+  void set_worker_count(unsigned n);
+
+  /// Restarts the failure timestamp clock; called at the top of run().
+  void start_clock() { epoch_.reset(); }
+  double now_s() const { return epoch_.elapsed_seconds(); }
+
+  // -- worker-side API (all thread-safe) ---------------------------------
+
+  /// Records a terminal failure of worker `task` and marks it dead. In
+  /// retry/abort mode this stops the whole anomaly; in degrade mode the
+  /// survivors pick up the duty.
+  void report_failure(std::uint32_t task, FailureOp op, int err,
+                      std::uint32_t attempts = 1);
+
+  /// Counts an error that was retried successfully (`retries` attempts
+  /// were consumed before the operation went through).
+  void note_recovered(std::uint64_t retries);
+
+  /// True when the whole anomaly should wind down: policy demands it, or
+  /// every worker is dead, or the external cancel fired.
+  bool should_stop() const;
+  bool cancelled() const { return (cancel_ && cancel_()) || should_stop(); }
+
+  unsigned workers_total() const {
+    return workers_total_.load(std::memory_order_relaxed);
+  }
+  unsigned workers_failed() const {
+    return workers_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Degrade mode: total/alive -- survivors scale their work rate by this
+  /// so the anomaly's aggregate duty is preserved. 1.0 while healthy.
+  double duty_factor() const;
+
+  /// Drains the channel and assembles the terminal report. Call after the
+  /// workers are joined.
+  SupervisionReport make_report(const std::string& anomaly_name);
+
+ private:
+  SupervisorOptions opts_;
+  std::function<bool()> cancel_;
+  Stopwatch epoch_;
+  std::atomic<unsigned> workers_total_{1};
+  std::atomic<unsigned> workers_failed_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<bool> stop_all_{false};
+  FailureChannel channel_{256};
+};
+
+/// Runs `call` under the supervisor's (effective) retry policy, serving
+/// backoffs through `sleep`. Successful retries are counted as recovered;
+/// a terminal failure is reported to the supervisor (cancellation is
+/// not). Callers should exit the worker when !result.ok().
+IoResult supervised_io(Supervisor& sup, std::uint32_t task, FailureOp op,
+                       const SyscallFn& call, const SleepFn& sleep,
+                       const TransientHookFn& on_transient = nullptr);
+
+/// write_fully under the supervisor's policy: short writes resume with
+/// the unwritten remainder, transients back off, terminal failures are
+/// reported. result.value holds the bytes written either way.
+IoResult supervised_write_fully(Supervisor& sup, std::uint32_t task,
+                                const WriteFn& write_fn, const char* data,
+                                std::size_t n, const SleepFn& sleep,
+                                const TransientHookFn& on_transient = nullptr);
+
+}  // namespace hpas::anomalies

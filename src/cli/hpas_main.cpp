@@ -60,7 +60,13 @@ int run_schedule_command(const std::vector<std::string>& args) {
   const auto results =
       hpas::anomalies::run_schedule(schedule, &g_stop_schedule);
   int failures = 0;
+  int worker_failures = 0;
   for (const auto& result : results) {
+    if (result.supervision.fatal()) {
+      ++worker_failures;
+      std::fprintf(stderr, "hpas: %s\n",
+                   result.supervision.to_string().c_str());
+    }
     if (!result.error.empty()) {
       ++failures;
       std::fprintf(stderr, "hpas: %s (at %gs) failed: %s\n",
@@ -74,7 +80,8 @@ int run_schedule_command(const std::vector<std::string>& args) {
                 result.stats.work_amount,
                 hpas::format_seconds(result.stats.elapsed_seconds).c_str());
   }
-  return failures == 0 ? 0 : 1;
+  if (failures != 0) return 1;
+  return worker_failures == 0 ? 0 : 4;
 }
 
 int run_sweep_command(const std::vector<std::string>& argv) {
@@ -170,7 +177,18 @@ int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  const auto stats = anomaly->run();
+  hpas::anomalies::RunStats stats;
+  try {
+    stats = anomaly->run();
+  } catch (...) {
+    g_running = nullptr;
+    // setup()/run() threw: still surface any structured failure records
+    // gathered before the exception.
+    const auto& supervision = anomaly->supervision_report();
+    if (!supervision.healthy())
+      std::fprintf(stderr, "hpas: %s\n", supervision.to_string().c_str());
+    throw;
+  }
   g_running = nullptr;
 
   std::printf(
@@ -178,7 +196,15 @@ int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
       name.c_str(), static_cast<unsigned long long>(stats.iterations),
       stats.work_amount, hpas::format_seconds(stats.active_seconds).c_str(),
       hpas::format_seconds(stats.elapsed_seconds).c_str());
-  return 0;
+
+  // Surface worker failures: a generator that lost workers must say so
+  // and exit nonzero (4) -- never a silent dead worker.
+  const auto& supervision = anomaly->supervision_report();
+  if (supervision.fatal() || supervision.transient_recovered > 0 ||
+      supervision.failures_dropped > 0) {
+    std::fprintf(stderr, "hpas: %s\n", supervision.to_string().c_str());
+  }
+  return supervision.fatal() ? 4 : 0;
 }
 
 }  // namespace

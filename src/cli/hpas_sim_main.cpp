@@ -58,6 +58,14 @@ hpas::CliParser make_parser() {
             .default_value = "0"})
       .add({.long_name = "intensity", .short_name = 'i', .value_name = "X",
             .help = "anomaly intensity scale", .default_value = "1.0"})
+      .add({.long_name = "fail-at", .short_name = '\0', .value_name = "TIME",
+            .help = "kill injector tasks at this simulated time "
+                    "(models a degraded injector; empty = never)",
+            .default_value = ""})
+      .add({.long_name = "fail-tasks", .short_name = '\0',
+            .value_name = "N",
+            .help = "how many injector tasks die at --fail-at (0 = all)",
+            .default_value = "0"})
       .add({.long_name = "duration", .short_name = 'd', .value_name = "TIME",
             .help = "simulated time to run", .default_value = "120s"})
       .add({.long_name = "sample-period", .short_name = '\0',
@@ -105,11 +113,19 @@ int run(const hpas::ParsedArgs& args) {
 
   const std::string anomaly = args.value("anomaly");
   if (!anomaly.empty()) {
-    hpas::simanom::inject_by_name(
+    const auto injected = hpas::simanom::inject_by_name(
         *world, anomaly,
         static_cast<int>(hpas::parse_u64(args.value("anomaly-node"))),
         static_cast<int>(hpas::parse_u64(args.value("anomaly-core"))),
         duration, hpas::parse_double(args.value("intensity")));
+    const std::string fail_at = args.value("fail-at");
+    if (!fail_at.empty()) {
+      const int fail_tasks =
+          static_cast<int>(hpas::parse_u64(args.value("fail-tasks")));
+      hpas::simanom::schedule_injector_failure(
+          *world, injected, hpas::parse_duration_seconds(fail_at),
+          fail_tasks == 0 ? -1 : fail_tasks);
+    }
   }
 
   std::unique_ptr<hpas::apps::BspApp> app;

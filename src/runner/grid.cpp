@@ -70,6 +70,11 @@ SweepGrid expand_grid(const Json& spec) {
   base.app_nodes = static_cast<int>(spec.number_or("app_nodes", 2));
   base.ranks_per_node = static_cast<int>(spec.number_or("ranks_per_node", 4));
   base.run_to_completion = spec.bool_or("run_to_completion", false);
+  base.injector_fail_at_s = spec.number_or("injector_fail_at_s", 0.0);
+  base.injector_fail_tasks =
+      static_cast<int>(spec.number_or("injector_fail_tasks", -1));
+  if (base.injector_fail_at_s < 0.0)
+    throw ConfigError("grid: injector_fail_at_s must be non-negative");
   if (base.duration_s <= 0.0)
     throw ConfigError("grid: duration_s must be positive");
   if (base.sample_period_s <= 0.0)

@@ -47,6 +47,12 @@ struct ScenarioSpec {
   /// the anomaly). false: observe a fixed monitoring window of
   /// duration_s simulated seconds (diagnosis semantics).
   bool run_to_completion = false;
+  /// Degraded-injector modelling (mirrors the native --on-error story):
+  /// at this simulated time the injector loses `injector_fail_tasks` of
+  /// its tasks (-1 = all), each emitting a kInjectorFailure trace record.
+  /// 0 disables the failure (the default -- and the byte-stable baseline).
+  double injector_fail_at_s = 0.0;
+  int injector_fail_tasks = -1;
   std::uint64_t seed = 0;          ///< per-scenario counter-derived stream
 };
 

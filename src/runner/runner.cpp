@@ -27,40 +27,47 @@ namespace {
 /// footprint and I/O anomalies take the first core the app does not use.
 /// netoccupy streams between two non-app nodes across the inter-switch
 /// trunk the app's halo exchange crosses.
-void inject_anomaly(sim::World& world, const ScenarioSpec& spec, Rng& stream) {
-  if (spec.anomaly == "none") return;
+std::vector<sim::Task*> inject_anomaly(sim::World& world,
+                                       const ScenarioSpec& spec,
+                                       Rng& stream) {
+  if (spec.anomaly == "none") return {};
   const double duration = spec.duration_s;
   const double intensity = spec.intensity;
   const int busy_core = 0;
   const int free_core = spec.ranks_per_node;
 
   if (spec.anomaly == "cpuoccupy") {
-    simanom::inject_cpuoccupy(world, 0, busy_core,
-                              100.0 * std::min(intensity, 1.0), duration);
-  } else if (spec.anomaly == "cachecopy") {
-    simanom::inject_cachecopy(world, 0, busy_core,
-                              simanom::SimCacheLevel::kL3, intensity,
-                              duration);
-  } else if (spec.anomaly == "membw") {
-    simanom::inject_membw(world, 0, free_core, duration,
-                          std::clamp(intensity, 0.05, 1.0));
-  } else if (spec.anomaly == "netoccupy") {
+    return {simanom::inject_cpuoccupy(
+        world, 0, busy_core, 100.0 * std::min(intensity, 1.0), duration)};
+  }
+  if (spec.anomaly == "cachecopy") {
+    return {simanom::inject_cachecopy(world, 0, busy_core,
+                                      simanom::SimCacheLevel::kL3, intensity,
+                                      duration)};
+  }
+  if (spec.anomaly == "membw") {
+    return {simanom::inject_membw(world, 0, free_core, duration,
+                                  std::clamp(intensity, 0.05, 1.0))};
+  }
+  if (spec.anomaly == "netoccupy") {
     const int n = world.num_nodes();
     int src = 1 % n;
     int dst = (1 + n / 2) % n;
     if (src == dst) { src = 0; dst = n - 1; }
-    simanom::inject_netoccupy(world, src, dst, /*ntasks=*/2,
-                              intensity * 100.0 * 1024 * 1024, duration);
-  } else if (spec.anomaly == "os_jitter") {
+    return simanom::inject_netoccupy(world, src, dst, /*ntasks=*/2,
+                                     intensity * 100.0 * 1024 * 1024,
+                                     duration);
+  }
+  if (spec.anomaly == "os_jitter") {
     // The jitter daemon's gap sequence is the scenario's random stream in
     // action: same seed => same storm, regardless of the worker thread.
-    simanom::inject_os_jitter(world, 0, free_core,
-                              /*burst_s=*/0.002 * intensity,
-                              /*mean_gap_s=*/0.05, duration, stream.next());
-  } else {
-    simanom::inject_by_name(world, spec.anomaly, /*node=*/0, free_core,
-                            duration, intensity);
+    return {simanom::inject_os_jitter(world, 0, free_core,
+                                      /*burst_s=*/0.002 * intensity,
+                                      /*mean_gap_s=*/0.05, duration,
+                                      stream.next())};
   }
+  return simanom::inject_by_name(world, spec.anomaly, /*node=*/0, free_core,
+                                 duration, intensity);
 }
 
 void append_stats_members(Json& obj, const std::vector<double>& xs) {
@@ -96,7 +103,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace) {
   world->enable_monitoring(spec.sample_period_s);
 
   Rng stream(spec.seed);
-  inject_anomaly(*world, spec, stream);
+  const auto injected = inject_anomaly(*world, spec, stream);
+  if (spec.injector_fail_at_s > 0.0 && !injected.empty()) {
+    simanom::schedule_injector_failure(*world, injected,
+                                       spec.injector_fail_at_s,
+                                       spec.injector_fail_tasks);
+  }
 
   if (spec.app != "none") {
     apps::AppSpec app_spec = apps::app_by_name(spec.app);
@@ -197,6 +209,13 @@ Json SweepResult::summary_json() const {
     row.set("intensity", s.spec.intensity);
     // 64-bit seeds do not round-trip through JSON doubles; keep exact.
     row.set("seed", std::to_string(s.spec.seed));
+    // Emitted only for degraded-injector scenarios so baseline summaries
+    // stay byte-identical to the pinned golden files.
+    if (s.spec.injector_fail_at_s > 0.0) {
+      row.set("injector_fail_at_s", s.spec.injector_fail_at_s);
+      row.set("injector_fail_tasks",
+              static_cast<double>(s.spec.injector_fail_tasks));
+    }
     if (!s.error.empty()) row.set("error", s.error);
     row.set("app_time_s", s.app_elapsed_s);
     row.set("iterations", static_cast<double>(s.app_iterations));

@@ -296,6 +296,39 @@ Task* inject_os_jitter(World& world, int node, int core, double burst_s,
                           Phase::sleep(1e-6), controller);
 }
 
+void schedule_injector_failure(World& world, std::vector<Task*> tasks,
+                               double at_s, int kill_count) {
+  require(at_s >= world.now(),
+          "schedule_injector_failure: time must not be in the past");
+  world.simulator().schedule_at(
+      at_s, [&world, tasks = std::move(tasks), kill_count] {
+        // Only tasks still alive at failure time can fail; injectors whose
+        // duration already elapsed are not resurrected. Finished tasks stay
+        // in world.tasks() until killed, so check the phase as well.
+        std::vector<Task*> live;
+        for (Task* task : tasks) {
+          const auto& all = world.tasks();
+          if (!task->done() &&
+              std::find(all.begin(), all.end(), task) != all.end())
+            live.push_back(task);
+        }
+        const std::size_t kills =
+            kill_count < 0 ? live.size()
+                           : std::min<std::size_t>(
+                                 static_cast<std::size_t>(kill_count),
+                                 live.size());
+        for (std::size_t i = 0; i < kills; ++i) {
+          if (auto* tracer = world.tracer(); tracer != nullptr) {
+            tracer->emit(trace::RecordKind::kInjectorFailure,
+                         live[i]->trace_id(), /*detail=*/0,
+                         static_cast<std::uint64_t>(live.size() - i - 1),
+                         world.now());
+          }
+          world.kill_task(live[i]);
+        }
+      });
+}
+
 std::vector<Task*> inject_by_name(World& world, const std::string& name,
                                   int node, int core, double duration_s,
                                   double intensity) {

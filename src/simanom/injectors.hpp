@@ -80,6 +80,16 @@ sim::Task* inject_os_jitter(sim::World& world, int node, int core,
                             double burst_s, double mean_gap_s,
                             double duration_s, std::uint64_t seed);
 
+/// Schedules an injector failure at simulated time `at_s`: the first
+/// `kill_count` of `tasks` still alive at that moment are killed (-1 =
+/// all), each emitting a kInjectorFailure trace record (subject=task,
+/// a=surviving injector tasks) before the kill. This is the sim mirror of
+/// the native supervision layer: sweeps can model a degraded injector --
+/// some of its workers die mid-run -- and replay/diff sees exactly when.
+void schedule_injector_failure(sim::World& world,
+                               std::vector<sim::Task*> tasks, double at_s,
+                               int kill_count = -1);
+
 /// Table-1-style dispatcher used by dataset generation: injects anomaly
 /// `name` with representative default knobs on `node`. Returns the tasks.
 std::vector<sim::Task*> inject_by_name(sim::World& world,

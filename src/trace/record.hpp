@@ -37,9 +37,12 @@ enum class RecordKind : std::uint16_t {
                         ///<           a=core, x=duration, y=primary knob
   kAnomalyStop = 13,    ///< injector: subject=task, detail=anomaly id
   kSample = 14,         ///< monitoring: a=collector count, x=period
+  kInjectorFailure = 15,  ///< injector: subject=task, detail=mode
+                          ///<           (0=killed), a=surviving injector
+                          ///<           tasks, x=failure time
 };
 
-inline constexpr std::uint16_t kNumRecordKinds = 15;  ///< 1 + highest kind
+inline constexpr std::uint16_t kNumRecordKinds = 16;  ///< 1 + highest kind
 
 /// Short stable name for a kind; "unknown" for out-of-range values.
 std::string_view record_kind_name(RecordKind kind);

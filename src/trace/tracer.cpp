@@ -20,6 +20,7 @@ std::string_view record_kind_name(RecordKind kind) {
     case RecordKind::kAnomalyStart: return "anomaly_start";
     case RecordKind::kAnomalyStop: return "anomaly_stop";
     case RecordKind::kSample: return "sample";
+    case RecordKind::kInjectorFailure: return "injector_failure";
   }
   return "unknown";
 }

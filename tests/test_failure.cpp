@@ -1,0 +1,407 @@
+// Tests for the worker-failure vocabulary and the supervision layer:
+// errno classification, exponential backoff, the lock-free failure
+// channel, and the shimmed retry helpers that prove the EINTR /
+// short-write / momentary-ENOSPC logic without real fault hardware.
+#include "anomalies/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <thread>
+#include <vector>
+
+#include "anomalies/supervisor.hpp"
+#include "common/error.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+// ---------------------------------------------------------------- taxonomy
+
+TEST(Classify, TransientErrnos) {
+  for (const int err : {EINTR, EAGAIN, EBUSY, ENOBUFS, ENOSPC, EDQUOT,
+                        EMFILE, ENFILE, ENOMEM}) {
+    EXPECT_EQ(classify_errno(FailureOp::kWrite, err), ErrorClass::kTransient)
+        << errno_name(err);
+  }
+}
+
+TEST(Classify, FatalErrnos) {
+  for (const int err : {EBADF, ENOENT, EACCES, EPIPE, EROFS, ENOTDIR, EIO}) {
+    EXPECT_EQ(classify_errno(FailureOp::kWrite, err), ErrorClass::kFatal)
+        << errno_name(err);
+  }
+}
+
+TEST(Classify, ConnectionErrorsTransientOnlyForConnect) {
+  EXPECT_EQ(classify_errno(FailureOp::kConnect, ECONNREFUSED),
+            ErrorClass::kTransient);
+  EXPECT_EQ(classify_errno(FailureOp::kConnect, ETIMEDOUT),
+            ErrorClass::kTransient);
+  EXPECT_EQ(classify_errno(FailureOp::kSend, ECONNREFUSED),
+            ErrorClass::kFatal);
+  EXPECT_EQ(classify_errno(FailureOp::kRecv, ETIMEDOUT), ErrorClass::kFatal);
+}
+
+TEST(OnErrorParse, RoundTripsAndRejects) {
+  EXPECT_EQ(parse_on_error("retry"), OnError::kRetry);
+  EXPECT_EQ(parse_on_error("degrade"), OnError::kDegrade);
+  EXPECT_EQ(parse_on_error("abort"), OnError::kAbort);
+  EXPECT_EQ(on_error_name(OnError::kDegrade), "degrade");
+  EXPECT_THROW(parse_on_error("explode"), ConfigError);
+}
+
+TEST(Describe, NamesTaskOpErrnoAndAttempts) {
+  WorkerFailure failure;
+  failure.task = 3;
+  failure.op = FailureOp::kWrite;
+  failure.cls = ErrorClass::kTransient;
+  failure.err = ENOSPC;
+  failure.attempts = 8;
+  failure.time_s = 2.41;
+  const std::string line = describe(failure);
+  EXPECT_NE(line.find("task 3"), std::string::npos) << line;
+  EXPECT_NE(line.find("write"), std::string::npos) << line;
+  EXPECT_NE(line.find("ENOSPC"), std::string::npos) << line;
+  EXPECT_NE(line.find("8 attempts"), std::string::npos) << line;
+}
+
+// ----------------------------------------------------------------- backoff
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  RetryPolicy policy;  // 1ms, x2, cap 250ms
+  EXPECT_DOUBLE_EQ(policy.backoff_s(1), 0.001);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2), 0.002);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(3), 0.004);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(20), 0.25);  // capped
+}
+
+// ----------------------------------------------------------------- channel
+
+TEST(FailureChannel, RoundTripsInOrder) {
+  FailureChannel channel(8);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    WorkerFailure f;
+    f.task = i;
+    EXPECT_TRUE(channel.push(f));
+  }
+  const auto drained = channel.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(drained[i].task, i);
+  EXPECT_EQ(channel.pushed(), 5u);
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(FailureChannel, DropsAndCountsOnOverflow) {
+  FailureChannel channel(4);  // capacity rounds to 4
+  WorkerFailure f;
+  for (int i = 0; i < 10; ++i) channel.push(f);
+  EXPECT_EQ(channel.pushed(), 4u);
+  EXPECT_EQ(channel.dropped(), 6u);
+  EXPECT_EQ(channel.drain().size(), 4u);
+  // Drained slots are reusable.
+  EXPECT_TRUE(channel.push(f));
+}
+
+TEST(FailureChannel, ConcurrentPushesNeverLoseCountedRecords) {
+  FailureChannel channel(1024);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&channel, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WorkerFailure f;
+        f.task = static_cast<std::uint32_t>(t);
+        channel.push(f);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(channel.pushed() + channel.dropped(), kThreads * kPerThread);
+  EXPECT_EQ(channel.drain().size(), channel.pushed());
+}
+
+// ------------------------------------------------- shimmed retry helpers
+
+/// No-op sleep that records the backoffs served.
+struct SleepLog {
+  std::vector<double> waits;
+  SleepFn fn() {
+    return [this](double s) { waits.push_back(s); };
+  }
+};
+
+TEST(RetrySyscall, SucceedsAfterEintrStorm) {
+  int calls = 0;
+  SleepLog sleeps;
+  const IoResult result = retry_syscall(
+      FailureOp::kRead, RetryPolicy{},
+      [&calls]() -> std::int64_t {
+        if (++calls < 4) {
+          errno = EINTR;
+          return -1;
+        }
+        return 42;
+      },
+      [] { return false; }, sleeps.fn());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.value, 42);
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_EQ(sleeps.waits.size(), 3u);  // one backoff per retry
+}
+
+TEST(RetrySyscall, FatalErrnoStopsImmediately) {
+  int calls = 0;
+  const IoResult result = retry_syscall(
+      FailureOp::kWrite, RetryPolicy{},
+      [&calls]() -> std::int64_t {
+        ++calls;
+        errno = EBADF;
+        return -1;
+      },
+      [] { return false; }, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.err, EBADF);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetrySyscall, ExhaustsBudgetOnPersistentTransient) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  const IoResult result = retry_syscall(
+      FailureOp::kOpen, policy,
+      [&calls]() -> std::int64_t {
+        ++calls;
+        errno = ENOSPC;
+        return -1;
+      },
+      [] { return false; }, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.err, ENOSPC);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetrySyscall, TransientHookRunsBeforeEachRetry) {
+  int cleanups = 0;
+  int calls = 0;
+  const IoResult result = retry_syscall(
+      FailureOp::kOpen, RetryPolicy{},
+      [&calls]() -> std::int64_t {
+        if (++calls < 3) {
+          errno = ENOSPC;
+          return -1;
+        }
+        return 0;
+      },
+      [] { return false; }, nullptr, [&cleanups](int err) {
+        EXPECT_EQ(err, ENOSPC);
+        ++cleanups;
+      });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(cleanups, 2);  // the "clean up, then retry" path
+}
+
+TEST(RetrySyscall, CancellationWinsOverRetry) {
+  int calls = 0;
+  const IoResult result = retry_syscall(
+      FailureOp::kRead, RetryPolicy{},
+      [&calls]() -> std::int64_t {
+        ++calls;
+        errno = EINTR;
+        return -1;
+      },
+      [&calls] { return calls >= 2; }, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.cancelled());
+  EXPECT_EQ(result.err, ECANCELED);
+}
+
+TEST(WriteFully, ResumesShortWritesWithRemainder) {
+  // The "syscall" writes at most 3 bytes per call: every call but the
+  // last is a legal short write the caller must resume, not abort.
+  std::string sink;
+  const std::string payload = "abcdefgh";
+  const IoResult result = write_fully(
+      [&sink](const char* data, std::size_t n) -> std::int64_t {
+        const std::size_t put = std::min<std::size_t>(n, 3);
+        sink.append(data, put);
+        return static_cast<std::int64_t>(put);
+      },
+      payload.data(), payload.size(), RetryPolicy{}, [] { return false; },
+      nullptr);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.value, static_cast<std::int64_t>(payload.size()));
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(WriteFully, RetriesEintrMidStream) {
+  std::string sink;
+  int calls = 0;
+  const std::string payload = "0123456789";
+  const IoResult result = write_fully(
+      [&](const char* data, std::size_t n) -> std::int64_t {
+        if (++calls % 2 == 1) {  // every other call is interrupted
+          errno = EINTR;
+          return -1;
+        }
+        const std::size_t put = std::min<std::size_t>(n, 4);
+        sink.append(data, put);
+        return static_cast<std::int64_t>(put);
+      },
+      payload.data(), payload.size(), RetryPolicy{}, [] { return false; },
+      nullptr);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(WriteFully, ProgressResetsTheAttemptBudget) {
+  // 2-attempt budget, but an ENOSPC before every chunk: forward progress
+  // must reset the budget or the long write spuriously fails.
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  std::string sink;
+  bool fail_next = true;
+  const std::string payload = "xxxxxxxxxxxx";  // 12 bytes, 4 per chunk
+  const IoResult result = write_fully(
+      [&](const char* data, std::size_t n) -> std::int64_t {
+        if (fail_next) {
+          fail_next = false;
+          errno = ENOSPC;
+          return -1;
+        }
+        fail_next = true;
+        const std::size_t put = std::min<std::size_t>(n, 4);
+        sink.append(data, put);
+        return static_cast<std::int64_t>(put);
+      },
+      payload.data(), payload.size(), policy, [] { return false; }, nullptr);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(WriteFully, FatalErrnoReportsBytesThatMadeItOut) {
+  std::string sink;
+  int calls = 0;
+  const std::string payload = "abcdefgh";
+  const IoResult result = write_fully(
+      [&](const char* data, std::size_t n) -> std::int64_t {
+        if (++calls == 1) {
+          sink.append(data, 4);
+          (void)n;
+          return 4;
+        }
+        errno = EBADF;
+        return -1;
+      },
+      payload.data(), payload.size(), RetryPolicy{}, [] { return false; },
+      nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.err, EBADF);
+  EXPECT_EQ(result.value, 4);  // partial progress is reported, not lost
+}
+
+// -------------------------------------------------------------- supervisor
+
+TEST(Supervisor, RetryModeStopsAllOnTerminalFailure) {
+  Supervisor sup;
+  sup.set_worker_count(4);
+  EXPECT_FALSE(sup.should_stop());
+  sup.report_failure(1, FailureOp::kWrite, ENOSPC, 8);
+  EXPECT_TRUE(sup.should_stop());
+  const SupervisionReport report = sup.make_report("iobandwidth");
+  EXPECT_TRUE(report.fatal());
+  EXPECT_EQ(report.workers_failed, 1u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].task, 1u);
+  EXPECT_EQ(report.failures[0].err, ENOSPC);
+  EXPECT_EQ(report.failures[0].attempts, 8u);
+}
+
+TEST(Supervisor, DegradeModeRedistributesDuty) {
+  Supervisor sup;
+  SupervisorOptions opts;
+  opts.on_error = OnError::kDegrade;
+  sup.set_options(opts);
+  sup.set_worker_count(4);
+  EXPECT_DOUBLE_EQ(sup.duty_factor(), 1.0);
+  sup.report_failure(0, FailureOp::kOpen, EACCES);
+  EXPECT_FALSE(sup.should_stop());  // 3 survivors keep running
+  EXPECT_DOUBLE_EQ(sup.duty_factor(), 4.0 / 3.0);
+  sup.report_failure(1, FailureOp::kOpen, EACCES);
+  sup.report_failure(2, FailureOp::kOpen, EACCES);
+  EXPECT_FALSE(sup.should_stop());
+  EXPECT_DOUBLE_EQ(sup.duty_factor(), 4.0);
+  sup.report_failure(3, FailureOp::kOpen, EACCES);
+  EXPECT_TRUE(sup.should_stop());  // total wipeout
+  EXPECT_EQ(sup.make_report("x").workers_failed, 4u);
+}
+
+TEST(Supervisor, AbortModeCollapsesRetryBudget) {
+  Supervisor sup;
+  SupervisorOptions opts;
+  opts.on_error = OnError::kAbort;
+  opts.retry.max_attempts = 8;
+  sup.set_options(opts);
+  EXPECT_EQ(sup.effective_retry().max_attempts, 1);
+  sup.report_failure(0, FailureOp::kRead, EINTR);
+  EXPECT_TRUE(sup.should_stop());
+}
+
+TEST(Supervisor, ExternalCancelFlowsThroughCancelled) {
+  Supervisor sup;
+  bool stop = false;
+  sup.set_cancel([&stop] { return stop; });
+  EXPECT_FALSE(sup.cancelled());
+  stop = true;
+  EXPECT_TRUE(sup.cancelled());
+  EXPECT_FALSE(sup.should_stop());  // cancel is external, not a failure
+}
+
+TEST(Supervisor, SupervisedIoRecordsRecoveriesAndFailures) {
+  Supervisor sup;
+  sup.set_worker_count(2);
+  int calls = 0;
+  const IoResult ok = supervised_io(
+      sup, 0, FailureOp::kRead,
+      [&calls]() -> std::int64_t {
+        if (++calls < 3) {
+          errno = EAGAIN;
+          return -1;
+        }
+        return 7;
+      },
+      nullptr);
+  EXPECT_TRUE(ok.ok());
+  const IoResult bad = supervised_io(
+      sup, 1, FailureOp::kFsync,
+      []() -> std::int64_t {
+        errno = EIO;
+        return -1;
+      },
+      nullptr);
+  EXPECT_FALSE(bad.ok());
+  const SupervisionReport report = sup.make_report("test");
+  EXPECT_EQ(report.transient_recovered, 1u);
+  EXPECT_EQ(report.retries, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].op, FailureOp::kFsync);
+  EXPECT_EQ(report.failures[0].err, EIO);
+  EXPECT_NE(report.to_string().find("fsync"), std::string::npos);
+}
+
+TEST(Supervisor, CancelledOperationsAreNotFailures) {
+  Supervisor sup;
+  bool stop = true;
+  sup.set_cancel([&stop] { return stop; });
+  const IoResult result = supervised_io(
+      sup, 0, FailureOp::kRead, []() -> std::int64_t { return 0; }, nullptr);
+  EXPECT_TRUE(result.cancelled());
+  const SupervisionReport report = sup.make_report("test");
+  EXPECT_TRUE(report.healthy());
+}
+
+}  // namespace
+}  // namespace hpas::anomalies

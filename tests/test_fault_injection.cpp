@@ -1,0 +1,134 @@
+// Fault-injection tests against a real (tiny) filesystem: a 64 KiB tmpfs
+// mount delivers genuine ENOSPC/inode exhaustion to the io generators, so
+// the supervision layer's transient-vs-fatal behaviour is exercised end
+// to end -- iometadata must survive by cleaning up its own files and
+// retrying, iobandwidth must die *loudly* with a structured report.
+//
+// Mounting tmpfs needs CAP_SYS_ADMIN; without it every test here skips
+// (GTEST_SKIP), keeping the suite green for unprivileged developers while
+// the CI fault-injection job runs them for real.
+#include <sys/mount.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "anomalies/iobandwidth.hpp"
+#include "anomalies/iometadata.hpp"
+
+namespace hpas::anomalies {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Mounts a 64 KiB / 24-inode tmpfs for the test and detaches it after.
+class TinyFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/hpas_tinyfs_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr) << std::strerror(errno);
+    dir_ = tmpl;
+    if (::mount("hpas-tinyfs", dir_.c_str(), "tmpfs", 0,
+                "size=64k,nr_inodes=24") != 0) {
+      const int err = errno;
+      std::error_code ignored;
+      fs::remove_all(dir_, ignored);
+      dir_.clear();
+      GTEST_SKIP() << "cannot mount tmpfs (" << std::strerror(err)
+                   << "); run with CAP_SYS_ADMIN for fault injection";
+    }
+    mounted_ = true;
+  }
+
+  void TearDown() override {
+    if (mounted_) ::umount2(dir_.c_str(), MNT_DETACH);
+    if (!dir_.empty()) {
+      std::error_code ignored;
+      fs::remove_all(dir_, ignored);
+    }
+    mounted_ = false;
+  }
+
+  std::string dir_;
+  bool mounted_ = false;
+};
+
+TEST_F(TinyFsTest, IoMetadataSurvivesEnospcByCleaningUpAndRetrying) {
+  IoMetadataOptions opts;
+  opts.common.duration_s = 1.0;
+  opts.common.on_error = OnError::kRetry;
+  opts.directory = dir_;
+  // One batch alone exceeds the 24 inodes, so the worker is guaranteed to
+  // hit ENOSPC inside the batch; delete_every is high enough that only the
+  // transient-hook cleanup can free space.
+  opts.files_per_iteration = 40;
+  opts.delete_every = 1000;
+  opts.ntasks = 1;
+  IoMetadata anomaly(opts);
+  const RunStats stats = anomaly.run();
+
+  // The generator kept producing metadata load across the faults...
+  EXPECT_GT(anomaly.metadata_ops(), 40u);
+  EXPECT_GT(stats.work_amount, 0.0);
+  // ...because ENOSPC was recovered by cleanup + retry, not fatal.
+  const SupervisionReport& report = anomaly.supervision_report();
+  EXPECT_FALSE(report.fatal()) << report.to_string();
+  EXPECT_GT(report.transient_recovered, 0u);
+}
+
+TEST_F(TinyFsTest, IoBandwidthReportsTerminalEnospcStructured) {
+  IoBandwidthOptions opts;
+  opts.common.duration_s = 30.0;  // the failure must end the run early
+  opts.common.on_error = OnError::kRetry;
+  opts.common.max_retries = 3;  // keep the backoff short
+  opts.directory = dir_;
+  opts.file_bytes = 1024 * 1024;  // 16x the filesystem
+  opts.block_bytes = 16 * 1024;
+  opts.ntasks = 1;
+  IoBandwidth anomaly(opts);
+  const RunStats stats = anomaly.run();
+
+  // The anomaly shut down promptly instead of sleeping out the duration.
+  EXPECT_LT(stats.elapsed_seconds, 10.0);
+  const SupervisionReport& report = anomaly.supervision_report();
+  ASSERT_TRUE(report.fatal()) << "ENOSPC must be surfaced, not swallowed";
+  ASSERT_FALSE(report.failures.empty());
+  const WorkerFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.op, FailureOp::kWrite);
+  EXPECT_TRUE(failure.err == ENOSPC || failure.err == EDQUOT)
+      << errno_name(failure.err);
+  EXPECT_EQ(failure.task, 0u);
+  // The report names anomaly/task/op/errno.
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("iobandwidth"), std::string::npos) << text;
+  EXPECT_NE(text.find("task 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("write"), std::string::npos) << text;
+  EXPECT_NE(text.find("ENOSPC"), std::string::npos) << text;
+}
+
+TEST_F(TinyFsTest, AbortModeFailsOnFirstErrorWithoutRetries) {
+  IoBandwidthOptions opts;
+  opts.common.duration_s = 30.0;
+  opts.common.on_error = OnError::kAbort;
+  opts.directory = dir_;
+  opts.file_bytes = 1024 * 1024;
+  opts.block_bytes = 16 * 1024;
+  opts.ntasks = 1;
+  IoBandwidth anomaly(opts);
+  (void)anomaly.run();
+
+  const SupervisionReport& report = anomaly.supervision_report();
+  ASSERT_TRUE(report.fatal());
+  ASSERT_FALSE(report.failures.empty());
+  // Abort mode consumed exactly one attempt: no retries at all.
+  EXPECT_EQ(report.failures.front().attempts, 1u);
+  EXPECT_EQ(report.retries, 0u);
+}
+
+}  // namespace
+}  // namespace hpas::anomalies

@@ -77,6 +77,11 @@ TEST(ScheduleRun, ConcurrentInstancesHonourOffsets) {
   for (const auto& result : results) {
     EXPECT_TRUE(result.error.empty()) << result.error;
     EXPECT_GT(result.stats.iterations, 0u);
+    // Every entry carries a supervision verdict; a clean run is healthy.
+    EXPECT_TRUE(result.supervision.healthy())
+        << result.supervision.to_string();
+    EXPECT_GE(result.supervision.workers_total, 1u);
+    EXPECT_EQ(result.supervision.workers_failed, 0u);
   }
   // The whole composition runs concurrently: well under the serial sum
   // but at least the longest chain (0.2 + 0.2 = 0.4s).

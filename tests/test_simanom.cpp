@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/osu_bw.hpp"
 #include "apps/stream.hpp"
 #include "common/error.hpp"
 #include "sim/cluster.hpp"
+#include "trace/tracer.hpp"
 
 namespace hpas::simanom {
 namespace {
@@ -163,6 +166,78 @@ TEST(InjectByName, AllEightNamesWork) {
   auto world = sim::make_voltrino_world();
   EXPECT_THROW(inject_by_name(*world, "bogus", 0, 0, 1.0),
                hpas::ConfigError);
+}
+
+// Sim mirror of the native supervision layer: a scheduled injector failure
+// kills tasks mid-run and leaves an auditable kInjectorFailure record per
+// death, so sweeps can model degraded injectors deterministically.
+TEST(InjectorFailure, KillsRequestedCountAndEmitsTraceRecords) {
+  auto world = sim::make_voltrino_world();
+  trace::TraceCapture capture;
+  world->attach_tracer(&capture.tracer());
+  const auto tasks = inject_netoccupy(*world, 0, 4, /*ntasks=*/2, 50e6, 30.0);
+  ASSERT_EQ(tasks.size(), 2u);
+  schedule_injector_failure(*world, tasks, 5.0, /*kill_count=*/1);
+  world->run_until(10.0);
+
+  const auto dead = static_cast<std::size_t>(
+      std::count_if(tasks.begin(), tasks.end(),
+                    [](const sim::Task* t) { return t->done(); }));
+  EXPECT_EQ(dead, 1u);  // exactly one victim; the survivor keeps running
+
+  const trace::TraceFile file = capture.take();
+  std::vector<trace::TraceRecord> failures;
+  for (const trace::TraceRecord& r : file.records) {
+    if (r.kind == trace::RecordKind::kInjectorFailure) failures.push_back(r);
+  }
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_DOUBLE_EQ(failures[0].time, 5.0);
+  EXPECT_DOUBLE_EQ(failures[0].x, 5.0);  // failure time rides in the payload
+  EXPECT_EQ(failures[0].a, 1u);          // one injector task survives
+}
+
+TEST(InjectorFailure, DefaultKillsEveryInjectorTask) {
+  auto world = sim::make_voltrino_world();
+  trace::TraceCapture capture;
+  world->attach_tracer(&capture.tracer());
+  const auto tasks = inject_netoccupy(*world, 0, 4, /*ntasks=*/2, 50e6, 30.0);
+  schedule_injector_failure(*world, tasks, 5.0);  // kill_count=-1: total loss
+  world->run_until(10.0);
+
+  for (const sim::Task* task : tasks) EXPECT_TRUE(task->done());
+  const trace::TraceFile file = capture.take();
+  std::size_t failures = 0;
+  std::uint64_t last_survivors = 99;
+  for (const trace::TraceRecord& r : file.records) {
+    if (r.kind != trace::RecordKind::kInjectorFailure) continue;
+    ++failures;
+    last_survivors = r.a;
+  }
+  EXPECT_EQ(failures, tasks.size());
+  EXPECT_EQ(last_survivors, 0u);  // the final record reports a wipeout
+}
+
+TEST(InjectorFailure, SkipsTasksAlreadyFinished) {
+  auto world = sim::make_voltrino_world();
+  trace::TraceCapture capture;
+  world->attach_tracer(&capture.tracer());
+  // The injector's own deadline (2 s) fires before the failure (5 s): the
+  // failure event must not double-kill or trace the finished tasks.
+  const auto tasks = inject_netoccupy(*world, 0, 4, /*ntasks=*/2, 50e6, 2.0);
+  schedule_injector_failure(*world, tasks, 5.0);
+  world->run_until(10.0);
+
+  const trace::TraceFile file = capture.take();
+  for (const trace::TraceRecord& r : file.records)
+    EXPECT_NE(r.kind, trace::RecordKind::kInjectorFailure);
+}
+
+TEST(InjectorFailure, RejectsTimesInThePast) {
+  auto world = sim::make_voltrino_world();
+  const auto tasks = inject_netoccupy(*world, 0, 4, 1, 50e6, 30.0);
+  world->run_until(2.0);
+  EXPECT_THROW(schedule_injector_failure(*world, tasks, 1.0),
+               hpas::InvariantError);
 }
 
 }  // namespace
