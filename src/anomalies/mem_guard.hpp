@@ -1,0 +1,38 @@
+// Memory-pressure guard for the footprint anomalies (memeater, memleak).
+//
+// A memory hog that grows unchecked eventually meets the OOM killer --
+// which takes out not just the anomaly but, on a shared node, possibly
+// the experiment harness around it. The guard reads how much memory the
+// system will still hand out without reclaim pain and stops the anomaly's
+// growth while that headroom is below a floor (`--mem-floor-mb`,
+// default 256 MiB). The anomaly then *holds* its footprint -- still a
+// realistic memory-pressure signature -- instead of dying.
+//
+// Headroom is the minimum of two views, because either one alone lies:
+//   * /proc/meminfo MemAvailable -- the whole machine's estimate;
+//   * the cgroup v2 limit (memory.max - memory.current) -- a container
+//     may be capped far below the machine's free memory.
+// Missing files (non-Linux, cgroup v1, no limit) simply drop that view.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hpas::anomalies {
+
+/// Bytes the current process can still allocate before hitting either
+/// system memory exhaustion or its cgroup limit. nullopt when neither
+/// source is readable (no /proc, no cgroup v2): the caller should treat
+/// that as "unknown" and skip guarding rather than assume zero.
+std::optional<std::uint64_t> available_memory_bytes();
+
+/// Parse helpers, exposed for tests (the real files are read by
+/// available_memory_bytes()).
+/// Extracts `MemAvailable` (in bytes) from /proc/meminfo content.
+std::optional<std::uint64_t> parse_meminfo_available(const std::string& text);
+/// Parses a cgroup v2 memory.max / memory.current value: a byte count,
+/// or "max" (no limit -> nullopt).
+std::optional<std::uint64_t> parse_cgroup_bytes(const std::string& text);
+
+}  // namespace hpas::anomalies

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "anomalies/mem_guard.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -23,6 +24,24 @@ bool MemEater::iterate(RunStats& stats) {
     // the duration elapses, without growing further.
     pace(opts_.sleep_between_steps_s > 0 ? opts_.sleep_between_steps_s : 0.1);
     return true;
+  }
+
+  if (opts_.mem_floor_bytes > 0) {
+    const auto avail = available_memory_bytes();
+    if (avail && *avail < opts_.mem_floor_bytes + opts_.step_bytes) {
+      // Below the floor the next step would push the node into OOM
+      // territory; hold the footprint (still memory pressure, just not
+      // growth) and report degraded operation instead of dying.
+      if (floor_holds_ == 0) {
+        log_warn("memeater: available memory ", *avail,
+                 " bytes below floor; holding at ", allocated_, " bytes");
+        supervisor().note_recovered(1);
+      }
+      ++floor_holds_;
+      pace(opts_.sleep_between_steps_s > 0 ? opts_.sleep_between_steps_s
+                                           : 1.0);
+      return true;
+    }
   }
 
   const std::uint64_t new_size = allocated_ + opts_.step_bytes;

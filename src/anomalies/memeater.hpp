@@ -22,6 +22,11 @@ struct MemEaterOptions {
   std::uint64_t step_bytes = 35ULL * 1024 * 1024;  ///< 35 MB paper default
   std::uint64_t max_bytes = 0;      ///< 0 = no size limit (time-limited)
   double sleep_between_steps_s = 1.0;  ///< growth pacing ("rate")
+  /// Memory-pressure guard (see mem_guard.hpp): growth pauses while the
+  /// system's available memory is below this floor plus one step, so the
+  /// anomaly degrades to holding its footprint instead of being
+  /// OOM-killed. 0 disables the guard.
+  std::uint64_t mem_floor_bytes = 256ULL * 1024 * 1024;
 };
 
 class MemEater final : public Anomaly {
@@ -32,6 +37,8 @@ class MemEater final : public Anomaly {
   std::string name() const override { return "memeater"; }
 
   std::uint64_t allocated_bytes() const { return allocated_; }
+  /// Iterations the memory-pressure guard held growth (degraded mode).
+  std::uint64_t floor_holds() const { return floor_holds_; }
 
  protected:
   bool iterate(RunStats& stats) override;
@@ -44,6 +51,7 @@ class MemEater final : public Anomaly {
   // buffer is a raw C allocation owned by this class; teardown() frees it.
   unsigned char* buffer_ = nullptr;
   std::uint64_t allocated_ = 0;
+  std::uint64_t floor_holds_ = 0;
 };
 
 }  // namespace hpas::anomalies

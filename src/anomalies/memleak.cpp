@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <new>
 
+#include "anomalies/mem_guard.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -19,6 +20,23 @@ bool MemLeak::iterate(RunStats& stats) {
   if (opts_.max_bytes > 0 && leaked_ >= opts_.max_bytes) {
     pace(opts_.sleep_between_chunks_s > 0 ? opts_.sleep_between_chunks_s : 0.1);
     return true;
+  }
+  if (opts_.mem_floor_bytes > 0) {
+    const auto avail = available_memory_bytes();
+    if (avail && *avail < opts_.mem_floor_bytes + opts_.chunk_bytes) {
+      // Below the floor the next chunk would push the node into OOM
+      // territory; hold the leak (still memory pressure, just not
+      // growth) and report degraded operation instead of dying.
+      if (floor_holds_ == 0) {
+        log_warn("memleak: available memory ", *avail,
+                 " bytes below floor; holding at ", leaked_, " bytes");
+        supervisor().note_recovered(1);
+      }
+      ++floor_holds_;
+      pace(opts_.sleep_between_chunks_s > 0 ? opts_.sleep_between_chunks_s
+                                            : 1.0);
+      return true;
+    }
   }
   std::unique_ptr<unsigned char[]> chunk(
       new (std::nothrow) unsigned char[opts_.chunk_bytes]);

@@ -28,6 +28,11 @@ struct MemLeakOptions {
   std::uint64_t max_bytes = 0;   ///< safety cap; 0 = unlimited
   double sleep_between_chunks_s = 1.0;  ///< leak pacing ("rate")
   bool touch_all = true;  ///< fill pages so the leak shows up in RSS
+  /// Memory-pressure guard (see mem_guard.hpp): leaking pauses while the
+  /// system's available memory is below this floor plus one chunk, so the
+  /// anomaly degrades to holding its leak instead of being OOM-killed.
+  /// 0 disables the guard.
+  std::uint64_t mem_floor_bytes = 256ULL * 1024 * 1024;
 };
 
 class MemLeak final : public Anomaly {
@@ -37,6 +42,8 @@ class MemLeak final : public Anomaly {
   std::string name() const override { return "memleak"; }
 
   std::uint64_t leaked_bytes() const { return leaked_; }
+  /// Iterations the memory-pressure guard held growth (degraded mode).
+  std::uint64_t floor_holds() const { return floor_holds_; }
 
  protected:
   bool iterate(RunStats& stats) override;
@@ -47,6 +54,7 @@ class MemLeak final : public Anomaly {
   Rng rng_;
   std::vector<std::unique_ptr<unsigned char[]>> chunks_;
   std::uint64_t leaked_ = 0;
+  std::uint64_t floor_holds_ = 0;
 };
 
 }  // namespace hpas::anomalies

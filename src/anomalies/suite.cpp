@@ -130,7 +130,12 @@ CliParser make_anomaly_parser(const std::string& name) {
               .help = "size limit; 0 = grow until the duration ends",
               .default_value = "0"})
         .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
-              .help = "sleep between growth steps", .default_value = "1s"});
+              .help = "sleep between growth steps", .default_value = "1s"})
+        .add({.long_name = "mem-floor-mb", .short_name = '\0',
+              .value_name = "MB",
+              .help = "pause growth while available memory is below this "
+                      "floor (0 disables the guard)",
+              .default_value = "256"});
   } else if (name == "memleak") {
     parser
         .add({.long_name = "size", .short_name = 's', .value_name = "BYTES",
@@ -140,7 +145,12 @@ CliParser make_anomaly_parser(const std::string& name) {
               .value_name = "BYTES",
               .help = "total leak cap; 0 = unlimited", .default_value = "0"})
         .add({.long_name = "rate", .short_name = 'r', .value_name = "TIME",
-              .help = "sleep between leaked chunks", .default_value = "1s"});
+              .help = "sleep between leaked chunks", .default_value = "1s"})
+        .add({.long_name = "mem-floor-mb", .short_name = '\0',
+              .value_name = "MB",
+              .help = "pause leaking while available memory is below this "
+                      "floor (0 disables the guard)",
+              .default_value = "256"});
   } else if (name == "netoccupy") {
     parser
         .add({.long_name = "mode", .short_name = 'm', .value_name = "MODE",
@@ -217,7 +227,9 @@ std::unique_ptr<Anomaly> make_anomaly(const std::string& name,
         .common = common,
         .step_bytes = parse_bytes(args.value("size")),
         .max_bytes = parse_bytes(args.value("max-size")),
-        .sleep_between_steps_s = parse_duration_seconds(args.value("rate"))};
+        .sleep_between_steps_s = parse_duration_seconds(args.value("rate")),
+        .mem_floor_bytes =
+            parse_u64(args.value("mem-floor-mb")) * 1024 * 1024};
     return std::make_unique<MemEater>(opts);
   }
   if (name == "memleak") {
@@ -225,7 +237,9 @@ std::unique_ptr<Anomaly> make_anomaly(const std::string& name,
         .common = common,
         .chunk_bytes = parse_bytes(args.value("size")),
         .max_bytes = parse_bytes(args.value("max-size")),
-        .sleep_between_chunks_s = parse_duration_seconds(args.value("rate"))};
+        .sleep_between_chunks_s = parse_duration_seconds(args.value("rate")),
+        .mem_floor_bytes =
+            parse_u64(args.value("mem-floor-mb")) * 1024 * 1024};
     return std::make_unique<MemLeak>(opts);
   }
   if (name == "netoccupy") {

@@ -16,10 +16,13 @@
 //
 // Batch experiments run through the deterministic parallel runner:
 //   hpas sweep grid.json -j 8 -o out/   # scenario grid across 8 workers
+//   hpas sweep grid.json -o out/ --resume          # continue a killed sweep
+//   hpas sweep grid.json --scenario-timeout 5m     # bound each grid point
 //
-// Generators exit cleanly on SIGINT/SIGTERM and print a one-line summary.
+// Shutdown contract: the first SIGINT/SIGTERM drains gracefully (sweeps
+// journal in-flight scenarios and exit 0 with a resume hint); a second
+// signal cancels hard (exit 130) but still leaves a valid journal.
 #include <atomic>
-#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,21 +30,33 @@
 #include "anomalies/anomaly.hpp"
 #include "anomalies/schedule.hpp"
 #include "anomalies/suite.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/shutdown.hpp"
 #include "common/units.hpp"
 #include "runner/runner.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace {
 
-hpas::anomalies::Anomaly* g_running = nullptr;
 std::atomic<bool> g_stop_schedule{false};
 
-void handle_signal(int) {
-  // request_stop is a relaxed atomic store: async-signal-safe.
-  if (g_running != nullptr) g_running->request_stop();
-  g_stop_schedule.store(true, std::memory_order_relaxed);
-}
+/// Unsubscribes a ShutdownController callback when the scope that owns
+/// the captured state ends, so a late signal cannot touch a dead object.
+class ScopedShutdownSubscription {
+ public:
+  explicit ScopedShutdownSubscription(std::function<void(int)> fn)
+      : id_(hpas::ShutdownController::instance().subscribe(std::move(fn))) {}
+  ~ScopedShutdownSubscription() {
+    hpas::ShutdownController::instance().unsubscribe(id_);
+  }
+  ScopedShutdownSubscription(const ScopedShutdownSubscription&) = delete;
+  ScopedShutdownSubscription& operator=(const ScopedShutdownSubscription&) =
+      delete;
+
+ private:
+  std::uint64_t id_;
+};
 
 int run_schedule_command(const std::vector<std::string>& args) {
   if (args.empty()) {
@@ -55,8 +70,9 @@ int run_schedule_command(const std::vector<std::string>& args) {
   const auto schedule = hpas::anomalies::load_schedule_file(args[0]);
   std::printf("schedule: %zu instances, span %s\n", schedule.entries.size(),
               hpas::format_seconds(schedule.span_seconds()).c_str());
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  hpas::ShutdownController::instance().install();
+  ScopedShutdownSubscription stop_on_signal(
+      [](int) { g_stop_schedule.store(true, std::memory_order_relaxed); });
   const auto results =
       hpas::anomalies::run_schedule(schedule, &g_stop_schedule);
   int failures = 0;
@@ -98,6 +114,19 @@ int run_sweep_command(const std::vector<std::string>& argv) {
       .add({.long_name = "trace", .short_name = '\0', .value_name = "",
             .help = "capture a per-scenario trace (writes NAME.trace.bin)",
             .default_value = std::nullopt})
+      .add({.long_name = "resume", .short_name = '\0', .value_name = "",
+            .help = "replay DIR/sweep.journal, keep validated outputs, run "
+                    "only what is missing",
+            .default_value = std::nullopt})
+      .add({.long_name = "scenario-timeout", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "wall-clock budget per scenario; over budget it is "
+                    "cancelled and journaled as timeout (0 = off)",
+            .default_value = "0"})
+      .add({.long_name = "deadline", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "wall-clock budget for the whole sweep (0 = off)",
+            .default_value = "0"})
       .add({.long_name = "dry-run", .short_name = '\0', .value_name = "",
             .help = "expand and print the grid without running it",
             .default_value = std::nullopt});
@@ -125,17 +154,41 @@ int run_sweep_command(const std::vector<std::string>& argv) {
     return 0;
   }
 
-  const auto result = hpas::runner::run_sweep(
-      grid, {.threads = threads, .queue_capacity = 256,
-             .capture_traces = args.flag("trace")});
-  if (!result.ok()) {
-    std::fprintf(stderr, "hpas: sweep failed: %s\n",
-                 result.first_error().c_str());
-    return 1;
-  }
-
   const std::string out_dir = args.value("out");
+  // Static lifetime: the watcher thread may still dereference the tokens
+  // while main unwinds after a signal near the end of the sweep.
+  static hpas::CancelToken graceful;
+  static hpas::CancelToken hard;
+  auto& shutdown = hpas::ShutdownController::instance();
+  shutdown.install();
+  ScopedShutdownSubscription on_signal([](int count) {
+    if (count == 1) {
+      graceful.cancel(hpas::CancelReason::kShutdown);
+      std::fprintf(stderr,
+                   "\nhpas: draining in-flight scenarios (journaling); "
+                   "signal again to cancel hard\n");
+    } else {
+      hard.cancel(hpas::CancelReason::kShutdown);
+    }
+  });
+
+  hpas::runner::SweepOptions options;
+  options.threads = threads;
+  options.queue_capacity = 256;
+  options.capture_traces = args.flag("trace");
+  options.scenario_timeout_s =
+      hpas::parse_duration_seconds(args.value("scenario-timeout"));
+  options.deadline_s = hpas::parse_duration_seconds(args.value("deadline"));
+  options.journal_path = out_dir + "/sweep.journal";
+  options.resume = args.flag("resume");
+  options.graceful = &graceful;
+  options.hard = &hard;
+
+  const auto result = hpas::runner::run_sweep(grid, options);
+  // Outputs (including summary.json) are always written: a partial sweep
+  // plus its journal is exactly what --resume continues from.
   hpas::runner::write_outputs(result, out_dir);
+
   const auto summary = result.summary_json();
   for (const auto& group : summary.find("by_anomaly")->as_array()) {
     std::printf("  %-12s median=%8.1fs  p95=%8.1fs  cv=%5.1f%%\n",
@@ -144,8 +197,43 @@ int run_sweep_command(const std::vector<std::string>& argv) {
                 group.number_or("p95_s", 0.0),
                 group.number_or("cv_pct", 0.0));
   }
-  std::printf("wrote %zu scenario CSVs + summary.json to %s/\n",
-              result.scenarios.size(), out_dir.c_str());
+  using hpas::runner::ScenarioStatus;
+  const std::size_t timeouts = result.count(ScenarioStatus::kTimeout);
+  const std::size_t failed = result.count(ScenarioStatus::kFailed);
+  const std::size_t cancelled = result.count(ScenarioStatus::kCancelled);
+  const std::size_t not_run = result.count(ScenarioStatus::kNotRun);
+  std::printf("sweep: %zu executed, %zu resumed, %zu timeout, "
+              "%zu cancelled, %zu not run\n",
+              result.executed, result.resumed, timeouts, cancelled, not_run);
+  if (result.tmp_removed > 0)
+    std::printf("sweep: swept %zu orphaned .tmp file(s)\n",
+                result.tmp_removed);
+  if (result.journal_dropped > 0)
+    std::printf("sweep: discarded %zu damaged journal frame(s)\n",
+                result.journal_dropped);
+  std::printf("wrote outputs + summary.json to %s/\n", out_dir.c_str());
+
+  if (shutdown.hard_requested()) {
+    std::fprintf(stderr,
+                 "hpas: sweep cancelled hard; journal is valid, resume "
+                 "with: hpas sweep ... -o %s --resume\n",
+                 out_dir.c_str());
+    return 130;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "hpas: sweep failed: %s\n",
+                 result.first_error().c_str());
+    return 1;
+  }
+  if (shutdown.requested()) {
+    std::printf("hpas: sweep interrupted after draining; resume with: "
+                "hpas sweep ... -o %s --resume\n",
+                out_dir.c_str());
+    return 0;
+  }
+  // Timeouts, deadline cancellations, or scenarios never started: the
+  // sweep finished but incompletely -- a distinct, scriptable exit code.
+  if (timeouts + cancelled + not_run > 0) return 5;
   return 0;
 }
 
@@ -173,15 +261,18 @@ int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
   }
   const auto anomaly = hpas::anomalies::make_anomaly(name, args);
 
-  g_running = anomaly.get();
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  hpas::ShutdownController::instance().install();
+  // request_stop is a relaxed atomic store; the callback runs on the
+  // watcher thread, not in signal context, so ordinary code is fine. The
+  // subscription is scoped: it dies before `anomaly` does.
+  hpas::anomalies::Anomaly* const running = anomaly.get();
+  ScopedShutdownSubscription stop_on_signal(
+      [running](int) { running->request_stop(); });
 
   hpas::anomalies::RunStats stats;
   try {
     stats = anomaly->run();
   } catch (...) {
-    g_running = nullptr;
     // setup()/run() threw: still surface any structured failure records
     // gathered before the exception.
     const auto& supervision = anomaly->supervision_report();
@@ -189,7 +280,6 @@ int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
       std::fprintf(stderr, "hpas: %s\n", supervision.to_string().c_str());
     throw;
   }
-  g_running = nullptr;
 
   std::printf(
       "%s: %llu iterations, work=%.3g, active=%s, elapsed=%s\n",

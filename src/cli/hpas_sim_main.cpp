@@ -15,15 +15,23 @@
 //   hpas-sim ... --check-trace run.bin -o out  # re-run + diff against it
 // --check-trace exits 3 and names the first divergent event when the
 // re-run does not reproduce the recorded stream bit for bit.
+//
+// SIGINT/SIGTERM stop the simulation cooperatively at the next event
+// boundary: the CSVs and (truncated, kRunCancelled-terminated) trace
+// collected so far are still written. A second signal exits 130
+// immediately.
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/bsp_app.hpp"
 #include "apps/profiles.hpp"
+#include "common/cancel.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/shutdown.hpp"
 #include "common/units.hpp"
 #include "metrics/csv.hpp"
 #include "sim/cluster.hpp"
@@ -143,7 +151,38 @@ int run(const hpas::ParsedArgs& args) {
             .first_core = 0});
   }
 
-  world->run_until(duration);
+  // First signal: cancel cooperatively at the next event boundary and
+  // fall through to the normal export path with whatever was simulated.
+  // Second signal: exit 130 right from the watcher thread.
+  static hpas::CancelToken cancel;
+  hpas::ShutdownController::instance().install();
+  const std::uint64_t subscription =
+      hpas::ShutdownController::instance().subscribe([](int count) {
+        if (count == 1) {
+          cancel.cancel(hpas::CancelReason::kShutdown);
+          std::fprintf(stderr,
+                       "\nhpas-sim: stopping at the next event boundary; "
+                       "signal again to abort\n");
+        } else {
+          std::_Exit(130);
+        }
+      });
+  world->set_cancel_token(&cancel);
+
+  bool interrupted = false;
+  try {
+    world->run_until(duration);
+  } catch (const hpas::CancelledError& e) {
+    interrupted = true;
+    if (capture) {
+      // Close the truncated trace so the partial capture says why it ends.
+      capture->tracer().set_time(world->now());
+      capture->tracer().emit(hpas::trace::RecordKind::kRunCancelled, 0,
+                             static_cast<std::uint16_t>(e.reason()), 0,
+                             world->now());
+    }
+  }
+  hpas::ShutdownController::instance().unsubscribe(subscription);
 
   if (capture) {
     const hpas::trace::TraceFile fresh = capture->take();
@@ -152,7 +191,11 @@ int run(const hpas::ParsedArgs& args) {
       std::printf("hpas-sim: trace: %zu records -> %s\n",
                   fresh.records.size(), trace_path.c_str());
     }
-    if (!check_path.empty()) {
+    if (!check_path.empty() && interrupted) {
+      std::fprintf(stderr,
+                   "hpas-sim: replay check skipped: run was interrupted, "
+                   "the truncated trace cannot be compared\n");
+    } else if (!check_path.empty()) {
       const hpas::trace::TraceFile recorded =
           hpas::trace::read_binary_file(check_path);
       const auto divergence = hpas::trace::diff_traces(recorded, fresh);
@@ -176,6 +219,10 @@ int run(const hpas::ParsedArgs& args) {
               app_name.empty() ? "idle" : app_name.c_str(),
               hpas::format_seconds(duration).c_str(), world->num_nodes(),
               prefix.c_str());
+  if (interrupted)
+    std::printf("hpas-sim: interrupted at t=%s (outputs cover the "
+                "simulated prefix)\n",
+                hpas::format_seconds(world->now()).c_str());
   return 0;
 }
 

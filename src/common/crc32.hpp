@@ -1,0 +1,60 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), header-only.
+//
+// Used to frame sweep-journal records and to digest on-disk sweep outputs
+// during --resume validation. Table-driven, byte-at-a-time: journal
+// records are tiny and output files are read once per resume, so there is
+// no need for a sliced variant.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hpas {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc32_init()` (or a previous return value)
+/// plus the next chunk; finish with `crc32_final()`.
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    state = detail::kCrc32Table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte string.
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32_final(crc32_update(crc32_init(), bytes.data(), bytes.size()));
+}
+
+/// One-shot CRC-32 of a raw buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace hpas

@@ -1,0 +1,129 @@
+#include "common/shutdown.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpas {
+namespace {
+
+// Everything the signal handler touches. volatile sig_atomic_t per POSIX;
+// the watcher thread reads the counters *after* being woken through the
+// pipe, which orders the accesses well enough for a monotonic counter.
+volatile std::sig_atomic_t g_signal_count = 0;
+volatile std::sig_atomic_t g_last_signal = 0;
+int g_pipe_wr = -1;  // written by the handler; O_NONBLOCK so it never blocks
+
+void signal_handler(int sig) {
+  g_signal_count = g_signal_count + 1;
+  g_last_signal = sig;
+  if (g_pipe_wr >= 0) {
+    const char byte = 1;
+    // A full pipe just means the watcher is already behind by 64 KiB of
+    // wakeups; dropping this byte loses nothing (counters carry the state).
+    [[maybe_unused]] const ssize_t ignored = ::write(g_pipe_wr, &byte, 1);
+  }
+}
+
+struct Subscriptions {
+  std::mutex mu;
+  std::map<std::uint64_t, std::function<void(int)>> fns;
+  std::uint64_t next_id = 1;
+};
+
+Subscriptions& subscriptions() {
+  static Subscriptions subs;
+  return subs;
+}
+
+bool g_installed = false;
+int g_pipe_rd = -1;
+
+}  // namespace
+
+ShutdownController& ShutdownController::instance() {
+  static ShutdownController controller;
+  return controller;
+}
+
+void ShutdownController::install() {
+  static std::mutex install_mu;
+  std::lock_guard<std::mutex> lock(install_mu);
+  if (g_installed) return;
+
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw SystemError("ShutdownController: pipe() failed");
+  // Read end stays blocking (the watcher sleeps in read()); the write end
+  // must never block inside a signal handler.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  g_pipe_rd = fds[0];
+  g_pipe_wr = fds[1];
+
+  struct sigaction action = {};
+  action.sa_handler = signal_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: generator worker threads sitting in read()/write() should
+  // not surface spurious EINTRs just because the operator pressed Ctrl-C;
+  // shutdown is delivered cooperatively through callbacks and tokens.
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0)
+    throw SystemError("ShutdownController: sigaction() failed");
+
+  // Detached process-lifetime watcher: it owns no destructible state (the
+  // subscription map is a leaky function-local static) and dies with the
+  // process.
+  std::thread([this] { watcher_loop(); }).detach();
+  g_installed = true;
+}
+
+void ShutdownController::watcher_loop() {
+  char buf[16];
+  while (true) {
+    const ssize_t n = ::read(g_pipe_rd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // pipe closed: process is tearing down
+    const int count = g_signal_count;
+    std::vector<std::function<void(int)>> fns;
+    {
+      std::lock_guard<std::mutex> lock(subscriptions().mu);
+      fns.reserve(subscriptions().fns.size());
+      for (const auto& [id, fn] : subscriptions().fns) fns.push_back(fn);
+    }
+    for (const auto& fn : fns) fn(count);
+  }
+}
+
+int ShutdownController::signal_count() const { return g_signal_count; }
+
+int ShutdownController::last_signal() const { return g_last_signal; }
+
+std::uint64_t ShutdownController::subscribe(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(subscriptions().mu);
+  const std::uint64_t id = subscriptions().next_id++;
+  subscriptions().fns.emplace(id, std::move(fn));
+  return id;
+}
+
+void ShutdownController::unsubscribe(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(subscriptions().mu);
+  subscriptions().fns.erase(id);
+}
+
+void ShutdownController::reset_counts_for_tests() {
+  g_signal_count = 0;
+  g_last_signal = 0;
+}
+
+}  // namespace hpas

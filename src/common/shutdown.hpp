@@ -1,0 +1,62 @@
+// Process shutdown controller: sigaction + self-pipe, shared by the CLIs.
+//
+// The old scheme -- a bare std::signal handler poking at whatever global
+// the current subcommand happened to expose -- is replaced by one
+// controller: the handler only touches volatile sig_atomic_t counters and
+// writes a byte to a self-pipe (both async-signal-safe); a watcher thread
+// drains the pipe and invokes registered callbacks in a normal thread
+// context, where they may take locks, cancel tokens, or write to stderr.
+//
+// Shutdown contract (what `hpas sweep` and `hpas-sim` implement with it):
+//   1st SIGINT/SIGTERM  -> graceful: drain in-flight work, journal it,
+//                          exit 0 with a resume hint;
+//   2nd signal          -> hard: cancel in-flight work cooperatively,
+//                          still leaving valid journals/outputs behind.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+
+namespace hpas {
+
+class ShutdownController {
+ public:
+  /// Process-wide singleton (signal dispositions are process-wide state).
+  static ShutdownController& instance();
+
+  ShutdownController(const ShutdownController&) = delete;
+  ShutdownController& operator=(const ShutdownController&) = delete;
+
+  /// Installs SIGINT/SIGTERM handlers via sigaction (SA_RESTART, so slow
+  /// syscalls in worker threads resume instead of surfacing EINTR) and
+  /// starts the watcher thread. Idempotent: later calls are no-ops.
+  void install();
+
+  /// Cumulative signals received since install(); 0 = none, 1 = graceful
+  /// shutdown requested, >= 2 = hard shutdown requested.
+  int signal_count() const;
+  bool requested() const { return signal_count() >= 1; }
+  bool hard_requested() const { return signal_count() >= 2; }
+
+  /// The last signal number delivered (0 before the first); used to pick
+  /// a conventional 128+N exit code.
+  int last_signal() const;
+
+  /// Registers `fn` to run on the watcher thread for every delivered
+  /// signal, receiving the cumulative count (1 = first/graceful, 2+ =
+  /// hard). Returns a subscription id for unsubscribe(). Callbacks
+  /// outliving the state they capture must be unsubscribed first.
+  std::uint64_t subscribe(std::function<void(int count)> fn);
+  void unsubscribe(std::uint64_t id);
+
+  /// Test hook: resets the counters (handlers stay installed). Does not
+  /// drop subscriptions.
+  void reset_counts_for_tests();
+
+ private:
+  ShutdownController() = default;
+  void watcher_loop();
+};
+
+}  // namespace hpas

@@ -1,0 +1,308 @@
+#include "runner/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace hpas::runner {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'P', 'A', 'S', 'J', 'N', 'L', '1'};
+
+// --- little-endian payload serialization -------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked cursor over a payload. Failed reads set `ok` false and
+// return zeros, so the caller can decode unconditionally and check once.
+struct Cursor {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t off = 0;
+  bool ok = true;
+
+  bool take(std::size_t k) {
+    if (!ok || n - off < k) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return p[off++];
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    std::string s(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return s;
+  }
+};
+
+std::string encode_record(const JournalRecord& r) {
+  std::string payload;
+  put_u64(payload, r.key_hash);
+  put_u8(payload, static_cast<std::uint8_t>(r.status));
+  put_string(payload, r.name);
+  put_string(payload, r.output);
+  put_u32(payload, r.csv_crc);
+  put_u32(payload, r.trace_crc);
+  put_u64(payload, r.trace_records);
+  put_u64(payload, r.app_iterations);
+  put_f64(payload, r.app_elapsed_s);
+  put_f64(payload, r.wall_seconds);
+  put_string(payload, r.error);
+  return payload;
+}
+
+bool decode_record(const unsigned char* data, std::size_t n,
+                   JournalRecord& out) {
+  Cursor c{data, n};
+  out.key_hash = c.u64();
+  const std::uint8_t status = c.u8();
+  out.name = c.str();
+  out.output = c.str();
+  out.csv_crc = c.u32();
+  out.trace_crc = c.u32();
+  out.trace_records = c.u64();
+  out.app_iterations = c.u64();
+  out.app_elapsed_s = c.f64();
+  out.wall_seconds = c.f64();
+  out.error = c.str();
+  if (!c.ok || c.off != n) return false;
+  if (status < 1 || status > 4) return false;
+  out.status = static_cast<JournalStatus>(status);
+  return true;
+}
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // splitmix64 finalizer as the combining step: full-avalanche per field,
+  // so adjacent grid points (intensity 1.0 vs 1.5) land far apart.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+}
+
+void mix_string(std::uint64_t& h, const std::string& s) {
+  mix(h, s.size());
+  mix(h, crc32(s));
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(h, bits);
+}
+
+}  // namespace
+
+const char* journal_status_name(JournalStatus status) {
+  switch (status) {
+    case JournalStatus::kDone: return "done";
+    case JournalStatus::kTimeout: return "timeout";
+    case JournalStatus::kFailed: return "failed";
+    case JournalStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::uint64_t scenario_key_hash(const ScenarioSpec& spec) {
+  std::uint64_t h = 0x48504153'4a4e4c31ULL;  // "HPASJNL1"
+  mix_string(h, spec.name);
+  mix_string(h, spec.system);
+  mix_string(h, spec.app);
+  mix_string(h, spec.anomaly);
+  mix_double(h, spec.intensity);
+  mix_double(h, spec.duration_s);
+  mix_double(h, spec.sample_period_s);
+  mix(h, static_cast<std::uint64_t>(spec.app_nodes));
+  mix(h, static_cast<std::uint64_t>(spec.ranks_per_node));
+  mix(h, spec.run_to_completion ? 1u : 0u);
+  mix_double(h, spec.injector_fail_at_s);
+  mix(h, static_cast<std::uint64_t>(spec.injector_fail_tasks));
+  mix(h, spec.seed);
+  return h;
+}
+
+JournalWriter::JournalWriter(const std::string& path, bool truncate)
+    : path_(path) {
+  int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+  flags |= truncate ? O_TRUNC : O_APPEND;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0)
+    throw SystemError("journal: cannot open " + path + ": " +
+                      std::strerror(errno));
+  // A fresh (or truncated) file needs the header; an appended-to file
+  // already has one. off_t of the current end distinguishes them.
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end == 0) {
+    if (::write(fd_, kMagic, sizeof(kMagic)) !=
+        static_cast<ssize_t>(sizeof(kMagic))) {
+      const std::string err = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw SystemError("journal: cannot write header to " + path + ": " +
+                        err);
+    }
+    ::fsync(fd_);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  const std::string payload = encode_record(record);
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  put_u32(frame, crc32(payload));
+  // One write() per frame: either the whole record lands or the reader
+  // sees a short tail it can discard. fsync makes "journaled" mean
+  // "survives SIGKILL and power loss", which is the resume contract.
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd_, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError("journal: write failed on " + path_ + ": " +
+                        std::strerror(errno));
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  if (::fsync(fd_) != 0)
+    throw SystemError("journal: fsync failed on " + path_ + ": " +
+                      std::strerror(errno));
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  JournalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (::access(path.c_str(), F_OK) == 0)
+      throw SystemError("journal: cannot read " + path);
+    return result;  // no journal yet: a fresh sweep
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    result.damage = "bad or truncated journal header";
+    return result;
+  }
+
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t off = sizeof(kMagic);
+  const std::size_t size = bytes.size();
+  // Sanity cap on frame length: no real record approaches this, so a
+  // huge length means we are reading garbage, not a record.
+  constexpr std::uint32_t kMaxFrame = 1u << 20;
+  while (off < size) {
+    if (size - off < 4) {
+      result.dropped_frames = 1;
+      result.damage = "torn frame length at tail";
+      break;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(data[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (len > kMaxFrame) {
+      result.dropped_frames = 1;
+      result.damage = "implausible frame length (corrupt journal)";
+      break;
+    }
+    if (size - off < 8 + static_cast<std::size_t>(len)) {
+      result.dropped_frames = 1;
+      result.damage = "torn frame payload at tail";
+      break;
+    }
+    const unsigned char* payload = data + off + 4;
+    std::uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i)
+      stored_crc |= static_cast<std::uint32_t>(
+                        payload[len + static_cast<std::size_t>(i)])
+                    << (8 * i);
+    if (crc32(payload, len) != stored_crc) {
+      result.dropped_frames = 1;
+      result.damage = "frame CRC mismatch";
+      break;
+    }
+    JournalRecord record;
+    if (!decode_record(payload, len, record)) {
+      result.dropped_frames = 1;
+      result.damage = "undecodable frame payload";
+      break;
+    }
+    result.records.push_back(std::move(record));
+    off += 8 + static_cast<std::size_t>(len);
+  }
+  return result;
+}
+
+}  // namespace hpas::runner

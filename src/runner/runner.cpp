@@ -1,18 +1,27 @@
 #include "runner/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
 
 #include "apps/bsp_app.hpp"
 #include "apps/profiles.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "metrics/csv.hpp"
+#include "runner/journal.hpp"
 #include "runner/thread_pool.hpp"
+#include "runner/watchdog.hpp"
 #include "sim/cluster.hpp"
 #include "simanom/injectors.hpp"
 #include "trace/export.hpp"
@@ -80,186 +89,6 @@ void append_stats_members(Json& obj, const std::vector<double>& xs) {
   obj.set("cv_pct", cv);
 }
 
-}  // namespace
-
-ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace) {
-  ScenarioResult result;
-  result.spec = spec;
-
-  auto world = spec.system == "chameleon" ? sim::make_chameleon_world()
-                                          : sim::make_voltrino_world();
-  const int num_nodes = world->num_nodes();
-  if (spec.app_nodes > num_nodes)
-    throw ConfigError("run_scenario: app_nodes exceeds the " + spec.system +
-                      " preset's " + std::to_string(num_nodes) + " nodes");
-
-  // Tracing attaches before monitoring/injection so the captured stream
-  // covers every event the scenario generates.
-  std::optional<trace::TraceCapture> capture;
-  if (capture_trace) {
-    capture.emplace();
-    world->attach_tracer(&capture->tracer());
-  }
-  world->enable_monitoring(spec.sample_period_s);
-
-  Rng stream(spec.seed);
-  const auto injected = inject_anomaly(*world, spec, stream);
-  if (spec.injector_fail_at_s > 0.0 && !injected.empty()) {
-    simanom::schedule_injector_failure(*world, injected,
-                                       spec.injector_fail_at_s,
-                                       spec.injector_fail_tasks);
-  }
-
-  if (spec.app != "none") {
-    apps::AppSpec app_spec = apps::app_by_name(spec.app);
-    apps::BspApp::Placement placement;
-    const int stride = num_nodes / spec.app_nodes;
-    for (int i = 0; i < spec.app_nodes; ++i)
-      placement.nodes.push_back(i * stride);
-    placement.ranks_per_node = spec.ranks_per_node;
-    placement.first_core = 0;
-    if (spec.run_to_completion) {
-      apps::BspApp app(*world, app_spec, placement);
-      result.app_elapsed_s = app.run_to_completion();
-      result.app_iterations = app.completed_iterations();
-    } else {
-      app_spec.iterations = 1000000;  // runs past the window; we observe
-      apps::BspApp app(*world, app_spec, placement);
-      world->run_until(spec.duration_s);
-      result.app_elapsed_s = app.finished() ? app.elapsed() : spec.duration_s;
-      result.app_iterations = app.completed_iterations();
-    }
-  } else {
-    world->run_until(spec.duration_s);
-  }
-
-  std::ostringstream csv;
-  metrics::write_csv(csv, world->node_store(0));
-  result.metrics_csv = csv.str();
-  if (capture) {
-    const trace::TraceFile file = capture->take();
-    result.trace_records = static_cast<std::uint64_t>(file.records.size());
-    std::ostringstream bin(std::ios::binary);
-    trace::write_binary(bin, file);
-    result.trace_bin = bin.str();
-  }
-  result.ran = true;
-  return result;
-}
-
-SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
-  SweepResult result;
-  result.grid_name = grid.name;
-  result.scenarios.resize(grid.scenarios.size());
-
-  WorkStealingPool pool(
-      {.threads = options.threads, .queue_capacity = options.queue_capacity});
-  for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
-    // Each task owns slot i exclusively; no result ordering depends on
-    // scheduling, so thread count cannot leak into the output.
-    pool.submit([&result, &grid, &pool, &options, i] {
-      try {
-        result.scenarios[i] =
-            run_scenario(grid.scenarios[i], options.capture_traces);
-      } catch (const std::exception& e) {
-        result.scenarios[i].spec = grid.scenarios[i];
-        result.scenarios[i].ran = true;
-        result.scenarios[i].error = e.what();
-        pool.request_cancel();
-      }
-    });
-    if (pool.cancelled()) break;
-  }
-  pool.wait_idle();
-
-  // Slots cancelled before starting keep ran == false; give them their
-  // spec so reports stay readable.
-  for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
-    if (!result.scenarios[i].ran)
-      result.scenarios[i].spec = grid.scenarios[i];
-  }
-  return result;
-}
-
-bool SweepResult::ok() const {
-  for (const ScenarioResult& s : scenarios)
-    if (!s.ran || !s.error.empty()) return false;
-  return true;
-}
-
-std::string SweepResult::first_error() const {
-  for (const ScenarioResult& s : scenarios) {
-    if (!s.error.empty()) return s.spec.name + ": " + s.error;
-    if (!s.ran) return s.spec.name + ": cancelled";
-  }
-  return {};
-}
-
-Json SweepResult::summary_json() const {
-  Json doc = Json::object();
-  doc.set("grid", grid_name);
-  doc.set("scenario_count", static_cast<double>(scenarios.size()));
-
-  Json rows = Json::array();
-  for (const ScenarioResult& s : scenarios) {
-    Json row = Json::object();
-    row.set("name", s.spec.name);
-    row.set("app", s.spec.app);
-    row.set("anomaly", s.spec.anomaly);
-    row.set("intensity", s.spec.intensity);
-    // 64-bit seeds do not round-trip through JSON doubles; keep exact.
-    row.set("seed", std::to_string(s.spec.seed));
-    // Emitted only for degraded-injector scenarios so baseline summaries
-    // stay byte-identical to the pinned golden files.
-    if (s.spec.injector_fail_at_s > 0.0) {
-      row.set("injector_fail_at_s", s.spec.injector_fail_at_s);
-      row.set("injector_fail_tasks",
-              static_cast<double>(s.spec.injector_fail_tasks));
-    }
-    if (!s.error.empty()) row.set("error", s.error);
-    row.set("app_time_s", s.app_elapsed_s);
-    row.set("iterations", static_cast<double>(s.app_iterations));
-    if (!s.trace_bin.empty())
-      row.set("trace_records", static_cast<double>(s.trace_records));
-    rows.push_back(std::move(row));
-  }
-  doc.set("scenarios", std::move(rows));
-
-  // Aggregates in the spirit of a bench harness: median / p95 / %CV of
-  // the app execution times, per anomaly (first-appearance order) and
-  // overall.
-  std::vector<std::string> anomaly_order;
-  std::vector<double> all_times;
-  for (const ScenarioResult& s : scenarios) {
-    if (!s.ran || !s.error.empty() || s.spec.app == "none") continue;
-    if (std::find(anomaly_order.begin(), anomaly_order.end(),
-                  s.spec.anomaly) == anomaly_order.end())
-      anomaly_order.push_back(s.spec.anomaly);
-    all_times.push_back(s.app_elapsed_s);
-  }
-  Json groups = Json::array();
-  for (const std::string& anomaly : anomaly_order) {
-    std::vector<double> times;
-    for (const ScenarioResult& s : scenarios) {
-      if (s.ran && s.error.empty() && s.spec.app != "none" &&
-          s.spec.anomaly == anomaly)
-        times.push_back(s.app_elapsed_s);
-    }
-    Json group = Json::object();
-    group.set("anomaly", anomaly);
-    append_stats_members(group, times);
-    groups.push_back(std::move(group));
-  }
-  doc.set("by_anomaly", std::move(groups));
-
-  Json overall = Json::object();
-  append_stats_members(overall, all_times);
-  doc.set("overall", std::move(overall));
-  return doc;
-}
-
-namespace {
-
 /// Writes `bytes` to `<path>.tmp` and renames it over `path`, so readers
 /// never observe a partially written file and a failure (full disk,
 /// cancelled sweep) leaves the target untouched. The temporary is removed
@@ -288,7 +117,451 @@ void write_file_atomic(const std::string& path, const std::string& bytes) {
   }
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return in.good() || in.eof();
+}
+
+/// A crashed sweep can leave `*.tmp` siblings from interrupted atomic
+/// writes; they are never valid outputs, so --resume sweeps them first.
+std::size_t remove_orphaned_tmp_files(const std::string& dir) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    std::error_code ignored;
+    if (std::filesystem::remove(entry.path(), ignored)) ++removed;
+  }
+  return removed;
+}
+
+JournalStatus to_journal_status(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kDone: return JournalStatus::kDone;
+    case ScenarioStatus::kTimeout: return JournalStatus::kTimeout;
+    case ScenarioStatus::kFailed: return JournalStatus::kFailed;
+    case ScenarioStatus::kNotRun:
+    case ScenarioStatus::kCancelled: break;
+  }
+  return JournalStatus::kCancelled;
+}
+
+JournalRecord make_journal_record(const ScenarioResult& s) {
+  JournalRecord rec;
+  rec.key_hash = scenario_key_hash(s.spec);
+  rec.status = to_journal_status(s.status);
+  rec.name = s.spec.name;
+  rec.output = s.spec.name + ".csv";
+  if (s.status == ScenarioStatus::kDone) rec.csv_crc = crc32(s.metrics_csv);
+  if (!s.trace_bin.empty()) rec.trace_crc = crc32(s.trace_bin);
+  rec.trace_records = s.trace_records;
+  rec.app_iterations = static_cast<std::uint64_t>(s.app_iterations);
+  rec.app_elapsed_s = s.app_elapsed_s;
+  rec.wall_seconds = s.wall_seconds;
+  rec.error = s.error;
+  return rec;
+}
+
 }  // namespace
+
+const char* scenario_status_name(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kNotRun: return "not_run";
+    case ScenarioStatus::kDone: return "done";
+    case ScenarioStatus::kFailed: return "failed";
+    case ScenarioStatus::kTimeout: return "timeout";
+    case ScenarioStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace,
+                            const CancelToken* cancel) {
+  ScenarioResult result;
+  result.spec = spec;
+
+  auto world = spec.system == "chameleon" ? sim::make_chameleon_world()
+                                          : sim::make_voltrino_world();
+  const int num_nodes = world->num_nodes();
+  if (spec.app_nodes > num_nodes)
+    throw ConfigError("run_scenario: app_nodes exceeds the " + spec.system +
+                      " preset's " + std::to_string(num_nodes) + " nodes");
+
+  // Tracing attaches before monitoring/injection so the captured stream
+  // covers every event the scenario generates.
+  std::optional<trace::TraceCapture> capture;
+  if (capture_trace) {
+    capture.emplace();
+    world->attach_tracer(&capture->tracer());
+  }
+  world->enable_monitoring(spec.sample_period_s);
+  world->set_cancel_token(cancel);
+
+  try {
+    Rng stream(spec.seed);
+    const auto injected = inject_anomaly(*world, spec, stream);
+    if (spec.injector_fail_at_s > 0.0 && !injected.empty()) {
+      simanom::schedule_injector_failure(*world, injected,
+                                         spec.injector_fail_at_s,
+                                         spec.injector_fail_tasks);
+    }
+
+    if (spec.app != "none") {
+      apps::AppSpec app_spec = apps::app_by_name(spec.app);
+      apps::BspApp::Placement placement;
+      const int stride = num_nodes / spec.app_nodes;
+      for (int i = 0; i < spec.app_nodes; ++i)
+        placement.nodes.push_back(i * stride);
+      placement.ranks_per_node = spec.ranks_per_node;
+      placement.first_core = 0;
+      if (spec.run_to_completion) {
+        apps::BspApp app(*world, app_spec, placement);
+        result.app_elapsed_s = app.run_to_completion();
+        result.app_iterations = app.completed_iterations();
+      } else {
+        app_spec.iterations = 1000000;  // runs past the window; we observe
+        apps::BspApp app(*world, app_spec, placement);
+        world->run_until(spec.duration_s);
+        result.app_elapsed_s =
+            app.finished() ? app.elapsed() : spec.duration_s;
+        result.app_iterations = app.completed_iterations();
+      }
+    } else {
+      world->run_until(spec.duration_s);
+    }
+    result.status = ScenarioStatus::kDone;
+  } catch (const CancelledError& e) {
+    // The run stopped at an event boundary; the monitoring samples and
+    // trace records collected so far are still consistent, so keep them.
+    // A kRunCancelled record closes the truncated trace, making the
+    // partial capture self-describing.
+    result.status = e.reason() == CancelReason::kTimeout
+                        ? ScenarioStatus::kTimeout
+                        : ScenarioStatus::kCancelled;
+    if (capture) {
+      capture->tracer().set_time(world->now());
+      capture->tracer().emit(trace::RecordKind::kRunCancelled, 0,
+                             static_cast<std::uint16_t>(e.reason()), 0,
+                             world->now());
+    }
+  }
+
+  std::ostringstream csv;
+  metrics::write_csv(csv, world->node_store(0));
+  result.metrics_csv = csv.str();
+  if (capture) {
+    const trace::TraceFile file = capture->take();
+    result.trace_records = static_cast<std::uint64_t>(file.records.size());
+    std::ostringstream bin(std::ios::binary);
+    trace::write_binary(bin, file);
+    result.trace_bin = bin.str();
+  }
+  result.ran = true;
+  return result;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  SweepResult result;
+  result.grid_name = grid.name;
+  result.scenarios.resize(grid.scenarios.size());
+
+  // --- resume: restore journaled scenarios whose outputs validate -------
+  std::vector<char> restored(grid.scenarios.size(), 0);
+  std::unique_ptr<JournalWriter> journal;
+  std::string out_dir;
+  if (!options.journal_path.empty()) {
+    out_dir =
+        std::filesystem::path(options.journal_path).parent_path().string();
+    if (out_dir.empty()) out_dir = ".";
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec)
+      throw SystemError("run_sweep: cannot create output directory: " +
+                        out_dir);
+    std::vector<JournalRecord> keep;
+    if (options.resume) {
+      result.tmp_removed = remove_orphaned_tmp_files(out_dir);
+      JournalReadResult read = read_journal(options.journal_path);
+      result.journal_dropped = read.dropped_frames;
+      // Last record per key wins: a re-run after a timeout supersedes the
+      // timeout record.
+      std::unordered_map<std::uint64_t, const JournalRecord*> by_key;
+      for (const JournalRecord& r : read.records) by_key[r.key_hash] = &r;
+      for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
+        const ScenarioSpec& spec = grid.scenarios[i];
+        const auto it = by_key.find(scenario_key_hash(spec));
+        if (it == by_key.end() || it->second->status != JournalStatus::kDone)
+          continue;
+        const JournalRecord& rec = *it->second;
+        // Trust nothing the journal says about outputs until the bytes on
+        // disk digest to the journaled CRCs; any mismatch (deleted file,
+        // truncated write, manual edit) re-runs the scenario.
+        std::string csv;
+        if (!read_file(out_dir + "/" + rec.output, csv)) continue;
+        if (crc32(csv) != rec.csv_crc) continue;
+        std::string trace_bin;
+        if (rec.trace_crc != 0) {
+          if (!read_file(out_dir + "/" + spec.name + ".trace.bin", trace_bin))
+            continue;
+          if (crc32(trace_bin) != rec.trace_crc) continue;
+        }
+        ScenarioResult& s = result.scenarios[i];
+        s.spec = spec;
+        s.ran = true;
+        s.status = ScenarioStatus::kDone;
+        s.resumed = true;
+        s.app_elapsed_s = rec.app_elapsed_s;
+        s.app_iterations = static_cast<int>(rec.app_iterations);
+        s.wall_seconds = rec.wall_seconds;
+        s.metrics_csv = std::move(csv);
+        s.trace_bin = std::move(trace_bin);
+        s.trace_records = rec.trace_records;
+        restored[i] = 1;
+        keep.push_back(rec);
+        ++result.resumed;
+      }
+    }
+    // Rewriting with only the validated records self-heals a torn tail
+    // and drops stale failure/timeout records for scenarios about to
+    // re-run.
+    journal = std::make_unique<JournalWriter>(options.journal_path,
+                                              /*truncate=*/true);
+    for (const JournalRecord& rec : keep) journal->append(rec);
+  }
+
+  WorkStealingPool pool(
+      {.threads = options.threads, .queue_capacity = options.queue_capacity});
+
+  // --- cancellation plumbing -------------------------------------------
+  // Tokens of in-flight scenarios, by grid index. The relay thread fans a
+  // hard-cancel or deadline into every registered token; a task re-checks
+  // the flags right after registering so a cancel landing between "relay
+  // fanned out" and "task registered" is never lost.
+  std::mutex active_mu;
+  std::unordered_map<std::size_t, std::shared_ptr<CancelToken>> active;
+  std::atomic<bool> cancel_all{false};
+  std::atomic<int> cancel_all_reason{static_cast<int>(CancelReason::kNone)};
+  std::atomic<bool> interrupted{false};
+
+  auto cancel_active = [&](CancelReason reason) {
+    cancel_all_reason.store(static_cast<int>(reason),
+                            std::memory_order_relaxed);
+    cancel_all.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(active_mu);
+    for (auto& [index, token] : active) token->cancel(reason);
+  };
+
+  std::optional<Watchdog> watchdog;
+  if (options.scenario_timeout_s > 0.0) watchdog.emplace();
+
+  // The relay turns external wall-clock conditions (shutdown tokens, the
+  // sweep deadline) into pool/token cancellations. Polling at 10ms keeps
+  // it dependency-free; shutdown latency is bounded by the poll period
+  // plus one simulator event.
+  std::atomic<bool> relay_stop{false};
+  std::thread relay;
+  const bool need_relay = options.deadline_s > 0.0 ||
+                          options.graceful != nullptr ||
+                          options.hard != nullptr;
+  if (need_relay) {
+    relay = std::thread([&] {
+      const auto start = std::chrono::steady_clock::now();
+      bool drained = false;
+      bool aborted = false;
+      while (!relay_stop.load(std::memory_order_acquire)) {
+        if (!drained && options.graceful != nullptr &&
+            options.graceful->cancelled()) {
+          drained = true;
+          interrupted.store(true, std::memory_order_relaxed);
+          pool.request_cancel();  // stop dequeuing; running tasks finish
+        }
+        if (!aborted) {
+          const bool hard =
+              options.hard != nullptr && options.hard->cancelled();
+          const bool past_deadline =
+              options.deadline_s > 0.0 &&
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                      .count() >= options.deadline_s;
+          if (hard || past_deadline) {
+            aborted = true;
+            interrupted.store(true, std::memory_order_relaxed);
+            pool.request_cancel();
+            cancel_active(hard ? CancelReason::kShutdown
+                               : CancelReason::kDeadline);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  std::mutex journal_mu;
+  std::atomic<std::size_t> executed{0};
+  for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
+    if (restored[i]) continue;
+    // Each task owns slot i exclusively; no result ordering depends on
+    // scheduling, so thread count cannot leak into the output.
+    pool.submit([&, i] {
+      auto token = std::make_shared<CancelToken>();
+      {
+        std::lock_guard<std::mutex> lock(active_mu);
+        active.emplace(i, token);
+      }
+      if (cancel_all.load(std::memory_order_acquire))
+        token->cancel(static_cast<CancelReason>(
+            cancel_all_reason.load(std::memory_order_relaxed)));
+      std::uint64_t wd_id = 0;
+      if (watchdog)
+        wd_id = watchdog->arm(options.scenario_timeout_s,
+                              [token] { token->cancel(CancelReason::kTimeout); });
+      const auto t0 = std::chrono::steady_clock::now();
+      ScenarioResult& slot = result.scenarios[i];
+      try {
+        slot = run_scenario(grid.scenarios[i], options.capture_traces,
+                            token.get());
+      } catch (const std::exception& e) {
+        slot.spec = grid.scenarios[i];
+        slot.ran = true;
+        slot.status = ScenarioStatus::kFailed;
+        slot.error = e.what();
+        pool.request_cancel();
+      }
+      if (watchdog) watchdog->disarm(wd_id);
+      {
+        std::lock_guard<std::mutex> lock(active_mu);
+        active.erase(i);
+      }
+      slot.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (journal) {
+        // Checkpoint order: outputs first, then the journal record, so a
+        // "done" record always refers to files that already exist. A
+        // crash between the two re-runs the scenario -- safe, just not
+        // free.
+        if (slot.status == ScenarioStatus::kDone)
+          write_file_atomic(out_dir + "/" + slot.spec.name + ".csv",
+                            slot.metrics_csv);
+        if (!slot.trace_bin.empty())
+          write_file_atomic(out_dir + "/" + slot.spec.name + ".trace.bin",
+                            slot.trace_bin);
+        std::lock_guard<std::mutex> lock(journal_mu);
+        journal->append(make_journal_record(slot));
+      }
+    });
+    if (pool.cancelled()) break;
+  }
+  pool.wait_idle();
+  relay_stop.store(true, std::memory_order_release);
+  if (relay.joinable()) relay.join();
+
+  // Slots cancelled before starting keep ran == false; give them their
+  // spec so reports stay readable.
+  for (std::size_t i = 0; i < result.scenarios.size(); ++i) {
+    if (!result.scenarios[i].ran)
+      result.scenarios[i].spec = grid.scenarios[i];
+  }
+  result.executed = executed.load();
+  result.interrupted = interrupted.load();
+  return result;
+}
+
+bool SweepResult::ok() const {
+  for (const ScenarioResult& s : scenarios)
+    if (s.status != ScenarioStatus::kDone) return false;
+  return true;
+}
+
+std::size_t SweepResult::count(ScenarioStatus status) const {
+  std::size_t n = 0;
+  for (const ScenarioResult& s : scenarios)
+    if (s.status == status) ++n;
+  return n;
+}
+
+std::string SweepResult::first_error() const {
+  for (const ScenarioResult& s : scenarios) {
+    if (!s.error.empty()) return s.spec.name + ": " + s.error;
+    if (s.status != ScenarioStatus::kDone)
+      return s.spec.name + ": " + scenario_status_name(s.status);
+  }
+  return {};
+}
+
+Json SweepResult::summary_json() const {
+  Json doc = Json::object();
+  doc.set("grid", grid_name);
+  doc.set("scenario_count", static_cast<double>(scenarios.size()));
+
+  Json rows = Json::array();
+  for (const ScenarioResult& s : scenarios) {
+    Json row = Json::object();
+    row.set("name", s.spec.name);
+    row.set("app", s.spec.app);
+    row.set("anomaly", s.spec.anomaly);
+    row.set("intensity", s.spec.intensity);
+    // 64-bit seeds do not round-trip through JSON doubles; keep exact.
+    row.set("seed", std::to_string(s.spec.seed));
+    // Emitted only for degraded-injector scenarios so baseline summaries
+    // stay byte-identical to the pinned golden files.
+    if (s.spec.injector_fail_at_s > 0.0) {
+      row.set("injector_fail_at_s", s.spec.injector_fail_at_s);
+      row.set("injector_fail_tasks",
+              static_cast<double>(s.spec.injector_fail_tasks));
+    }
+    if (!s.error.empty()) row.set("error", s.error);
+    // Same byte-stability rule: only non-completed scenarios carry a
+    // status, so a clean sweep's summary is unchanged.
+    if (s.status != ScenarioStatus::kDone)
+      row.set("status", scenario_status_name(s.status));
+    row.set("app_time_s", s.app_elapsed_s);
+    row.set("iterations", static_cast<double>(s.app_iterations));
+    if (!s.trace_bin.empty())
+      row.set("trace_records", static_cast<double>(s.trace_records));
+    rows.push_back(std::move(row));
+  }
+  doc.set("scenarios", std::move(rows));
+
+  // Aggregates in the spirit of a bench harness: median / p95 / %CV of
+  // the app execution times, per anomaly (first-appearance order) and
+  // overall. Only completed scenarios contribute -- a timed-out run's
+  // partial app time would poison the statistics.
+  std::vector<std::string> anomaly_order;
+  std::vector<double> all_times;
+  for (const ScenarioResult& s : scenarios) {
+    if (s.status != ScenarioStatus::kDone || s.spec.app == "none") continue;
+    if (std::find(anomaly_order.begin(), anomaly_order.end(),
+                  s.spec.anomaly) == anomaly_order.end())
+      anomaly_order.push_back(s.spec.anomaly);
+    all_times.push_back(s.app_elapsed_s);
+  }
+  Json groups = Json::array();
+  for (const std::string& anomaly : anomaly_order) {
+    std::vector<double> times;
+    for (const ScenarioResult& s : scenarios) {
+      if (s.status == ScenarioStatus::kDone && s.spec.app != "none" &&
+          s.spec.anomaly == anomaly)
+        times.push_back(s.app_elapsed_s);
+    }
+    Json group = Json::object();
+    group.set("anomaly", anomaly);
+    append_stats_members(group, times);
+    groups.push_back(std::move(group));
+  }
+  doc.set("by_anomaly", std::move(groups));
+
+  Json overall = Json::object();
+  append_stats_members(overall, all_times);
+  doc.set("overall", std::move(overall));
+  return doc;
+}
 
 void write_outputs(const SweepResult& result, const std::string& dir) {
   std::error_code ec;
@@ -296,9 +569,12 @@ void write_outputs(const SweepResult& result, const std::string& dir) {
   if (ec) throw SystemError("cannot create output directory: " + dir);
 
   for (const ScenarioResult& s : result.scenarios) {
-    if (!s.ran || !s.error.empty()) continue;
-    write_file_atomic(dir + "/" + s.spec.name + ".csv", s.metrics_csv);
-    if (!s.trace_bin.empty())
+    if (s.status == ScenarioStatus::kDone)
+      write_file_atomic(dir + "/" + s.spec.name + ".csv", s.metrics_csv);
+    // Truncated traces of timed-out/cancelled scenarios are still written:
+    // they end in kRunCancelled and are the primary debugging artifact for
+    // "why did this grid point hang".
+    if (s.ran && !s.trace_bin.empty())
       write_file_atomic(dir + "/" + s.spec.name + ".trace.bin", s.trace_bin);
   }
   write_file_atomic(dir + "/summary.json", result.summary_json().dump(2));

@@ -9,29 +9,73 @@
 // at any thread count, including 1. The first failing scenario cancels the
 // remaining queued work (running scenarios finish) and is reported
 // deterministically (lowest grid index wins).
+//
+// Crash safety rides on top of the same structure: with a journal path
+// set, every finished scenario writes its outputs to disk immediately and
+// appends a fsync'd journal record (see journal.hpp), so a killed sweep
+// resumes from the last completed scenario instead of the beginning. A
+// Watchdog bounds each scenario's wall time, and two CancelTokens let the
+// CLI drain (graceful) or abort (hard) the sweep from a signal handler.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/json.hpp"
 #include "runner/grid.hpp"
 
 namespace hpas::runner {
 
+/// Terminal state of one grid slot.
+enum class ScenarioStatus : int {
+  kNotRun = 0,    ///< dropped from the queue by a cancellation
+  kDone = 1,      ///< completed; outputs are authoritative
+  kFailed = 2,    ///< run_scenario threw (error holds the message)
+  kTimeout = 3,   ///< watchdog hit --scenario-timeout mid-run
+  kCancelled = 4, ///< interrupted mid-run by shutdown or --deadline
+};
+
+const char* scenario_status_name(ScenarioStatus status);
+
 struct SweepOptions {
   int threads = 1;                   ///< 0 = hardware concurrency
   std::size_t queue_capacity = 256;  ///< backpressure bound
   bool capture_traces = false;       ///< record a per-scenario trace
+  /// Wall-clock budget per scenario, seconds; 0 disables the watchdog.
+  /// An over-budget scenario is cancelled cooperatively, journaled as
+  /// timeout, and the sweep moves on.
+  double scenario_timeout_s = 0.0;
+  /// Wall-clock budget for the whole sweep, seconds; 0 = none. Past the
+  /// deadline, queued scenarios are dropped and running ones cancelled.
+  double deadline_s = 0.0;
+  /// Path of the checkpoint journal (conventionally <out>/sweep.journal).
+  /// Empty disables journaling; set, it also turns on incremental output
+  /// writes (each completed scenario's files land before its record).
+  std::string journal_path;
+  /// With a journal: replay it first, restore scenarios whose on-disk
+  /// outputs validate against their journaled digests, and run the rest.
+  bool resume = false;
+  /// Drain request (first Ctrl-C): stop dequeuing new scenarios, let
+  /// running ones finish and be journaled. Observed, never cancelled, by
+  /// the sweep. May be null.
+  const CancelToken* graceful = nullptr;
+  /// Abort request (second Ctrl-C): additionally cancel running
+  /// scenarios cooperatively; they journal as cancelled. May be null.
+  const CancelToken* hard = nullptr;
 };
 
 struct ScenarioResult {
   ScenarioSpec spec;
   bool ran = false;          ///< false when cancelled before starting
+  ScenarioStatus status = ScenarioStatus::kNotRun;
+  bool resumed = false;      ///< restored from the journal, not re-run
   std::string error;         ///< non-empty when the scenario threw
   double app_elapsed_s = 0.0;  ///< simulated app wall time (0 if no app)
   int app_iterations = 0;
+  double wall_seconds = 0.0; ///< host execution time (not in summaries)
   std::string metrics_csv;   ///< node-0 monitoring series, CSV bytes
   std::string trace_bin;     ///< serialized trace (empty unless captured)
   std::uint64_t trace_records = 0;  ///< record count in trace_bin
@@ -41,14 +85,24 @@ struct SweepResult {
   std::string grid_name;
   std::vector<ScenarioResult> scenarios;  ///< in grid order
 
-  bool ok() const;
+  std::size_t executed = 0;   ///< scenarios actually run this invocation
+  std::size_t resumed = 0;    ///< scenarios restored from the journal
+  std::size_t tmp_removed = 0;      ///< orphaned *.tmp files swept on resume
+  std::size_t journal_dropped = 0;  ///< damaged journal frames discarded
+  bool interrupted = false;   ///< a shutdown/deadline cut the sweep short
+
+  bool ok() const;  ///< every scenario completed (status kDone)
+  /// Scenarios with the given terminal status.
+  std::size_t count(ScenarioStatus status) const;
   /// First error in grid order, or empty.
   std::string first_error() const;
 
   /// Deterministic summary: per-scenario rows plus per-anomaly and overall
   /// aggregate statistics (median / p95 / coefficient of variation %) of
   /// the app execution times. Contains nothing execution-dependent (no
-  /// wall-clock, no thread count) -- byte-identical across runs.
+  /// wall-clock, no thread count) -- byte-identical across runs. Rows gain
+  /// a "status" member only when the scenario did not complete, so clean
+  /// sweeps stay byte-identical to the pinned golden summaries.
   Json summary_json() const;
 };
 
@@ -57,14 +111,22 @@ struct SweepResult {
 /// world runs under a lossless TraceCapture (attached before monitoring
 /// and injection, so the stream is complete) and the result carries the
 /// serialized binary trace.
+///
+/// `cancel` (optional) is checked between simulator events: once it
+/// fires, the run stops at the next event boundary with status kTimeout
+/// or kCancelled (per the token's reason), keeps the metrics collected so
+/// far, and -- when tracing -- ends the truncated trace with one
+/// kRunCancelled record so partial captures are self-describing.
 ScenarioResult run_scenario(const ScenarioSpec& spec,
-                            bool capture_trace = false);
+                            bool capture_trace = false,
+                            const CancelToken* cancel = nullptr);
 
 /// Runs the whole grid across `options.threads` workers.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
 
 /// Writes `<dir>/<scenario>.csv` for every completed scenario (plus
-/// `<dir>/<scenario>.trace.bin` when a trace was captured) and
+/// `<dir>/<scenario>.trace.bin` when a trace was captured -- including
+/// truncated traces of timed-out/cancelled scenarios) and
 /// `<dir>/summary.json`; creates `dir` if needed. Each file is written to
 /// a temporary sibling and renamed into place, so a failure mid-sweep
 /// never leaves a partially written output behind. Throws SystemError on

@@ -42,6 +42,8 @@ bool Simulator::is_cancelled(std::uint64_t id) {
 }
 
 bool Simulator::step() {
+  if (cancel_ != nullptr && cancel_->cancelled())
+    throw CancelledError(cancel_->reason());
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();

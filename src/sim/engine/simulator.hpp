@@ -13,6 +13,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace hpas::trace {
 class Tracer;
 }
@@ -47,6 +49,11 @@ class Simulator {
   void cancel(EventHandle handle);
 
   /// Runs the next pending event; returns false when the queue is empty.
+  /// Throws CancelledError when an attached cancellation token fired --
+  /// this is the engine's cancellation checkpoint: a runaway scenario is
+  /// interrupted *between* events, never inside one, so the world it
+  /// leaves behind is consistent (partial traces and metric stores stay
+  /// readable).
   bool step();
 
   /// Runs events with time <= t, then advances the clock to exactly t.
@@ -64,6 +71,14 @@ class Simulator {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a cooperative cancellation token (nullptr detaches, the
+  /// default). The token is polled once per event in step(); when another
+  /// thread (watchdog, shutdown controller) cancels it, the next step()
+  /// throws CancelledError carrying the token's reason. Null costs one
+  /// predicted branch on the hot path.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
  private:
   struct Event {
     double time;
@@ -80,6 +95,7 @@ class Simulator {
 
   double now_ = 0.0;
   trace::Tracer* tracer_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

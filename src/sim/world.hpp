@@ -85,6 +85,13 @@ class World {
   void attach_tracer(trace::Tracer* tracer);
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a cooperative cancellation token to the event engine (see
+  /// Simulator::set_cancel_token): run_until() then throws CancelledError
+  /// between events once the token fires. nullptr detaches.
+  void set_cancel_token(const CancelToken* token) {
+    sim_.set_cancel_token(token);
+  }
+
   /// Re-derives all rates and reschedules the next completion. Called
   /// automatically by spawn/kill/allocate and by phase completions; call
   /// manually after mutating task profiles or phases from outside.

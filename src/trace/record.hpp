@@ -40,9 +40,14 @@ enum class RecordKind : std::uint16_t {
   kInjectorFailure = 15,  ///< injector: subject=task, detail=mode
                           ///<           (0=killed), a=surviving injector
                           ///<           tasks, x=failure time
+  kRunCancelled = 16,     ///< driver: the run was cancelled cooperatively;
+                          ///<         detail=CancelReason, x=sim time at
+                          ///<         cancellation. Always the last record
+                          ///<         of a truncated trace, so partial
+                          ///<         captures are self-describing.
 };
 
-inline constexpr std::uint16_t kNumRecordKinds = 16;  ///< 1 + highest kind
+inline constexpr std::uint16_t kNumRecordKinds = 17;  ///< 1 + highest kind
 
 /// Short stable name for a kind; "unknown" for out-of-range values.
 std::string_view record_kind_name(RecordKind kind);

@@ -21,6 +21,7 @@ std::string_view record_kind_name(RecordKind kind) {
     case RecordKind::kAnomalyStop: return "anomaly_stop";
     case RecordKind::kSample: return "sample";
     case RecordKind::kInjectorFailure: return "injector_failure";
+    case RecordKind::kRunCancelled: return "run_cancelled";
   }
   return "unknown";
 }

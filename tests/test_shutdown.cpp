@@ -1,0 +1,80 @@
+// ShutdownController: signals delivered to the process must reach
+// subscribed callbacks (on a normal thread, not in signal context) and
+// the graceful/hard escalation must follow the two-signal contract.
+#include "common/shutdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using hpas::ShutdownController;
+
+bool wait_until(const std::function<bool()>& cond, double timeout_s = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+TEST(ShutdownController, SignalsReachSubscribersWithEscalation) {
+  auto& controller = ShutdownController::instance();
+  controller.install();
+  controller.install();  // idempotent
+  controller.reset_counts_for_tests();
+
+  std::atomic<int> last_count{0};
+  std::atomic<int> calls{0};
+  const auto id = controller.subscribe([&](int count) {
+    last_count.store(count);
+    calls.fetch_add(1);
+  });
+
+  EXPECT_FALSE(controller.requested());
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(wait_until([&] { return calls.load() >= 1; }));
+  EXPECT_EQ(last_count.load(), 1);
+  EXPECT_TRUE(controller.requested());
+  EXPECT_FALSE(controller.hard_requested());
+  EXPECT_EQ(controller.last_signal(), SIGTERM);
+
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  ASSERT_TRUE(wait_until([&] { return calls.load() >= 2; }));
+  EXPECT_EQ(last_count.load(), 2);
+  EXPECT_TRUE(controller.hard_requested());
+  EXPECT_EQ(controller.last_signal(), SIGINT);
+
+  controller.unsubscribe(id);
+  controller.reset_counts_for_tests();
+}
+
+TEST(ShutdownController, UnsubscribedCallbackIsNotInvoked) {
+  auto& controller = ShutdownController::instance();
+  controller.install();
+  controller.reset_counts_for_tests();
+
+  std::atomic<int> dead_calls{0};
+  std::atomic<int> live_calls{0};
+  const auto dead = controller.subscribe([&](int) { dead_calls.fetch_add(1); });
+  controller.unsubscribe(dead);
+  const auto live = controller.subscribe([&](int) { live_calls.fetch_add(1); });
+
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(wait_until([&] { return live_calls.load() >= 1; }));
+  EXPECT_EQ(dead_calls.load(), 0);
+
+  controller.unsubscribe(live);
+  controller.reset_counts_for_tests();
+}
+
+}  // namespace
