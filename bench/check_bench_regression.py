@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate BENCH_engine.json against the checked-in baseline.
+
+Compares the throughput metrics of a fresh microbench_engine run against
+bench/BENCH_engine_baseline.json and fails (exit 1) when any of them
+regressed by more than the allowed fraction (default 30%, per the CI
+bench-smoke job). Machine-independent contracts (zero allocations on the
+warm path, the >=3x incremental speedup) are enforced by the benchmark
+binary itself; this script only guards against throughput drift.
+
+Usage: check_bench_regression.py CURRENT.json [BASELINE.json] [--max-regression 0.30]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# (path into the JSON document, human label)
+METRICS = [
+    (("engine", "events_per_sec"), "engine events/sec"),
+    (("world", "incremental_events_per_sec"), "world incremental events/sec"),
+    (("world", "speedup"), "incremental vs full-recompute speedup"),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_regression = 0.30
+    for i, arg in enumerate(argv):
+        if arg == "--max-regression" and i + 1 < len(argv):
+            max_regression = float(argv[i + 1])
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path = Path(args[0])
+    baseline_path = (
+        Path(args[1])
+        if len(args) > 1
+        else Path(__file__).resolve().parent / "BENCH_engine_baseline.json"
+    )
+
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = 0
+    for path, label in METRICS:
+        cur = lookup(current, path)
+        base = lookup(baseline, path)
+        if cur is None or base is None:
+            print(f"FAIL  {label}: missing from "
+                  f"{'current' if cur is None else 'baseline'} file")
+            failures += 1
+            continue
+        floor = base * (1.0 - max_regression)
+        status = "ok  " if cur >= floor else "FAIL"
+        print(f"{status}  {label}: current {cur:.4g}, baseline {base:.4g} "
+              f"(floor {floor:.4g})")
+        if cur < floor:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} metric(s) regressed more than "
+              f"{max_regression:.0%} vs {baseline_path}", file=sys.stderr)
+        return 1
+    print("\nall metrics within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

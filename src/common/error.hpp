@@ -38,4 +38,12 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvariantError(msg);
 }
 
+/// Literal-message overload: the string (and its heap allocation) is only
+/// materialized on failure. The string overload above converts literal
+/// arguments eagerly, which put one allocation per require() on the
+/// event engine's schedule path -- hot enough to show up in sweeps.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvariantError(msg);
+}
+
 }  // namespace hpas

@@ -1,0 +1,124 @@
+// EventFn: a small-buffer-optimized, move-only `void()` callable.
+//
+// The event engine schedules millions of callbacks per sweep, and with
+// std::function every capture larger than the library's tiny SSO buffer
+// (16 bytes on libstdc++) costs one heap allocation at schedule time and
+// another when the priority queue copies the event out on pop. The
+// captures actually used by the simulator are small but not *that*
+// small -- World's completion closure is one pointer, the monitoring
+// closure a pointer plus a double, and the injector-failure closure a
+// vector plus a count (~40 bytes) -- so a 48-byte inline buffer covers
+// every scheduling site in the tree without any allocation. Larger
+// callables still work; they fall back to a single heap cell.
+//
+// Move-only on purpose: the engine never copies events (the old engine
+// copied the std::function out of priority_queue::top() on every pop),
+// and captured state such as cancellation bookkeeping must not be
+// duplicated silently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hpas::sim {
+
+class EventFn {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT: implicit like std::function
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT: implicit like std::function
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const EventFn& fn, std::nullptr_t) noexcept {
+    return fn.ops_ == nullptr;
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    /// Move-constructs the callable from `from` into `to` and destroys
+    /// the source (a destructive move, which lets the inline case be a
+    /// plain move + destroy and the heap case a pointer copy).
+    void (*relocate)(unsigned char* from, unsigned char* to) /*noexcept*/;
+    void (*destroy)(unsigned char* storage);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](unsigned char* from, unsigned char* to) {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (static_cast<void*>(to)) D(std::move(*src));
+        src->~D();
+      },
+      [](unsigned char* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* s) { (**reinterpret_cast<D**>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        *reinterpret_cast<D**>(to) = *reinterpret_cast<D**>(from);
+      },
+      [](unsigned char* s) { delete *reinterpret_cast<D**>(s); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hpas::sim

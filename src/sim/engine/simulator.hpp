@@ -6,14 +6,25 @@
 // samples. The engine below is a classic time-ordered event queue with
 // deterministic FIFO tie-breaking (same timestamp => insertion order), so
 // every simulation is bit-reproducible.
+//
+// Internals are built for the sweep hot path:
+//   * events live in a binary heap over a plain vector, and callbacks are
+//     EventFn (48-byte small-buffer closures), so the common schedule /
+//     fire cycle performs no heap allocation and no callable copies;
+//   * cancellation is O(1) through a generation-checked slot map (the old
+//     engine kept a cancelled-id blacklist scanned linearly on every
+//     pop); cancelled events stay queued as tombstones and are skipped
+//     when popped, exactly like before;
+//   * tombstones are compacted out of the heap only when they outnumber
+//     live events past a high threshold, so short runs -- everything the
+//     golden traces pin down -- never observe a compaction.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "sim/engine/event_fn.hpp"
 
 namespace hpas::trace {
 class Tracer;
@@ -22,7 +33,9 @@ class Tracer;
 namespace hpas::sim {
 
 /// Handle used to cancel a scheduled event. Cancellation is lazy: the
-/// event stays queued but is skipped when popped.
+/// event stays queued but is skipped when popped. The (slot, generation)
+/// pair makes cancel O(1) and immune to slot reuse: a handle to an event
+/// that already fired simply misses its generation.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -30,8 +43,11 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  EventHandle(std::uint64_t id, std::uint32_t slot, std::uint32_t gen)
+      : id_(id), slot_(slot), gen_(gen) {}
   std::uint64_t id_ = 0;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
@@ -39,10 +55,10 @@ class Simulator {
   double now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()).
-  EventHandle schedule_at(double t, std::function<void()> fn);
+  EventHandle schedule_at(double t, EventFn fn);
 
   /// Schedules `fn` after `dt` seconds (must be >= 0).
-  EventHandle schedule_in(double dt, std::function<void()> fn);
+  EventHandle schedule_in(double dt, EventFn fn);
 
   /// Cancels a pending event; cancelling an already-fired or invalid
   /// handle is a no-op.
@@ -62,7 +78,13 @@ class Simulator {
   /// Runs until the queue drains.
   void run();
 
-  std::size_t pending_events() const;
+  /// Number of *live* pending events. Cancelled tombstones still queued
+  /// are not counted (they are bookkeeping, not work).
+  std::size_t pending_events() const { return live_; }
+
+  /// Cancelled events still physically in the queue; exposed so stress
+  /// tests can assert compaction keeps this bounded.
+  std::size_t queued_tombstones() const { return tombstones_; }
 
   /// Attaches a structured tracer (nullptr detaches). Every schedule /
   /// fire / cancel then emits a record; the engine also keeps the
@@ -84,7 +106,8 @@ class Simulator {
     double time;
     std::uint64_t seq;  ///< tie-break: FIFO among equal timestamps
     std::uint64_t id;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -92,17 +115,31 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
+  struct Slot {
+    std::uint32_t gen = 0;
+    SlotState state = SlotState::kFree;
+  };
+
+  /// Pops the earliest event out of the heap (moves the callable).
+  Event take_top();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Rebuilds the heap without its tombstones once they dominate; (time,
+  /// seq) is a strict total order, so the surviving fire order is
+  /// unchanged.
+  void maybe_compact();
 
   double now_ = 0.0;
   trace::Tracer* tracer_ = nullptr;
   const CancelToken* cancel_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted-on-demand id blacklist
-  std::size_t cancelled_dirty_ = 0;
-
-  bool is_cancelled(std::uint64_t id);
+  std::vector<Event> heap_;  ///< binary heap ordered by Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace hpas::sim

@@ -25,4 +25,32 @@ std::vector<double> max_min_allocate_weighted(double capacity,
                                               std::span<const double> demands,
                                               std::span<const double> weights);
 
+/// Reusable workspace for the allocation-free variant below. Holding one
+/// of these per caller (Node, Filesystem) keeps the per-event rate
+/// recompute free of heap allocation.
+struct MaxMinScratch {
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> next;
+};
+
+/// Unweighted water-filling into a caller-provided output span (resized
+/// state must already be demands.size(); contents are overwritten). The
+/// arithmetic — including the order of every sum and subtraction — is
+/// bit-identical to max_min_allocate: weights of 1.0 multiply exactly and
+/// a sequential sum of 1.0s is the exact consumer count.
+void max_min_allocate_into(double capacity, std::span<const double> demands,
+                           std::span<double> alloc, MaxMinScratch& scratch);
+
+/// O(n log n) single-pass solver: sorts consumers by demand/weight and
+/// freezes them in that order, raising the water level as each one
+/// saturates below it. Produces the same allocation as
+/// max_min_allocate_weighted up to floating-point reassociation (the
+/// freeze-round solver subtracts frozen demands in index order, this one
+/// in sorted order), so results agree to ~1e-12 relative — see the
+/// property tests. The round-based solver stays the default in the rate
+/// models because the golden traces pin its exact bit pattern.
+std::vector<double> max_min_allocate_weighted_sorted(
+    double capacity, std::span<const double> demands,
+    std::span<const double> weights);
+
 }  // namespace hpas::sim

@@ -149,32 +149,35 @@ const std::vector<int>& Network::path(int src_node, int dst_node) const {
                 static_cast<std::size_t>(dst_node)];
 }
 
-void Network::compute_rates(std::vector<Flow>& flows) const {
+void Network::compute_rates(std::vector<Flow>& flows) {
   constexpr double kLoopbackRate = 1.0e12;  // intra-node copies: ~free
   // Directed link resources: trunk t, direction a->b is 2t, b->a is 2t+1.
   const std::size_t num_links = topo_.trunks.size() * 2;
-  std::vector<double> residual(num_links);
+  residual_.resize(num_links);
   for (std::size_t t = 0; t < topo_.trunks.size(); ++t) {
-    residual[2 * t] = topo_.trunks[t].capacity;
-    residual[2 * t + 1] = topo_.trunks[t].capacity;
+    residual_[2 * t] = topo_.trunks[t].capacity;
+    residual_[2 * t + 1] = topo_.trunks[t].capacity;
   }
 
-  // Expand each flow's path into directed link ids.
-  std::vector<std::vector<std::size_t>> flow_links(flows.size());
-  std::vector<bool> frozen(flows.size(), false);
+  // Expand each flow's path into directed link ids. The outer scratch
+  // vector only grows; the inner vectors keep their capacity across
+  // calls, so steady-state recomputes allocate nothing.
+  if (flow_links_.size() < flows.size()) flow_links_.resize(flows.size());
+  frozen_.assign(flows.size(), 0);
   for (std::size_t f = 0; f < flows.size(); ++f) {
     Flow& flow = flows[f];
+    flow_links_[f].clear();
     if (flow.src == flow.dst) {
       flow.rate = kLoopbackRate;
-      frozen[f] = true;
+      frozen_[f] = 1;
       continue;
     }
     int at = flow.src;
     for (const int t : path(flow.src, flow.dst)) {
       const Trunk& trunk = topo_.trunks[static_cast<std::size_t>(t)];
       const bool forward = (trunk.a == at);
-      flow_links[f].push_back(2 * static_cast<std::size_t>(t) +
-                              (forward ? 0 : 1));
+      flow_links_[f].push_back(2 * static_cast<std::size_t>(t) +
+                               (forward ? 0 : 1));
       at = forward ? trunk.b : trunk.a;
     }
   }
@@ -184,14 +187,14 @@ void Network::compute_rates(std::vector<Flow>& flows) const {
   while (true) {
     double bottleneck_share = std::numeric_limits<double>::infinity();
     std::size_t bottleneck_link = num_links;
-    std::vector<int> active_on_link(num_links, 0);
+    active_on_link_.assign(num_links, 0);
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      if (frozen[f]) continue;
-      for (const std::size_t l : flow_links[f]) ++active_on_link[l];
+      if (frozen_[f]) continue;
+      for (const std::size_t l : flow_links_[f]) ++active_on_link_[l];
     }
     for (std::size_t l = 0; l < num_links; ++l) {
-      if (active_on_link[l] == 0) continue;
-      const double share = residual[l] / active_on_link[l];
+      if (active_on_link_[l] == 0) continue;
+      const double share = residual_[l] / active_on_link_[l];
       if (share < bottleneck_share) {
         bottleneck_share = share;
         bottleneck_link = l;
@@ -200,14 +203,14 @@ void Network::compute_rates(std::vector<Flow>& flows) const {
     if (bottleneck_link == num_links) break;  // no active flows left
 
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      if (frozen[f]) continue;
-      if (std::find(flow_links[f].begin(), flow_links[f].end(),
-                    bottleneck_link) == flow_links[f].end())
+      if (frozen_[f]) continue;
+      if (std::find(flow_links_[f].begin(), flow_links_[f].end(),
+                    bottleneck_link) == flow_links_[f].end())
         continue;
       flows[f].rate = bottleneck_share;
-      frozen[f] = true;
-      for (const std::size_t l : flow_links[f])
-        residual[l] = std::max(0.0, residual[l] - bottleneck_share);
+      frozen_[f] = 1;
+      for (const std::size_t l : flow_links_[f])
+        residual_[l] = std::max(0.0, residual_[l] - bottleneck_share);
     }
   }
 

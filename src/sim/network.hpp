@@ -75,8 +75,9 @@ class Network {
 
   /// Assigns max-min fair rates to `flows` and installs each rate as the
   /// owning task's progress rate. Flows between a node and itself get an
-  /// effectively unbounded (loopback) rate.
-  void compute_rates(std::vector<Flow>& flows) const;
+  /// effectively unbounded (loopback) rate. Allocation-free once warm:
+  /// working state lives in reusable scratch buffers.
+  void compute_rates(std::vector<Flow>& flows);
 
   /// The precomputed shortest path (sequence of trunk indices) between
   /// two compute nodes; exposed for tests.
@@ -88,6 +89,12 @@ class Network {
   Topology topo_;
   // paths_[src * num_nodes + dst] = trunk indices along the route.
   std::vector<std::vector<int>> paths_;
+
+  // Progressive-filling scratch, reused across compute_rates calls.
+  std::vector<double> residual_;
+  std::vector<std::vector<std::size_t>> flow_links_;
+  std::vector<char> frozen_;
+  std::vector<int> active_on_link_;
 };
 
 }  // namespace hpas::sim

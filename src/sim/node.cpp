@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/error.hpp"
 #include "sim/maxmin.hpp"
@@ -46,19 +45,31 @@ bool Node::adjust_memory(double delta_bytes) {
   return true;
 }
 
-void Node::compute_rates(const std::vector<Task*>& tasks) const {
+void Node::compute_rates(const std::vector<Task*>& tasks) {
   // --- Gather this node's CPU-consuming tasks. -------------------------
-  std::vector<Task*> mine;
+  mine_.clear();
   for (Task* task : tasks) {
-    if (task->node() == id_ && consumes_cpu(*task)) mine.push_back(task);
+    if (task->node() == id_ && consumes_cpu(*task)) mine_.push_back(task);
   }
+  const std::vector<Task*>& mine = mine_;
+
+  // Per-core scratch, indexed by logical core id. Cores are validated at
+  // spawn, but tests call this directly with hand-built tasks, so grow on
+  // demand rather than trusting core < config_.cores.
+  std::size_t max_core = static_cast<std::size_t>(config_.cores);
+  for (const Task* task : mine) {
+    max_core = std::max(max_core, static_cast<std::size_t>(task->core()) + 1);
+  }
+  core_demand_.assign(max_core, 0.0);
+  ws_l1_core_.assign(max_core, 0.0);
+  ws_l2_core_.assign(max_core, 0.0);
 
   // --- 1. Per-core proportional CPU shares. ----------------------------
-  std::map<int, double> core_demand;
   for (const Task* task : mine)
-    core_demand[task->core()] += task->profile().cpu_demand;
+    core_demand_[static_cast<std::size_t>(task->core())] +=
+        task->profile().cpu_demand;
   auto cpu_share = [&](const Task& task) {
-    const double total = core_demand[task.core()];
+    const double total = core_demand_[static_cast<std::size_t>(task.core())];
     const double d = task.profile().cpu_demand;
     if (total <= 1.0) return d;
     // Oversubscribed: the core delivers up to smt_aggregate_throughput
@@ -70,13 +81,13 @@ void Node::compute_rates(const std::vector<Task*>& tasks) const {
   // --- 2. Cache pressure per level. -------------------------------------
   // Private levels (L1/L2): sum of working sets of cache-occupying tasks
   // sharing the core. Shared level (L3): node-wide sum.
-  std::map<int, double> ws_l1_by_core, ws_l2_by_core;
   double ws_l3_total = 0.0;
   for (const Task* task : mine) {
     if (!occupies_cache(*task)) continue;
     const double ws = task->profile().working_set_bytes;
-    ws_l1_by_core[task->core()] += std::min(ws, config_.l1_bytes);
-    ws_l2_by_core[task->core()] += std::min(ws, config_.l2_bytes);
+    const auto core = static_cast<std::size_t>(task->core());
+    ws_l1_core_[core] += std::min(ws, config_.l1_bytes);
+    ws_l2_core_[core] += std::min(ws, config_.l2_bytes);
     ws_l3_total += std::min(ws, config_.l3_bytes);
   }
   auto residency = [](double capacity, double total_ws) {
@@ -90,16 +101,17 @@ void Node::compute_rates(const std::vector<Task*>& tasks) const {
   // of the level above (on top of its own residency-driven miss-ratio
   // change). This is what lets an L1/L2-sized cachecopy raise a
   // victim's L3 MPKI (paper Fig. 3).
-  std::vector<double> mpki1(mine.size()), mpki2(mine.size()),
-      mpki3(mine.size());
+  mpki1_.assign(mine.size(), 0.0);
+  mpki2_.assign(mine.size(), 0.0);
+  mpki3_.assign(mine.size(), 0.0);
+  std::vector<double>&mpki1 = mpki1_, &mpki2 = mpki2_, &mpki3 = mpki3_;
   for (std::size_t i = 0; i < mine.size(); ++i) {
     const Task& task = *mine[i];
     const TaskProfile& p = task.profile();
     if (task.phase().kind == PhaseKind::kStream) continue;
-    const double res1 =
-        residency(config_.l1_bytes, ws_l1_by_core[task.core()]);
-    const double res2 =
-        residency(config_.l2_bytes, ws_l2_by_core[task.core()]);
+    const auto core = static_cast<std::size_t>(task.core());
+    const double res1 = residency(config_.l1_bytes, ws_l1_core_[core]);
+    const double res2 = residency(config_.l2_bytes, ws_l2_core_[core]);
     const double res3 = residency(config_.l3_bytes, ws_l3_total);
     const double m1 = interpolate_mpki(p.m1_base, p.m1_max, res1);
     const double m1_scale = p.m1_base > 0.0 ? m1 / p.m1_base : 1.0;
@@ -144,8 +156,10 @@ void Node::compute_rates(const std::vector<Task*>& tasks) const {
       (1.0 + config_.mem_congestion_coeff * rho * rho * rho);
 
   // --- 3c. Final instruction rates and DRAM demands (congested). -------
-  std::vector<double> mem_demand(mine.size(), 0.0);
-  std::vector<double> cpu_rate(mine.size(), 0.0);  // work-units/s pre-BW
+  mem_demand_.assign(mine.size(), 0.0);
+  cpu_rate_.assign(mine.size(), 0.0);
+  std::vector<double>& mem_demand = mem_demand_;
+  std::vector<double>& cpu_rate = cpu_rate_;  // work-units/s pre-BW
   for (std::size_t i = 0; i < mine.size(); ++i) {
     Task& task = *mine[i];
     const TaskProfile& p = task.profile();
@@ -176,8 +190,10 @@ void Node::compute_rates(const std::vector<Task*>& tasks) const {
   }
 
   // --- 4. Max-min fair DRAM bandwidth; throttle under-allocated tasks. --
-  const std::vector<double> alloc =
-      max_min_allocate(config_.mem_bw_peak, mem_demand);
+  bw_alloc_.resize(mine.size());
+  max_min_allocate_into(config_.mem_bw_peak, mem_demand, bw_alloc_,
+                        mm_scratch_);
+  const std::vector<double>& alloc = bw_alloc_;
   for (std::size_t i = 0; i < mine.size(); ++i) {
     Task& task = *mine[i];
     TaskRates& r = task.rates();

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/maxmin.hpp"
 #include "sim/task.hpp"
 
 namespace hpas::sim {
@@ -97,8 +98,11 @@ class Node {
 
   /// Computes and installs TaskRates for every task in `tasks` that is
   /// resident on this node and in a compute/stream/sleep phase. Message
-  /// and I/O phases are rated by the network/storage models.
-  void compute_rates(const std::vector<Task*>& tasks) const;
+  /// and I/O phases are rated by the network/storage models. Tasks on
+  /// other nodes are ignored, so callers may pass either the full task
+  /// set or a pre-filtered resident list. Allocation-free: all working
+  /// state lives in per-node scratch buffers.
+  void compute_rates(const std::vector<Task*>& tasks);
 
   /// Instantaneous total CPU utilization [0,1] across the node's cores
   /// given currently cached task rates (used by scheduler policies).
@@ -111,6 +115,14 @@ class Node {
   NodeConfig config_;
   NodeCounters counters_;
   double memory_used_ = 0.0;
+
+  // Rate-solver scratch, reused across compute_rates calls so the
+  // per-event hot path performs no heap allocation once warm.
+  std::vector<Task*> mine_;
+  std::vector<double> core_demand_, ws_l1_core_, ws_l2_core_;
+  std::vector<double> mpki1_, mpki2_, mpki3_;
+  std::vector<double> mem_demand_, cpu_rate_, bw_alloc_;
+  MaxMinScratch mm_scratch_;
 };
 
 }  // namespace hpas::sim

@@ -15,13 +15,14 @@ Filesystem::Filesystem(FsConfig config) : config_(config) {
           "Filesystem: metadata disk cost must be >= 0");
 }
 
-void Filesystem::compute_rates(const std::vector<Task*>& tasks) const {
+void Filesystem::compute_rates(const std::vector<Task*>& tasks) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  std::vector<Task*> io_tasks;
+  io_tasks_.clear();
   for (Task* task : tasks) {
-    if (task->phase().kind == PhaseKind::kIo) io_tasks.push_back(task);
+    if (task->phase().kind == PhaseKind::kIo) io_tasks_.push_back(task);
   }
+  const std::vector<Task*>& io_tasks = io_tasks_;
   if (io_tasks.empty()) return;
 
   // --- 1. Metadata service: equal shares among greedy metadata clients.
@@ -37,7 +38,8 @@ void Filesystem::compute_rates(const std::vector<Task*>& tasks) const {
   // --- 2. Disk time (capacity: 1 second of service per second).
   // Readers/writers are greedy; metadata clients demand only what their
   // MDS share can generate (zero when the MDS is dedicated hardware).
-  std::vector<double> disk_demand(io_tasks.size(), 0.0);
+  disk_demand_.assign(io_tasks.size(), 0.0);
+  std::vector<double>& disk_demand = disk_demand_;
   for (std::size_t i = 0; i < io_tasks.size(); ++i) {
     switch (io_tasks[i]->phase().io_kind) {
       case IoKind::kRead:
@@ -56,7 +58,9 @@ void Filesystem::compute_rates(const std::vector<Task*>& tasks) const {
   for (double& d : disk_demand) {
     if (d == kInf) d = 1.0e6;
   }
-  const std::vector<double> disk_alloc = max_min_allocate(1.0, disk_demand);
+  disk_alloc_.resize(io_tasks.size());
+  max_min_allocate_into(1.0, disk_demand, disk_alloc_, mm_scratch_);
+  const std::vector<double>& disk_alloc = disk_alloc_;
 
   // --- 3. Convert disk-time allocations into progress rates.
   for (std::size_t i = 0; i < io_tasks.size(); ++i) {

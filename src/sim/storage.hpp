@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "sim/maxmin.hpp"
 #include "sim/task.hpp"
 
 namespace hpas::sim {
@@ -47,11 +48,17 @@ class Filesystem {
 
   /// Assigns progress rates to every task currently in a kIo phase.
   /// Rates: bytes/s for read/write, operations/s for metadata.
-  void compute_rates(const std::vector<Task*>& tasks) const;
+  /// Allocation-free once warm (reusable scratch buffers).
+  void compute_rates(const std::vector<Task*>& tasks);
 
  private:
   FsConfig config_;
   FsCounters counters_;
+
+  // Disk-time solver scratch, reused across compute_rates calls.
+  std::vector<Task*> io_tasks_;
+  std::vector<double> disk_demand_, disk_alloc_;
+  MaxMinScratch mm_scratch_;
 };
 
 }  // namespace hpas::sim

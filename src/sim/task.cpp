@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "sim/world.hpp"
 #include "trace/tracer.hpp"
 
 namespace hpas::sim {
@@ -19,12 +20,22 @@ Task::Task(std::string name, int node, int core, TaskProfile profile,
           "Task: cpu_demand must be in (0,1]");
 }
 
+TaskProfile& Task::mutable_profile() {
+  if (world_ != nullptr) world_->on_task_profile_mutation(*this);
+  return profile_;
+}
+
 void Task::set_phase(const Phase& phase) {
+  // Settle deferred counter integration for the domains this transition
+  // touches *before* the phase (and thus domain membership and rates)
+  // changes, and mark them dirty for the next rate recompute.
+  if (world_ != nullptr) world_->on_task_phase_change(*this, phase);
   phase_ = phase;
   remaining_ = phase.work;
   latency_left_ =
       (phase.kind == PhaseKind::kMessage) ? profile_.msg_latency_s : 0.0;
   rates_ = TaskRates{};
+  if (world_ != nullptr) world_->on_task_phase_installed(*this);
   if (tracer_) {
     // a: peer node for messages, io kind for I/O, 0 otherwise.
     std::uint64_t a = 0;
@@ -49,19 +60,8 @@ double Task::completion_tolerance() const {
 bool Task::advance(double dt) {
   if (phase_.kind == PhaseKind::kDone || phase_.kind == PhaseKind::kIdle)
     return false;
-  // Message startup latency elapses before bytes flow.
-  if (latency_left_ > 0.0) {
-    const double lat = std::min(latency_left_, dt);
-    latency_left_ -= lat;
-    dt -= lat;
-    if (dt <= 0.0) return remaining_ <= 0.0 && latency_left_ <= 1e-15;
-  }
-  remaining_ -= rates_.progress * dt;
-  if (remaining_ <= completion_tolerance()) {
-    remaining_ = 0.0;
-    return true;
-  }
-  return false;
+  return advance_step(dt, rates_.progress, completion_tolerance(), remaining_,
+                      latency_left_);
 }
 
 double Task::eta() const {

@@ -20,6 +20,7 @@
 // anomaly injectors) are state machines in src/apps and src/simanom.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -31,6 +32,7 @@ class Tracer;
 namespace hpas::sim {
 
 class Task;
+class World;
 
 enum class PhaseKind { kIdle, kCompute, kStream, kMessage, kIo, kSleep, kDone };
 
@@ -119,7 +121,11 @@ class Task {
   int node() const { return node_; }
   int core() const { return core_; }
   const TaskProfile& profile() const { return profile_; }
-  TaskProfile& mutable_profile() { return profile_; }
+  /// Mutable access to the profile. When the task is owned by a World,
+  /// this first settles the task's deferred counter integration and marks
+  /// its resource domains dirty, so the mutation cannot be applied
+  /// retroactively to already-elapsed simulated time.
+  TaskProfile& mutable_profile();
 
   const Phase& phase() const { return phase_; }
   double remaining() const { return remaining_; }
@@ -140,6 +146,29 @@ class Task {
   /// Advances the current phase by dt at the cached rates. Returns true
   /// if the phase just completed.
   bool advance(double dt);
+
+  /// The single source of truth for phase-progress arithmetic, shared by
+  /// advance() and the World's deferred counter integration. Replaying
+  /// the same (dt, progress) sequence through this function reproduces
+  /// the remaining/latency trajectory bit-for-bit, which is what makes
+  /// lazy counter integration exact. Returns true when the phase is
+  /// complete after the step.
+  static bool advance_step(double dt, double progress, double tolerance,
+                           double& remaining, double& latency_left) {
+    // Message startup latency elapses before bytes flow.
+    if (latency_left > 0.0) {
+      const double lat = std::min(latency_left, dt);
+      latency_left -= lat;
+      dt -= lat;
+      if (dt <= 0.0) return remaining <= 0.0 && latency_left <= 1e-15;
+    }
+    remaining -= progress * dt;
+    if (remaining <= tolerance) {
+      remaining = 0.0;
+      return true;
+    }
+    return false;
+  }
 
   TaskRates& rates() { return rates_; }
   const TaskRates& rates() const { return rates_; }
@@ -165,7 +194,20 @@ class Task {
   }
   std::uint32_t trace_id() const { return trace_id_; }
 
+  /// Wires the task to its owning World. A wired task notifies the World
+  /// around phase changes and profile mutations, which is how the
+  /// incremental engine tracks dirty resource domains and settles lazy
+  /// counter integration at exactly the right boundaries. Null (the
+  /// default, for standalone model tests) disables the hooks.
+  void set_world(World* world) { world_ = world; }
+
+  /// True once World::kill_task removed the task from the live set; lets
+  /// the completion loop skip corpses in O(1).
+  bool killed() const { return killed_; }
+
  private:
+  friend class World;
+
   /// Work-relative slack under which a phase counts as finished.
   double completion_tolerance() const;
 
@@ -182,6 +224,15 @@ class Task {
   TaskCounters counters_;
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_id_ = 0;
+  World* world_ = nullptr;
+  bool killed_ = false;
+
+  // Deferred-integration shadow of (remaining_, latency_left_): the
+  // trajectory as of this task's counter domain cursor. The World replays
+  // logged time chunks through advance_step to move these forward,
+  // reproducing the eagerly-advanced values bit-for-bit.
+  double sync_remaining_ = 0.0;
+  double sync_latency_ = 0.0;
 };
 
 }  // namespace hpas::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "common/error.hpp"
@@ -10,6 +11,21 @@
 #include "trace/tracer.hpp"
 
 namespace hpas::sim {
+namespace {
+
+/// Deferred-integration chunk log bound. When an update would push the
+/// log past this, every domain is settled first and the log truncated, so
+/// memory stays O(1) in simulated time. The bound only affects *when*
+/// replay happens, never its arithmetic.
+constexpr std::size_t kMaxChunkLog = 1024;
+
+bool env_full_recompute() {
+  const char* env = std::getenv("HPAS_FULL_RECOMPUTE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
 
 World::World(NodeConfig node_config, Topology topology, FsConfig fs_config)
     : network_(std::move(topology)), fs_(fs_config) {
@@ -17,6 +33,11 @@ World::World(NodeConfig node_config, Topology topology, FsConfig fs_config)
   nodes_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     nodes_.push_back(std::make_unique<Node>(i, node_config));
+  node_tasks_.resize(static_cast<std::size_t>(n));
+  node_dirty_.assign(static_cast<std::size_t>(n), 0);
+  node_cursor_.assign(static_cast<std::size_t>(n), 0);
+  node_active_.assign(static_cast<std::size_t>(n), 0);
+  full_recompute_ = env_full_recompute();
   oom_ = [](World& world, Task& requester) {
     log_warn("sim: OOM on node ", requester.node(), "; killing '",
              requester.name(), "'");
@@ -45,6 +66,7 @@ Task* World::spawn_task(const std::string& name, int node_id, int core,
                                      std::move(next_phase));
   const std::uint32_t trace_id = next_trace_id_++;
   task->set_tracing(tracer_, trace_id);
+  task->set_world(this);
   if (tracer_) {
     tracer_->set_label(trace_id, name);
     tracer_->emit(trace::RecordKind::kTaskSpawn, trace_id,
@@ -55,7 +77,8 @@ Task* World::spawn_task(const std::string& name, int node_id, int core,
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
   task_ptrs_.push_back(raw);
-  update();
+  node_tasks_[static_cast<std::size_t>(node_id)].push_back(raw);
+  update_event();
   return raw;
 }
 
@@ -70,10 +93,19 @@ void World::kill_task(Task* task) {
     node(task->node()).adjust_memory(-task->allocated_bytes());
     task->set_allocated_bytes(0.0);
   }
+  // set_phase(done) settles the victim's counter domain through the
+  // chunk log; the not-yet-logged interval since the last update is
+  // deliberately dropped for the victim (a killed task accrues nothing
+  // for the partial interval it died in -- the original eager loop had
+  // the same semantics because the erase happened before its update).
   task->set_phase(Phase::done());
+  task->killed_ = true;
   task_ptrs_.erase(std::remove(task_ptrs_.begin(), task_ptrs_.end(), task),
                    task_ptrs_.end());
-  if (!in_update_) update();
+  auto& residents = node_tasks_[static_cast<std::size_t>(task->node())];
+  residents.erase(std::remove(residents.begin(), residents.end(), task),
+                  residents.end());
+  if (!in_update_) update_event();
 }
 
 bool World::allocate_memory(Task* task, double delta_bytes) {
@@ -97,62 +129,248 @@ bool World::allocate_memory(Task* task, double delta_bytes) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Deferred counter integration.
+//
+// advance_tasks() moves every active task's remaining-work eagerly (the
+// completion scan needs it each event) but only *logs* the dt chunk; the
+// counter arithmetic below runs later, when a domain is next observed.
+// Replay walks chunks outermost and a domain's members innermost, in
+// task_ptrs_ order -- the exact fold order the eager loop used for every
+// shared accumulator -- and advances each task's shadow
+// (sync_remaining_, sync_latency_) through the same advance_step calls,
+// so progressed/eff_dt and every += reproduce bit-for-bit.
+//
+// The invariant that makes membership-by-current-phase exact: any phase
+// change (and any profile mutation or rate reinstall) settles the domains
+// it touches *first*, so within a domain's pending replay range no
+// member's phase, profile, or rates ever changed.
+// ---------------------------------------------------------------------------
+
+void World::apply_counter_chunk(Task& task, double dt) {
+  const double before = task.sync_remaining_;
+  const TaskRates rates = task.rates_;
+  Task::advance_step(dt, rates.progress, task.completion_tolerance(),
+                     task.sync_remaining_, task.sync_latency_);
+  const double progressed = before - task.sync_remaining_;
+  const double eff_dt =
+      rates.progress > 0.0 ? progressed / rates.progress : 0.0;
+
+  NodeCounters& c = nodes_[static_cast<std::size_t>(task.node_)]->counters();
+  TaskCounters& t = task.counters_;
+  switch (task.phase_.kind) {
+    case PhaseKind::kCompute:
+    case PhaseKind::kStream: {
+      if (task.profile_.account_user) {
+        c.cpu_user_seconds += rates.cpu_share * dt;
+      } else {
+        c.cpu_sys_seconds += rates.cpu_share * dt;
+      }
+      c.instructions += rates.instr_rate * eff_dt;
+      c.l1_misses += rates.l1_miss_rate * eff_dt;
+      c.l2_misses += rates.l2_miss_rate * eff_dt;
+      c.l3_misses += rates.l3_miss_rate * eff_dt;
+      c.dram_bytes += rates.dram_rate * eff_dt;
+      t.cpu_seconds += rates.cpu_share * dt;
+      t.instructions += rates.instr_rate * eff_dt;
+      t.l2_misses += rates.l2_miss_rate * eff_dt;
+      t.l3_misses += rates.l3_miss_rate * eff_dt;
+      t.dram_bytes += rates.dram_rate * eff_dt;
+      break;
+    }
+    case PhaseKind::kMessage: {
+      c.nic_tx_bytes += progressed;
+      t.bytes_sent += progressed;
+      if (task.phase_.peer_node >= 0) {
+        nodes_[static_cast<std::size_t>(task.phase_.peer_node)]
+            ->counters()
+            .nic_rx_bytes += progressed;
+      }
+      break;
+    }
+    case PhaseKind::kIo: {
+      FsCounters& f = fs_.counters();
+      t.io_work += progressed;
+      switch (task.phase_.io_kind) {
+        case IoKind::kMetadata: f.metadata_ops += progressed; break;
+        case IoKind::kRead: f.bytes_read += progressed; break;
+        case IoKind::kWrite: f.bytes_written += progressed; break;
+      }
+      break;
+    }
+    default:
+      break;  // kSleep advances the shadow but writes no counters
+  }
+}
+
+void World::sync_node_domain(int id) {
+  const auto uid = static_cast<std::size_t>(id);
+  std::uint32_t& cursor = node_cursor_[uid];
+  const auto end = static_cast<std::uint32_t>(chunk_dt_.size());
+  if (cursor == end) return;
+  if (node_active_[uid] == 0) {
+    // No compute/stream/sleep resident since the last settle (every
+    // membership change settles first), so the range is a no-op.
+    cursor = end;
+    return;
+  }
+  const std::vector<Task*>& residents = node_tasks_[uid];
+  for (std::uint32_t k = cursor; k < end; ++k) {
+    const double dt = chunk_dt_[k];
+    for (Task* task : residents) {
+      const PhaseKind kind = task->phase_.kind;
+      if (kind == PhaseKind::kCompute || kind == PhaseKind::kStream ||
+          kind == PhaseKind::kSleep) {
+        apply_counter_chunk(*task, dt);
+      }
+    }
+  }
+  cursor = end;
+}
+
+void World::sync_network_domain() {
+  const auto end = static_cast<std::uint32_t>(chunk_dt_.size());
+  if (net_cursor_ == end) return;
+  if (message_tasks_ == 0) {
+    net_cursor_ = end;
+    return;
+  }
+  for (std::uint32_t k = net_cursor_; k < end; ++k) {
+    const double dt = chunk_dt_[k];
+    for (Task* task : task_ptrs_) {
+      if (task->phase_.kind == PhaseKind::kMessage)
+        apply_counter_chunk(*task, dt);
+    }
+  }
+  net_cursor_ = end;
+}
+
+void World::sync_fs_domain() {
+  const auto end = static_cast<std::uint32_t>(chunk_dt_.size());
+  if (fs_cursor_ == end) return;
+  if (io_tasks_ == 0) {
+    fs_cursor_ = end;
+    return;
+  }
+  for (std::uint32_t k = fs_cursor_; k < end; ++k) {
+    const double dt = chunk_dt_[k];
+    for (Task* task : task_ptrs_) {
+      if (task->phase_.kind == PhaseKind::kIo) apply_counter_chunk(*task, dt);
+    }
+  }
+  fs_cursor_ = end;
+}
+
+void World::sync_all_domains() {
+  if (!chunk_dt_.empty()) {
+    for (int i = 0; i < num_nodes(); ++i) sync_node_domain(i);
+    sync_network_domain();
+    sync_fs_domain();
+  }
+  chunk_dt_.clear();
+  std::fill(node_cursor_.begin(), node_cursor_.end(), 0u);
+  net_cursor_ = 0;
+  fs_cursor_ = 0;
+}
+
+void World::sync_domain_of(PhaseKind kind, int node_id) {
+  switch (kind) {
+    case PhaseKind::kCompute:
+    case PhaseKind::kStream:
+    case PhaseKind::kSleep:
+      sync_node_domain(node_id);
+      break;
+    case PhaseKind::kMessage:
+      sync_network_domain();
+      break;
+    case PhaseKind::kIo:
+      sync_fs_domain();
+      break;
+    default:
+      break;  // idle/done belong to no counter domain
+  }
+}
+
+void World::note_domain_entry(PhaseKind kind, int node_id, int delta) {
+  switch (kind) {
+    case PhaseKind::kCompute:
+    case PhaseKind::kStream:
+    case PhaseKind::kSleep:
+      node_active_[static_cast<std::size_t>(node_id)] += delta;
+      break;
+    case PhaseKind::kMessage:
+      message_tasks_ += delta;
+      break;
+    case PhaseKind::kIo:
+      io_tasks_ += delta;
+      break;
+    default:
+      break;
+  }
+}
+
+void World::mark_node_dirty(int id) {
+  if (node_dirty_[static_cast<std::size_t>(id)]) return;
+  node_dirty_[static_cast<std::size_t>(id)] = 1;
+  dirty_nodes_.push_back(id);
+}
+
+void World::mark_all_dirty() {
+  for (int i = 0; i < num_nodes(); ++i) mark_node_dirty(i);
+  net_dirty_ = true;
+  fs_dirty_ = true;
+}
+
+void World::on_task_phase_change(Task& task, const Phase& next) {
+  const PhaseKind old_kind = task.phase_.kind;
+  sync_domain_of(old_kind, task.node_);
+  sync_domain_of(next.kind, task.node_);
+  note_domain_entry(old_kind, task.node_, -1);
+  note_domain_entry(next.kind, task.node_, +1);
+  mark_node_dirty(task.node_);
+  if (old_kind == PhaseKind::kMessage || next.kind == PhaseKind::kMessage)
+    net_dirty_ = true;
+  if (old_kind == PhaseKind::kIo || next.kind == PhaseKind::kIo)
+    fs_dirty_ = true;
+}
+
+void World::on_task_phase_installed(Task& task) {
+  task.sync_remaining_ = task.remaining_;
+  task.sync_latency_ = task.latency_left_;
+}
+
+void World::on_task_profile_mutation(Task& task) {
+  // Settle the pending range with the *old* profile (the eager loop would
+  // have integrated it before the mutation took effect), then make the
+  // next recompute re-solve everything the profile feeds.
+  sync_domain_of(task.phase_.kind, task.node_);
+  mark_node_dirty(task.node_);
+  if (task.phase_.kind == PhaseKind::kMessage) net_dirty_ = true;
+  if (task.phase_.kind == PhaseKind::kIo) fs_dirty_ = true;
+}
+
+void World::set_full_recompute(bool on) {
+  if (on == full_recompute_) return;
+  sync_all_domains();
+  full_recompute_ = on;
+}
+
+// ---------------------------------------------------------------------------
+
 void World::advance_tasks(double dt) {
   // dt == 0 still runs: Task::advance clamps within-tolerance residues to
   // zero so handle_completions sees them.
   if (dt < 0.0) return;
+  if (chunk_dt_.size() >= kMaxChunkLog) sync_all_domains();
+  chunk_dt_.push_back(dt);
   for (Task* task : task_ptrs_) {
     if (!task->active()) continue;
-    const double before = task->remaining();
-    const TaskRates rates = task->rates();
     task->advance(dt);
-    const double progressed = before - task->remaining();
-    const double eff_dt =
-        rates.progress > 0.0 ? progressed / rates.progress : 0.0;
-
-    NodeCounters& c = node(task->node()).counters();
-    TaskCounters& t = task->counters();
-    switch (task->phase().kind) {
-      case PhaseKind::kCompute:
-      case PhaseKind::kStream: {
-        if (task->profile().account_user) {
-          c.cpu_user_seconds += rates.cpu_share * dt;
-        } else {
-          c.cpu_sys_seconds += rates.cpu_share * dt;
-        }
-        c.instructions += rates.instr_rate * eff_dt;
-        c.l1_misses += rates.l1_miss_rate * eff_dt;
-        c.l2_misses += rates.l2_miss_rate * eff_dt;
-        c.l3_misses += rates.l3_miss_rate * eff_dt;
-        c.dram_bytes += rates.dram_rate * eff_dt;
-        t.cpu_seconds += rates.cpu_share * dt;
-        t.instructions += rates.instr_rate * eff_dt;
-        t.l2_misses += rates.l2_miss_rate * eff_dt;
-        t.l3_misses += rates.l3_miss_rate * eff_dt;
-        t.dram_bytes += rates.dram_rate * eff_dt;
-        break;
-      }
-      case PhaseKind::kMessage: {
-        c.nic_tx_bytes += progressed;
-        t.bytes_sent += progressed;
-        if (task->phase().peer_node >= 0)
-          node(task->phase().peer_node).counters().nic_rx_bytes += progressed;
-        break;
-      }
-      case PhaseKind::kIo: {
-        FsCounters& f = fs_.counters();
-        t.io_work += progressed;
-        switch (task->phase().io_kind) {
-          case IoKind::kMetadata: f.metadata_ops += progressed; break;
-          case IoKind::kRead: f.bytes_read += progressed; break;
-          case IoKind::kWrite: f.bytes_written += progressed; break;
-        }
-        break;
-      }
-      default:
-        break;
-    }
   }
+  // Reference mode: integrate every counter immediately, exactly like the
+  // original eager loop (the replay arithmetic is the same; the chunk is
+  // just consumed on the spot).
+  if (full_recompute_) sync_all_domains();
 }
 
 void World::handle_completions() {
@@ -160,12 +378,11 @@ void World::handle_completions() {
   // but bound the passes to avoid a buggy controller looping forever.
   for (int pass = 0; pass < 64; ++pass) {
     bool any = false;
-    // Snapshot: controllers can spawn/kill during iteration.
-    const std::vector<Task*> snapshot = task_ptrs_;
-    for (Task* task : snapshot) {
-      if (std::find(task_ptrs_.begin(), task_ptrs_.end(), task) ==
-          task_ptrs_.end())
-        continue;  // killed by an earlier controller this pass
+    // Snapshot: controllers can spawn/kill during iteration. (Reused
+    // buffer; the killed_ flag replaces the old O(n) membership re-scan.)
+    completion_scratch_ = task_ptrs_;
+    for (Task* task : completion_scratch_) {
+      if (task->killed_) continue;  // killed by an earlier controller
       if (!task->active()) continue;
       if (task->remaining() <= 0.0 && task->latency_left() <= 0.0) {
         task->set_phase(task->next_phase());
@@ -178,17 +395,38 @@ void World::handle_completions() {
 }
 
 void World::recompute_rates() {
-  for (const auto& n : nodes_) n->compute_rates(task_ptrs_);
+  if (full_recompute_) mark_all_dirty();
 
-  std::vector<Flow> flows;
-  for (Task* task : task_ptrs_) {
-    if (task->phase().kind == PhaseKind::kMessage) {
-      flows.push_back(Flow{task, task->node(), task->phase().peer_node, 0.0});
-    }
+  // Each dirty domain settles its deferred counters (with the rates that
+  // were in effect) before new rates are installed. Clean domains keep
+  // their installed rates -- bit-identical, because the solvers are
+  // deterministic functions of inputs that have not changed.
+  for (const int id : dirty_nodes_) {
+    sync_node_domain(id);
+    nodes_[static_cast<std::size_t>(id)]->compute_rates(
+        node_tasks_[static_cast<std::size_t>(id)]);
+    node_dirty_[static_cast<std::size_t>(id)] = 0;
   }
-  if (!flows.empty()) network_.compute_rates(flows);
+  dirty_nodes_.clear();
 
-  fs_.compute_rates(task_ptrs_);
+  if (net_dirty_) {
+    sync_network_domain();
+    flow_scratch_.clear();
+    for (Task* task : task_ptrs_) {
+      if (task->phase().kind == PhaseKind::kMessage) {
+        flow_scratch_.push_back(
+            Flow{task, task->node(), task->phase().peer_node, 0.0});
+      }
+    }
+    if (!flow_scratch_.empty()) network_.compute_rates(flow_scratch_);
+    net_dirty_ = false;
+  }
+
+  if (fs_dirty_) {
+    sync_fs_domain();
+    fs_.compute_rates(task_ptrs_);
+    fs_dirty_ = false;
+  }
 
   if (tracer_ && tracer_->enabled()) trace_rates();
 }
@@ -200,24 +438,19 @@ void World::recompute_rates() {
 /// "share 0.42 vs 0.39 on node 7" instead of "a CSV changed".
 void World::trace_rates() {
   tracer_->emit(trace::RecordKind::kRateRecompute, 0, 0, task_ptrs_.size());
-  struct NodeAgg {
-    std::uint16_t active = 0;
-    double cpu_share = 0.0;
-    double dram_rate = 0.0;
-  };
-  std::vector<NodeAgg> agg(static_cast<std::size_t>(num_nodes()));
+  agg_scratch_.assign(static_cast<std::size_t>(num_nodes()), RateAgg{});
   for (const Task* task : task_ptrs_) {
     if (!task->active()) continue;
-    NodeAgg& a = agg[static_cast<std::size_t>(task->node())];
+    RateAgg& a = agg_scratch_[static_cast<std::size_t>(task->node())];
     ++a.active;
     a.cpu_share += task->rates().cpu_share;
     a.dram_rate += task->rates().dram_rate;
   }
-  for (std::size_t i = 0; i < agg.size(); ++i) {
-    if (agg[i].active == 0) continue;
+  for (std::size_t i = 0; i < agg_scratch_.size(); ++i) {
+    if (agg_scratch_[i].active == 0) continue;
     tracer_->emit(trace::RecordKind::kNodeRates,
-                  static_cast<std::uint32_t>(i), agg[i].active, 0,
-                  agg[i].cpu_share, agg[i].dram_rate);
+                  static_cast<std::uint32_t>(i), agg_scratch_[i].active, 0,
+                  agg_scratch_[i].cpu_share, agg_scratch_[i].dram_rate);
   }
   for (const Task* task : task_ptrs_) {
     if (!task->active()) continue;
@@ -245,10 +478,10 @@ void World::schedule_next_completion() {
   double target = now + std::max(eta, min_step);
   if (target <= now) target = std::nextafter(now, 1e300);
   pending_completion_ =
-      sim_.schedule_at(target, [this] { update(); });
+      sim_.schedule_at(target, [this] { update_event(); });
 }
 
-void World::update() {
+void World::update_event() {
   if (in_update_) return;  // controllers triggering re-entrant updates
   in_update_ = true;
   advance_tasks(sim_.now() - last_update_);
@@ -257,6 +490,16 @@ void World::update() {
   recompute_rates();
   in_update_ = false;
   schedule_next_completion();
+}
+
+void World::update() {
+  // Public entry point: external callers may have mutated state the
+  // hooks cannot see, so behave exactly like the original full loop --
+  // re-solve every domain and settle every counter.
+  mark_all_dirty();
+  if (in_update_) return;  // the enclosing update's recompute covers it
+  update_event();
+  sync_all_domains();
 }
 
 void World::enable_monitoring(double period_s) {
@@ -272,8 +515,9 @@ void World::enable_monitoring(double period_s) {
 }
 
 void World::sample_all(double period_s) {
-  // Bring counters up to date, then poll every node's samplers.
-  update();
+  // Bring rates and counters up to date, then poll every node's samplers.
+  update_event();
+  sync_all_domains();
   for (const auto& collector : collectors_) collector->collect(sim_.now());
   if (tracer_) {
     tracer_->emit(trace::RecordKind::kSample, 0, 0, collectors_.size(),
@@ -299,6 +543,11 @@ metrics::MetricStore& World::node_store(int id) {
   return *stores_[static_cast<std::size_t>(id)];
 }
 
-void World::run_until(double t) { sim_.run_until(t); }
+void World::run_until(double t) {
+  sim_.run_until(t);
+  // Callers read counters after run_until; settle the deferred ranges so
+  // they observe exactly what the eager loop would have produced.
+  sync_all_domains();
+}
 
 }  // namespace hpas::sim

@@ -17,6 +17,27 @@
 // update() after mutating state, so rates are always consistent with the
 // task set. Everything is deterministic: one seeded RNG, FIFO event
 // tie-breaks, no wall-clock dependence.
+//
+// The loop above is the *semantic* model; the implementation is
+// incremental (see DESIGN.md, "Incremental rate recomputation"):
+//   * rate recomputation is dirty-set driven -- spawn, kill, phase
+//     transitions and profile mutations mark only the affected node(s),
+//     the network flow set, or the filesystem, and recompute_rates()
+//     re-solves just those domains. Clean domains keep their installed
+//     rates, which are identical because the solvers are deterministic
+//     functions of unchanged inputs;
+//   * counter integration is lazy -- advance_tasks still moves every
+//     active task's remaining-work eagerly (completion times feed event
+//     scheduling), but the node/network/filesystem counter accumulation
+//     is deferred: each update logs its dt chunk, and a per-domain cursor
+//     replays pending chunks through the exact same arithmetic when the
+//     domain is next observed (rate change, phase change, sampling, or
+//     run_until returning). Replay preserves the per-chunk fold order of
+//     every shared accumulator, so all observables are bit-identical to
+//     eager integration.
+// Setting HPAS_FULL_RECOMPUTE=1 (or set_full_recompute(true)) restores
+// the original recompute-everything-per-event behaviour; the equivalence
+// tests byte-compare traces across both modes.
 #pragma once
 
 #include <cstdint>
@@ -94,19 +115,50 @@ class World {
 
   /// Re-derives all rates and reschedules the next completion. Called
   /// automatically by spawn/kill/allocate and by phase completions; call
-  /// manually after mutating task profiles or phases from outside.
+  /// manually after mutating task state from outside in ways the World
+  /// cannot observe. Conservatively marks every domain dirty and settles
+  /// all deferred counter integration, exactly like the original
+  /// full-recompute loop.
   void update();
 
   void run_until(double t);
   void run_for(double dt) { run_until(now() + dt); }
 
+  /// Forces the original recompute-every-domain, integrate-every-counter
+  /// behaviour on each update. The observable outputs are bit-identical
+  /// either way (that is tested); this exists as the reference mode for
+  /// equivalence tests and the engine microbenchmark. Also enabled by the
+  /// environment variable HPAS_FULL_RECOMPUTE=1 at construction.
+  void set_full_recompute(bool on);
+  bool full_recompute() const { return full_recompute_; }
+
+  /// Incremental-engine hooks, invoked by Task (and kept public for it;
+  /// not useful to call directly). They settle deferred counter
+  /// integration for the domains a mutation touches and mark those
+  /// domains dirty.
+  void on_task_phase_change(Task& task, const Phase& next);
+  void on_task_phase_installed(Task& task);
+  void on_task_profile_mutation(Task& task);
+
  private:
+  void update_event();  ///< incremental update (internal event path)
   void advance_tasks(double dt);
   void handle_completions();
   void recompute_rates();
   void trace_rates();
   void schedule_next_completion();
   void sample_all(double period_s);
+
+  // --- deferred counter integration -----------------------------------
+  void apply_counter_chunk(Task& task, double dt);
+  void sync_node_domain(int id);
+  void sync_network_domain();
+  void sync_fs_domain();
+  void sync_all_domains();  ///< settles every cursor, truncates the log
+  void sync_domain_of(PhaseKind kind, int node_id);
+  void mark_node_dirty(int id);
+  void mark_all_dirty();
+  void note_domain_entry(PhaseKind kind, int node_id, int delta);
 
   Simulator sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -120,6 +172,34 @@ class World {
   bool in_update_ = false;
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t next_trace_id_ = 1;  ///< task subject ids, stable per world
+
+  // --- incremental engine state ----------------------------------------
+  bool full_recompute_ = false;
+  std::vector<std::vector<Task*>> node_tasks_;  ///< residents, spawn order
+  std::vector<char> node_dirty_;
+  std::vector<int> dirty_nodes_;
+  bool net_dirty_ = false;
+  bool fs_dirty_ = false;
+  /// dt of every advance_tasks call not yet folded into all counters.
+  std::vector<double> chunk_dt_;
+  std::vector<std::uint32_t> node_cursor_;  ///< per-node replay cursor
+  std::uint32_t net_cursor_ = 0;
+  std::uint32_t fs_cursor_ = 0;
+  /// Active members per counter domain; a domain with no members can
+  /// skip its replay range outright.
+  std::vector<int> node_active_;
+  int message_tasks_ = 0;
+  int io_tasks_ = 0;
+
+  // Hot-path scratch (no per-event allocation once warm).
+  std::vector<Task*> completion_scratch_;
+  std::vector<Flow> flow_scratch_;
+  struct RateAgg {
+    std::uint16_t active = 0;
+    double cpu_share = 0.0;
+    double dram_rate = 0.0;
+  };
+  std::vector<RateAgg> agg_scratch_;
 
   std::vector<std::unique_ptr<metrics::MetricStore>> stores_;
   std::vector<std::unique_ptr<metrics::Collector>> collectors_;
