@@ -127,6 +127,10 @@ int run_sweep_command(const std::vector<std::string>& argv) {
             .value_name = "TIME",
             .help = "wall-clock budget for the whole sweep (0 = off)",
             .default_value = "0"})
+      .add({.long_name = "sim-shards", .short_name = '\0', .value_name = "N",
+            .help = "engine shards per scenario world; outputs are "
+                    "bit-identical at any value (0 = serial default)",
+            .default_value = "0"})
       .add({.long_name = "dry-run", .short_name = '\0', .value_name = "",
             .help = "expand and print the grid without running it",
             .default_value = std::nullopt});
@@ -179,6 +183,8 @@ int run_sweep_command(const std::vector<std::string>& argv) {
   options.scenario_timeout_s =
       hpas::parse_duration_seconds(args.value("scenario-timeout"));
   options.deadline_s = hpas::parse_duration_seconds(args.value("deadline"));
+  options.sim_shards =
+      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
   options.journal_path = out_dir + "/sweep.journal";
   options.resume = args.flag("resume");
   options.graceful = &graceful;

@@ -47,8 +47,12 @@ hpas::CliParser make_parser() {
                          "simulated-cluster scenario runner with CSV export");
   parser
       .add({.long_name = "preset", .short_name = 'p', .value_name = "NAME",
-            .help = "cluster preset: voltrino or chameleon",
+            .help = "cluster preset: voltrino, chameleon or dragonfly1k",
             .default_value = "voltrino"})
+      .add({.long_name = "sim-shards", .short_name = '\0', .value_name = "N",
+            .help = "engine shards (parallel rate domains); outputs are "
+                    "bit-identical at any value (0 = serial default)",
+            .default_value = "0"})
       .add({.long_name = "app", .short_name = 'a', .value_name = "NAME",
             .help = "proxy application (empty = idle cluster)",
             .default_value = ""})
@@ -99,10 +103,15 @@ int run(const hpas::ParsedArgs& args) {
     world = hpas::sim::make_voltrino_world();
   } else if (preset == "chameleon") {
     world = hpas::sim::make_chameleon_world();
+  } else if (preset == "dragonfly1k") {
+    world = hpas::sim::make_dragonfly_world();
   } else {
     throw hpas::ConfigError("unknown preset '" + preset +
-                            "' (expected voltrino or chameleon)");
+                            "' (expected voltrino, chameleon or dragonfly1k)");
   }
+  const int sim_shards =
+      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+  if (sim_shards > 0) world->set_shards(sim_shards);
 
   const double duration = hpas::parse_duration_seconds(args.value("duration"));
   const double period =

@@ -62,9 +62,10 @@ SweepGrid expand_grid(const Json& spec) {
 
   ScenarioSpec base;
   base.system = spec.string_or("system", "voltrino");
-  if (base.system != "voltrino" && base.system != "chameleon")
+  if (base.system != "voltrino" && base.system != "chameleon" &&
+      base.system != "dragonfly1k")
     throw ConfigError("grid: unknown system '" + base.system +
-                      "' (expected voltrino or chameleon)");
+                      "' (expected voltrino, chameleon or dragonfly1k)");
   base.duration_s = spec.number_or("duration_s", 60.0);
   base.sample_period_s = spec.number_or("sample_period_s", 1.0);
   base.app_nodes = static_cast<int>(spec.number_or("app_nodes", 2));

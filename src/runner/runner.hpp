@@ -44,6 +44,11 @@ struct SweepOptions {
   int threads = 1;                   ///< 0 = hardware concurrency
   std::size_t queue_capacity = 256;  ///< backpressure bound
   bool capture_traces = false;       ///< record a per-scenario trace
+  /// Engine shards per scenario world (World::set_shards); 0 keeps the
+  /// default (serial, or HPAS_SIM_SHARDS). An execution parameter like
+  /// `threads`: outputs are bit-identical at any value, so it is *not*
+  /// part of scenario identity and never enters the journal key hash.
+  int sim_shards = 0;
   /// Wall-clock budget per scenario, seconds; 0 disables the watchdog.
   /// An over-budget scenario is cancelled cooperatively, journaled as
   /// timeout, and the sweep moves on.
@@ -117,9 +122,14 @@ struct SweepResult {
 /// or kCancelled (per the token's reason), keeps the metrics collected so
 /// far, and -- when tracing -- ends the truncated trace with one
 /// kRunCancelled record so partial captures are self-describing.
+///
+/// `sim_shards` > 0 shards the scenario's engine (World::set_shards);
+/// 0 keeps the world's default. Pure execution knob -- all outputs are
+/// bit-identical at any shard count.
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             bool capture_trace = false,
-                            const CancelToken* cancel = nullptr);
+                            const CancelToken* cancel = nullptr,
+                            int sim_shards = 0);
 
 /// Runs the whole grid across `options.threads` workers.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});

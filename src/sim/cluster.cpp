@@ -13,4 +13,11 @@ std::unique_ptr<World> make_chameleon_world(const ChameleonPreset& preset) {
   return std::make_unique<World>(preset.node, std::move(topo), preset.fs);
 }
 
+std::unique_ptr<World> make_dragonfly_world(const DragonflyPreset& preset) {
+  Topology topo = Topology::dragonfly(
+      preset.groups, preset.routers_per_group, preset.nodes_per_router,
+      preset.nic_bw, preset.local_bw, preset.global_bw);
+  return std::make_unique<World>(preset.node, std::move(topo), preset.fs);
+}
+
 }  // namespace hpas::sim

@@ -52,7 +52,33 @@ struct ChameleonPreset {
               .metadata_disk_cost_s = 1.0e-4};
 };
 
+/// Large-system preset for scaling studies: a dragonfly with
+/// groups x routers_per_group x nodes_per_router compute nodes (defaults
+/// give 8*8*16 = 1024, the "dragonfly1k" system of the sharded-engine
+/// benchmarks; bump `groups` to ~78 for a 10k-node machine). Node and
+/// filesystem parameters reuse the Voltrino-like Haswell/Lustre models --
+/// the preset exists to exercise topology scale, not new hardware.
+struct DragonflyPreset {
+  int groups = 8;
+  int routers_per_group = 8;
+  int nodes_per_router = 16;
+  double nic_bw = 10.0e9;     ///< bytes/s injection per node
+  double local_bw = 15.0e9;   ///< intra-group router-router trunk
+  double global_bw = 25.0e9;  ///< inter-group gateway trunk
+  NodeConfig node;            ///< Haswell defaults from NodeConfig
+  FsConfig fs{.metadata_ops_per_s = 120000.0,
+              .disk_write_bw = 40.0e9,
+              .disk_read_bw = 44.0e9,
+              .dedicated_mds = true,
+              .metadata_disk_cost_s = 0.0};
+
+  int num_nodes() const {
+    return groups * routers_per_group * nodes_per_router;
+  }
+};
+
 std::unique_ptr<World> make_voltrino_world(const VoltrinoPreset& preset = {});
 std::unique_ptr<World> make_chameleon_world(const ChameleonPreset& preset = {});
+std::unique_ptr<World> make_dragonfly_world(const DragonflyPreset& preset = {});
 
 }  // namespace hpas::sim

@@ -1,0 +1,81 @@
+#include "sim/engine/shard_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace hpas::sim {
+
+ShardPool::ShardPool(int shards) : shards_(shards < 1 ? 1 : shards) {
+  workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int s = 1; s < shards_; ++s)
+    workers_.emplace_back([this, s] { worker_loop(s); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardPool::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardPool::run(const std::function<void(int)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(fn_ == nullptr, "ShardPool: run() is not reentrant");
+    fn_ = &fn;
+    remaining_ = shards_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // Shard 0 runs on the caller; its exception still waits for the
+  // barrier so no worker is left touching shared state.
+  std::exception_ptr error;
+  try {
+    fn(0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+    if (!error && first_error_) error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace hpas::sim

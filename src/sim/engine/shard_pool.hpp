@@ -1,0 +1,70 @@
+// ShardPool: the parallel-execution substrate of the sharded event loop.
+//
+// A fixed team of worker threads that executes one closure per *shard*
+// (shard 0 runs on the calling thread) and joins at a barrier before
+// returning. The World uses it to advance independent rate domains --
+// node groups, the network, the filesystem -- in parallel inside one
+// simulator epoch (one fired event): fork at the start of the region,
+// barrier before anything order-sensitive (trace emission, membership
+// changes, cross-domain message drains) happens.
+//
+// Determinism contract: the pool provides *structure*, never ordering.
+// Every closure must write only shard-owned state; anything that crosses
+// shards is buffered as an epoch message and drained by the caller after
+// run() returns, in a deterministic order. run() establishes
+// happens-before both ways (caller -> workers at fork, workers -> caller
+// at join), so the drained messages are safely visible.
+//
+// A pool of one shard spawns no threads and runs the closure inline --
+// the exact serial execution, which is what `--sim-shards 1` falls back
+// to.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpas::sim {
+
+class ShardPool {
+ public:
+  /// Creates a pool for `shards` shards (clamped to >= 1). `shards - 1`
+  /// worker threads are spawned; shard 0 always executes on the thread
+  /// that calls run().
+  explicit ShardPool(int shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int shards() const { return shards_; }
+
+  /// Executes `fn(shard)` once for every shard in [0, shards()) and
+  /// returns after all of them finished (full barrier). The first
+  /// exception thrown by any shard is rethrown here after the barrier;
+  /// the other shards still run to completion, so the caller's state is
+  /// never torn mid-region. Not reentrant: run() must not be called from
+  /// inside a shard closure.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int shard);
+
+  int shards_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< caller -> workers: new generation
+  std::condition_variable done_cv_;   ///< workers -> caller: all finished
+  const std::function<void(int)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); workers chase it
+  int remaining_ = 0;             ///< workers still running this generation
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hpas::sim

@@ -15,6 +15,14 @@ constexpr std::size_t kCompactionFloor = 1024;
 
 }  // namespace
 
+std::size_t Simulator::compaction_floor() { return kCompactionFloor; }
+
+void Simulator::configure_shards(int shards) {
+  if (shards < 1) shards = 1;
+  if (shards == this->shards()) return;
+  pool_ = shards == 1 ? nullptr : std::make_unique<ShardPool>(shards);
+}
+
 std::uint32_t Simulator::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -103,6 +111,7 @@ bool Simulator::step() {
     // the bumped generation keeps stale handles from touching them.
     release_slot(ev.slot);
     --live_;
+    ++epochs_;
     now_ = ev.time;
     if (tracer_) {
       tracer_->set_time(now_);

@@ -14,14 +14,13 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace hpas::sim {
 namespace {
-
-constexpr std::size_t kCompactionFloor = 1024;  // mirrors simulator.cpp
 
 TEST(PendingEvents, CountsLiveEventsNotTombstones) {
   Simulator sim;
@@ -66,26 +65,28 @@ TEST(PendingEvents, CancellingEverythingReportsZeroWithoutRunning) {
   EXPECT_DOUBLE_EQ(sim.now(), 0.0);  // nothing live ever fired
 }
 
-TEST(CancelStorm, SurvivorsFireInOrderAndTombstonesStayBounded) {
-  // 100k interleaved schedule/cancel operations against a reference
-  // model, with the tombstone population checked after every operation:
-  // compaction must keep it under max(floor, live) while never changing
-  // the (time, seq) fire order of the survivors.
+/// One cancel-storm instance: 100k/shard_count interleaved schedule and
+/// cancel operations against a reference model, with this engine's
+/// tombstone population checked after every operation. The floor comes
+/// from Simulator::compaction_floor() -- the engine's own constant, so
+/// the bound cannot drift from the implementation -- and applies *per
+/// engine instance*: every shard of a sharded sweep owns its own
+/// Simulator, its own heap, and its own floor.
+void run_cancel_storm(std::uint64_t seed, int ops) {
   struct ModelEvent {
     double time;
     int seq;
     bool cancelled = false;
   };
 
-  Rng rng(0x57A6u);
+  Rng rng(seed);
   Simulator sim;
   std::vector<ModelEvent> model;
   std::vector<EventHandle> handles;
   std::vector<int> fired;
   std::size_t max_tombstones = 0;
 
-  constexpr int kOps = 100000;
-  for (int op = 0; op < kOps; ++op) {
+  for (int op = 0; op < ops; ++op) {
     // Cancel-heavy mix (60/40) so tombstones repeatedly cross the
     // compaction threshold.
     if (!handles.empty() && rng.uniform01() < 0.6) {
@@ -101,18 +102,18 @@ TEST(CancelStorm, SurvivorsFireInOrderAndTombstonesStayBounded) {
       model.push_back({t, seq, false});
     }
     const std::size_t bound =
-        std::max(kCompactionFloor, sim.pending_events());
+        std::max(Simulator::compaction_floor(), sim.pending_events());
     ASSERT_LE(sim.queued_tombstones(), bound) << "after op " << op;
     max_tombstones = std::max(max_tombstones, sim.queued_tombstones());
   }
 
-  // The storm cancelled tens of thousands of events; without compaction
-  // the tombstone population would have matched the cancel count at its
-  // peak instead of staying under the max(floor, live) envelope asserted
+  // The storm cancelled a multiple of the floor; without compaction the
+  // tombstone population would have matched the cancel count at its peak
+  // instead of staying under the max(floor, live) envelope asserted
   // after every operation above.
   std::size_t cancelled = 0;
   for (const auto& e : model) cancelled += e.cancelled ? 1u : 0u;
-  ASSERT_GT(cancelled, 10u * kCompactionFloor);
+  ASSERT_GT(cancelled, 5u * Simulator::compaction_floor());
   EXPECT_LT(max_tombstones, cancelled);
 
   sim.run();
@@ -130,6 +131,32 @@ TEST(CancelStorm, SurvivorsFireInOrderAndTombstonesStayBounded) {
   EXPECT_EQ(fired, expected);
   EXPECT_EQ(sim.pending_events(), 0u);
   EXPECT_EQ(sim.queued_tombstones(), 0u);
+}
+
+TEST(CancelStorm, SurvivorsFireInOrderAndTombstonesStayBounded) {
+  run_cancel_storm(0x57A6u, 100000);
+}
+
+TEST(CancelStorm, PerShardEnginesKeepIndependentTombstoneFloors) {
+  // Shard-shaped concurrency: one Simulator per shard, each on its own
+  // thread, each bounded by its *own* compaction floor. There is no
+  // shared engine state, so this must be race-free (the TSan job runs
+  // this suite) and every shard's storm must satisfy the same envelope
+  // the single-engine storm does.
+  const int shard_counts[] = {2, 4, 8};
+  for (const int shards : shard_counts) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      // Full-size storms per shard: the floor is per engine, so the
+      // workload that crosses it on one engine must cross it on all.
+      threads.emplace_back([s] {
+        run_cancel_storm(0x57A6u + static_cast<std::uint64_t>(s), 50000);
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 TEST(CancelStorm, CompactionDoesNotPerturbInterleavedScheduling) {

@@ -1,0 +1,264 @@
+// Epoch-boundary stress for the sharded executor.
+//
+// The sharded engine's contract is conservative epoch synchronization:
+// all parallel domain work forks after an event fires and joins before
+// anything order-sensitive runs. These tests hammer exactly those
+// boundaries -- task spawn/kill storms, external phase changes, event
+// cancellation bursts, profile mutations, all scheduled *at* epoch
+// barriers (including FIFO-tied timestamps) -- and assert the two
+// properties the design document promises:
+//
+//   1. trace bytes are invariant under the shard count (1, 2, 4, 8),
+//      under run_until splits at arbitrary boundaries, and under
+//      changing the shard count mid-run;
+//   2. the domain settle order never changes counter *bits*: every node
+//      and task counter compares bit-for-bit (not approximately) against
+//      the serial run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/world.hpp"
+#include "trace/export.hpp"
+#include "trace/replay.hpp"
+#include "trace/tracer.hpp"
+
+namespace hpas::sim {
+namespace {
+
+/// Bit-exact digest of a double sequence: the raw IEEE-754 payloads.
+/// Two digests are equal iff every counter matches to the last bit.
+void append_bits(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+std::string counter_digest(World& world) {
+  // Settle every deferred-integration cursor first so the digest reads
+  // final values, then freeze the bits.
+  world.update();
+  std::string digest;
+  for (int id = 0; id < world.num_nodes(); ++id) {
+    const NodeCounters& c = world.node(id).counters();
+    for (const double v : {c.cpu_user_seconds, c.cpu_sys_seconds,
+                           c.instructions, c.l1_misses, c.l2_misses,
+                           c.l3_misses, c.dram_bytes, c.nic_tx_bytes,
+                           c.nic_rx_bytes, c.pages_faulted})
+      append_bits(digest, v);
+  }
+  for (const Task* task : world.tasks()) {
+    const TaskCounters& c = task->counters();
+    for (const double v : {c.cpu_seconds, c.instructions, c.l2_misses,
+                           c.l3_misses, c.dram_bytes, c.bytes_sent,
+                           c.io_work})
+      append_bits(digest, v);
+  }
+  append_bits(digest, world.filesystem().counters().bytes_written);
+  append_bits(digest, world.filesystem().counters().bytes_read);
+  return digest;
+}
+
+struct StormRun {
+  std::string trace;    ///< serialized binary trace bytes
+  std::string digest;   ///< bit-exact counter digest
+};
+
+/// Byte-compare with a readable failure: on mismatch report the first
+/// divergent record, not two binary blobs.
+void expect_same_trace(const std::string& got, const std::string& want,
+                       const std::string& label) {
+  if (got == want) return;
+  std::istringstream got_in(got, std::ios::binary);
+  std::istringstream want_in(want, std::ios::binary);
+  const auto divergence = trace::diff_traces(trace::read_binary(want_in),
+                                             trace::read_binary(got_in));
+  ADD_FAILURE() << label << ": traces differ: " << divergence.description;
+}
+
+/// A 32-node world where every epoch boundary is contested: cycling
+/// workloads on all nodes, cross-shard message flows, filesystem
+/// traffic, scheduled kill/spawn/wake/mutate storms (several at the
+/// same timestamp, exercising FIFO tie-break under sharding) and an
+/// event-cancellation burst that leaves tombstones in the queue.
+/// `splits` optionally breaks run_until at those times; `reshard_at` and
+/// `reshard_to`, when >= 0, switch the shard count mid-run.
+StormRun run_storm(int shards, const std::vector<double>& splits = {},
+                   double reshard_at = -1.0, int reshard_to = -1) {
+  World world(NodeConfig{}, Topology::two_tier(8, 4, 10e9, 18e9),
+              FsConfig{.metadata_ops_per_s = 30000.0,
+                       .disk_write_bw = 5.0e9,
+                       .disk_read_bw = 5.5e9,
+                       .dedicated_mds = true,
+                       .metadata_disk_cost_s = 0.0});
+  world.set_shards(shards);
+  trace::TraceCapture capture;
+  world.attach_tracer(&capture.tracer());
+  world.enable_monitoring(0.5);
+
+  // Cycling residents on every node; message peers straddle the shard
+  // partition (node i talks to the diametrically opposite node), so NIC
+  // deposits always cross domains.
+  std::vector<Task*> cyclers;
+  const int n = world.num_nodes();
+  for (int id = 0; id < n; ++id) {
+    TaskProfile profile;
+    profile.stream_bw_demand = 2.0e9;
+    const int peer = (id + n / 2) % n;
+    Task* task = world.spawn_task(
+        "cycler" + std::to_string(id), id, id % 4, profile,
+        Phase::compute(1.0e9), [peer](Task& t) {
+          switch (t.phase().kind) {
+            case PhaseKind::kCompute: return Phase::stream(0.5e9);
+            case PhaseKind::kStream: return Phase::message(peer, 0.25e9);
+            case PhaseKind::kMessage:
+              return Phase::io(IoKind::kWrite, 64.0e6);
+            case PhaseKind::kIo: return Phase::sleep(0.25);
+            default: return Phase::compute(1.0e9);
+          }
+        });
+    cyclers.push_back(task);
+  }
+  // Idle tasks woken externally mid-run -- the spawn path of a BSP
+  // barrier release, exercised at an epoch barrier.
+  std::vector<Task*> sleepers;
+  for (int id = 0; id < n; id += 3) {
+    sleepers.push_back(world.spawn_task(
+        "idler" + std::to_string(id), id, 5, TaskProfile{}, Phase::idle(),
+        [](Task&) { return Phase::done(); }));
+  }
+
+  Simulator& sim = world.simulator();
+  // Kill storm: several kills at the *same* timestamp (FIFO ties), from
+  // different shards' node ranges.
+  for (int i = 0; i < 8; ++i) {
+    Task* victim = cyclers[static_cast<std::size_t>(i * 4 + 1)];
+    sim.schedule_at(2.0, [&world, victim] {
+      if (!victim->killed() && !victim->done()) world.kill_task(victim);
+    });
+  }
+  // Spawn storm at the same barrier: replacements plus brand-new load.
+  for (int i = 0; i < 8; ++i) {
+    const int node = i * 4 + 2;
+    sim.schedule_at(2.0, [&world, node] {
+      world.spawn_task("burst" + std::to_string(node), node, 6,
+                       TaskProfile{}, Phase::stream(1.0e9), [](Task& t) {
+                         return t.phase().kind == PhaseKind::kStream
+                                    ? Phase::compute(0.5e9)
+                                    : Phase::done();
+                       });
+    });
+  }
+  // Wake storm: external phase changes require an explicit update().
+  sim.schedule_at(3.0, [&world, sleepers] {
+    for (Task* task : sleepers)
+      if (!task->killed() && !task->done())
+        task->set_phase(Phase::sleep(0.5));
+    world.update();
+  });
+  // Profile-mutation storm: rate changes land exactly on a barrier.
+  sim.schedule_at(4.0, [&world, cyclers] {
+    for (std::size_t i = 0; i < cyclers.size(); i += 5) {
+      Task* task = cyclers[i];
+      if (task->killed() || task->done()) continue;
+      task->mutable_profile().cpu_demand = 0.5;
+    }
+    world.update();
+  });
+  // Cancellation burst: schedule far-future events, cancel most of them
+  // immediately -- tombstones sit in the queue while shards advance.
+  sim.schedule_at(5.0, [&sim] {
+    std::vector<EventHandle> doomed;
+    for (int i = 0; i < 64; ++i)
+      doomed.push_back(sim.schedule_at(1.0e6 + i, [] {}));
+    for (std::size_t i = 0; i < doomed.size(); ++i)
+      if (i % 8 != 0) sim.cancel(doomed[i]);
+  });
+  double t = 0.0;
+  // The reshard happens from *outside* the event loop, at a run_until
+  // boundary -- scheduling it as a simulator event would add a traced
+  // event and trivially (legitimately) change the stream.
+  if (reshard_at >= 0.0 && reshard_to >= 1) {
+    world.run_until(reshard_at);
+    world.set_shards(reshard_to);
+    t = reshard_at;
+  }
+  for (const double split : splits) {
+    world.run_until(split);
+    t = split;
+  }
+  if (t < 8.0) world.run_until(8.0);
+
+  StormRun run;
+  run.digest = counter_digest(world);
+  std::ostringstream out(std::ios::binary);
+  trace::write_binary(out, capture.take());
+  run.trace = out.str();
+  return run;
+}
+
+TEST(ShardEpoch, StormTraceAndCounterBitsAreShardCountInvariant) {
+  const StormRun serial = run_storm(1);
+  ASSERT_FALSE(serial.trace.empty());
+  for (const int shards : {2, 4, 8}) {
+    const StormRun sharded = run_storm(shards);
+    expect_same_trace(sharded.trace, serial.trace,
+                      "shards=" + std::to_string(shards));
+    EXPECT_EQ(sharded.digest, serial.digest)
+        << "counter bits changed at shards=" << shards;
+  }
+}
+
+TEST(ShardEpoch, RunUntilSplitsNeverChangeBytes) {
+  // run_until boundaries force a full settle (sync_all_domains); cutting
+  // the same simulation at arbitrary points must not move a single bit,
+  // serial or sharded.
+  const StormRun whole = run_storm(1);
+  const std::vector<std::vector<double>> split_sets = {
+      {2.0, 3.0, 4.0, 5.0},            // exactly on the storm barriers
+      {1.9999, 2.0001, 4.99, 7.5},     // straddling them
+      {0.5, 1.0, 1.5, 2.5, 6.125},     // unrelated boundaries
+  };
+  for (const auto& splits : split_sets) {
+    for (const int shards : {1, 4}) {
+      const StormRun cut = run_storm(shards, splits);
+      expect_same_trace(cut.trace, whole.trace,
+                        "shards=" + std::to_string(shards) + " splits[0]=" +
+                            std::to_string(splits[0]));
+      EXPECT_EQ(cut.digest, whole.digest)
+          << "shards=" << shards << " splits[0]=" << splits[0];
+    }
+  }
+}
+
+TEST(ShardEpoch, ReshardingMidRunIsInvisible) {
+  // set_shards mid-run settles every domain first, so the switch lands
+  // between epochs and cannot be observed in the output.
+  const StormRun serial = run_storm(1);
+  for (const auto& [from, to] : std::vector<std::pair<int, int>>{
+           {1, 8}, {8, 1}, {2, 4}}) {
+    const StormRun reshard = run_storm(from, {}, 3.5, to);
+    expect_same_trace(reshard.trace, serial.trace,
+                      "reshard " + std::to_string(from) + " -> " +
+                          std::to_string(to));
+    EXPECT_EQ(reshard.digest, serial.digest)
+        << "reshard " << from << " -> " << to;
+  }
+}
+
+TEST(ShardEpoch, ShardCountsBeyondNodesClampAndStayExact) {
+  // Asking for more shards than nodes clamps to num_nodes; the clamp is
+  // an execution detail and must not leak into the bytes.
+  const StormRun serial = run_storm(1);
+  const StormRun oversub = run_storm(1000);
+  expect_same_trace(oversub.trace, serial.trace, "oversubscribed");
+  EXPECT_EQ(oversub.digest, serial.digest);
+}
+
+}  // namespace
+}  // namespace hpas::sim

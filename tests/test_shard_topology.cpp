@@ -1,0 +1,174 @@
+// Large-topology smoke for the sharded executor: the 1k-node dragonfly
+// preset must build, run sharded, and keep every determinism contract --
+// trace bytes invariant under shard count, live-only pending_events()
+// accounting on the big event queue, and journaled sweeps that resume
+// byte-identically with --sim-shards engaged.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "sim/cluster.hpp"
+#include "sim/world.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using hpas::runner::run_sweep;
+using hpas::runner::ScenarioSpec;
+using hpas::runner::SweepGrid;
+using hpas::runner::SweepOptions;
+using hpas::runner::SweepResult;
+using hpas::runner::write_outputs;
+
+/// Sparse workload on the 1k-node dragonfly: compute/message cyclers on
+/// every 16th node (64 tasks), peers a half-machine away so flows cross
+/// groups and shard boundaries. Sparse keeps the smoke inside the ctest
+/// budget; the topology, not the task count, is what scales here.
+std::string dragonfly_trace(int shards, double duration) {
+  auto world = hpas::sim::make_dragonfly_world();
+  EXPECT_EQ(world->num_nodes(), 1024);
+  world->set_shards(shards);
+  hpas::trace::TraceCapture capture;
+  world->attach_tracer(&capture.tracer());
+  const int n = world->num_nodes();
+  for (int id = 0; id < n; id += 16) {
+    const int peer = (id + n / 2) % n;
+    world->spawn_task("t" + std::to_string(id), id, 0,
+                      hpas::sim::TaskProfile{}, hpas::sim::Phase::compute(0.5e9),
+                      [peer](hpas::sim::Task& t) {
+                        return t.phase().kind == hpas::sim::PhaseKind::kCompute
+                                   ? hpas::sim::Phase::message(peer, 0.1e9)
+                                   : hpas::sim::Phase::compute(0.5e9);
+                      });
+  }
+  world->run_until(duration);
+  std::ostringstream out(std::ios::binary);
+  hpas::trace::write_binary(out, capture.take());
+  return out.str();
+}
+
+TEST(ShardTopology, DragonflyThousandNodeTraceIsShardCountInvariant) {
+  const std::string serial = dragonfly_trace(1, 3.0);
+  ASSERT_FALSE(serial.empty());
+  for (const int shards : {2, 4, 8}) {
+    EXPECT_EQ(dragonfly_trace(shards, 3.0), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ShardTopology, PendingEventsCountsLiveOnlyOnLargeQueue) {
+  auto world = hpas::sim::make_dragonfly_world();
+  world->set_shards(4);
+  hpas::sim::Simulator& sim = world->simulator();
+  const std::size_t before = sim.pending_events();
+
+  std::vector<hpas::sim::EventHandle> handles;
+  for (int i = 0; i < 512; ++i)
+    handles.push_back(sim.schedule_at(100.0 + i, [] {}));
+  EXPECT_EQ(sim.pending_events(), before + 512);
+
+  // Cancel a slice: live count drops immediately, the corpses stay
+  // queued as tombstones (we are under the compaction floor).
+  for (std::size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+  EXPECT_EQ(sim.pending_events(), before + 256);
+  EXPECT_EQ(sim.queued_tombstones(), 256u);
+  EXPECT_LE(sim.queued_tombstones(), hpas::sim::Simulator::compaction_floor());
+
+  // Firing the survivors drains live events but never counts tombstones.
+  world->run_until(100.0 + 512);
+  EXPECT_EQ(sim.pending_events(), before);
+}
+
+// --- sharded journal / resume -----------------------------------------
+
+std::map<std::string, std::string> dir_contents(
+    const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == "sweep.journal") continue;  // wall times: not comparable
+    std::ifstream in(entry.path(), std::ios::binary);
+    files[name] = {std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  }
+  return files;
+}
+
+SweepGrid topology_grid() {
+  SweepGrid grid;
+  grid.name = "shard-topology";
+  int index = 0;
+  for (const char* system : {"voltrino", "voltrino", "dragonfly1k"}) {
+    ScenarioSpec spec;
+    spec.name = "st" + std::to_string(index);
+    spec.system = system;
+    spec.app = "none";
+    spec.anomaly = index == 1 ? "membw" : "none";
+    spec.duration_s = 2.0;
+    spec.sample_period_s = 1.0;
+    spec.seed = 7000 + static_cast<std::uint64_t>(index);
+    grid.scenarios.push_back(spec);
+    ++index;
+  }
+  return grid;
+}
+
+TEST(ShardTopology, ShardedJournaledSweepResumesByteIdentical) {
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "hpas-shard-topology";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const SweepGrid grid = topology_grid();
+
+  // Reference: serial engine, uninterrupted.
+  SweepOptions serial;
+  serial.threads = 1;
+  serial.capture_traces = true;
+  serial.journal_path = (base / "serial" / "sweep.journal").string();
+  const SweepResult serial_run = run_sweep(grid, serial);
+  ASSERT_TRUE(serial_run.ok()) << serial_run.first_error();
+  write_outputs(serial_run, (base / "serial").string());
+
+  // Sharded engine, uninterrupted: same bytes as serial.
+  SweepOptions sharded = serial;
+  sharded.sim_shards = 4;
+  sharded.journal_path = (base / "sharded" / "sweep.journal").string();
+  const SweepResult sharded_run = run_sweep(grid, sharded);
+  ASSERT_TRUE(sharded_run.ok()) << sharded_run.first_error();
+  write_outputs(sharded_run, (base / "sharded").string());
+
+  // "Crash" after the first scenario, then resume with --sim-shards 4.
+  SweepGrid prefix = grid;
+  prefix.scenarios.resize(1);
+  SweepOptions crashed = sharded;
+  crashed.journal_path = (base / "resumed" / "sweep.journal").string();
+  ASSERT_TRUE(run_sweep(prefix, crashed).ok());
+  SweepOptions resume = crashed;
+  resume.resume = true;
+  const SweepResult resumed_run = run_sweep(grid, resume);
+  ASSERT_TRUE(resumed_run.ok()) << resumed_run.first_error();
+  EXPECT_EQ(resumed_run.resumed, 1u);
+  write_outputs(resumed_run, (base / "resumed").string());
+
+  const auto want = dir_contents(base / "serial");
+  ASSERT_GT(want.size(), 3u);
+  for (const auto* leaf : {"sharded", "resumed"}) {
+    const auto got = dir_contents(base / leaf);
+    ASSERT_EQ(got.size(), want.size()) << leaf;
+    for (const auto& [name, bytes] : want) {
+      const auto it = got.find(name);
+      ASSERT_NE(it, got.end()) << leaf << "/" << name;
+      EXPECT_EQ(it->second, bytes) << leaf << "/" << name;
+    }
+  }
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
