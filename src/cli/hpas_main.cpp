@@ -19,11 +19,19 @@
 //   hpas sweep grid.json -o out/ --resume          # continue a killed sweep
 //   hpas sweep grid.json --scenario-timeout 5m     # bound each grid point
 //
+// Guided scenario-space search (seeded, resumable, byte-reproducible):
+//   hpas search space.json --budget 64 -j 8 -o out/
+//   hpas search space.json -o out/ --resume        # continue a killed search
+//   hpas search --replay out/frontier.json --index 0   # verify a finding
+//
 // Shutdown contract: the first SIGINT/SIGTERM drains gracefully (sweeps
 // journal in-flight scenarios and exit 0 with a resume hint); a second
 // signal cancels hard (exit 130) but still leaves a valid journal.
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +44,8 @@
 #include "common/units.hpp"
 #include "runner/runner.hpp"
 #include "runner/thread_pool.hpp"
+#include "search/driver.hpp"
+#include "search/space.hpp"
 
 namespace {
 
@@ -243,6 +253,235 @@ int run_sweep_command(const std::vector<std::string>& argv) {
   return 0;
 }
 
+/// Temp-sibling + rename, mirroring the runner's atomic output writes.
+void write_text_file(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw hpas::SystemError("cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw hpas::SystemError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw hpas::SystemError("cannot rename " + tmp + " to " + path);
+}
+
+hpas::Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw hpas::SystemError("cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return hpas::Json::parse(text.str());
+}
+
+/// Re-runs one frontier entry and verifies it reproduces the recorded
+/// summary row byte-for-byte. Exit 0 = reproduced, 3 = mismatch.
+int run_search_replay(const hpas::ParsedArgs& args) {
+  const hpas::Json doc = load_json_file(args.value("replay"));
+  const hpas::Json* entry = nullptr;
+  if (args.flag("minimized")) {
+    entry = doc.find("minimized");
+    if (entry == nullptr)
+      throw hpas::ConfigError("replay: frontier has no minimized entry");
+  } else {
+    const hpas::Json* frontier = doc.find("frontier");
+    if (frontier == nullptr || !frontier->is_array())
+      throw hpas::ConfigError("replay: document has no frontier array");
+    const auto index =
+        static_cast<std::size_t>(hpas::parse_u64(args.value("index")));
+    if (index >= frontier->as_array().size())
+      throw hpas::ConfigError("replay: --index is out of range");
+    entry = &frontier->as_array()[index];
+  }
+  const hpas::Json* spec_doc = entry->find("spec");
+  const hpas::Json* expected = entry->find("summary_row");
+  if (spec_doc == nullptr || expected == nullptr)
+    throw hpas::ConfigError("replay: entry is missing spec or summary_row");
+
+  const auto spec = hpas::search::spec_from_json(*spec_doc);
+  const int sim_shards =
+      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+  const auto result =
+      hpas::runner::run_scenario(spec, args.flag("trace"), nullptr,
+                                 sim_shards);
+  const hpas::Json row = hpas::search::summary_row_json(
+      spec, result.app_elapsed_s,
+      static_cast<std::uint64_t>(result.app_iterations));
+
+  if (args.flag("trace") && !result.trace_bin.empty()) {
+    const std::string out_dir = args.value("out");
+    std::filesystem::create_directories(out_dir);
+    write_text_file(out_dir + "/" + spec.name + ".trace.bin",
+                    result.trace_bin);
+    std::printf("wrote %s/%s.trace.bin (%llu records)\n", out_dir.c_str(),
+                spec.name.c_str(),
+                static_cast<unsigned long long>(result.trace_records));
+  }
+
+  const std::string got = row.dump(2);
+  const std::string want = expected->dump(2);
+  std::fputs(got.c_str(), stdout);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "hpas: replay mismatch for %s: recorded summary row "
+                 "differs:\n%s",
+                 spec.name.c_str(), want.c_str());
+    return 3;
+  }
+  std::printf("replay: %s reproduced byte-for-byte\n", spec.name.c_str());
+  return 0;
+}
+
+int run_search_command(const std::vector<std::string>& argv) {
+  hpas::CliParser parser(
+      "hpas search",
+      "guided scenario-space search over the deterministic runner");
+  parser
+      .add({.long_name = "strategy", .short_name = 's', .value_name = "NAME",
+            .help = "search strategy: random, anneal or bandit",
+            .default_value = "anneal"})
+      .add({.long_name = "objective", .short_name = '\0',
+            .value_name = "NAME",
+            .help = "max_degradation_per_intensity, evade_diagnosis or "
+                    "scheduler_worst_case",
+            .default_value = "max_degradation_per_intensity"})
+      .add({.long_name = "budget", .short_name = 'n', .value_name = "N",
+            .help = "total proposals to evaluate",
+            .default_value = "64"})
+      .add({.long_name = "batch", .short_name = 'b', .value_name = "N",
+            .help = "proposals per batch (a search parameter, not the "
+                    "thread count)",
+            .default_value = "8"})
+      .add({.long_name = "frontier", .short_name = '\0', .value_name = "N",
+            .help = "ranked entries kept in frontier.json",
+            .default_value = "8"})
+      .add({.long_name = "threads", .short_name = 'j', .value_name = "N",
+            .help = "worker threads; 0 = all hardware threads",
+            .default_value = "0"})
+      .add({.long_name = "out", .short_name = 'o', .value_name = "DIR",
+            .help = "output directory (frontier.json + search.journal)",
+            .default_value = "search-out"})
+      .add({.long_name = "seed", .short_name = '\0', .value_name = "S",
+            .help = "override the space file's base seed",
+            .default_value = std::nullopt})
+      .add({.long_name = "resume", .short_name = '\0', .value_name = "",
+            .help = "replay DIR/search.journal as an evaluation cache and "
+                    "run only what is missing",
+            .default_value = std::nullopt})
+      .add({.long_name = "minimize", .short_name = '\0', .value_name = "",
+            .help = "greedily shrink the best finding to a minimal config",
+            .default_value = std::nullopt})
+      .add({.long_name = "keep", .short_name = '\0', .value_name = "FRAC",
+            .help = "minimizer keeps at least this fraction of the best "
+                    "objective",
+            .default_value = "0.9"})
+      .add({.long_name = "sim-shards", .short_name = '\0', .value_name = "N",
+            .help = "engine shards per scenario world (execution knob)",
+            .default_value = "0"})
+      .add({.long_name = "trace", .short_name = '\0', .value_name = "",
+            .help = "re-run frontier scenarios with trace capture "
+                    "(writes NAME.trace.bin)",
+            .default_value = std::nullopt})
+      .add({.long_name = "replay", .short_name = '\0', .value_name = "FILE",
+            .help = "verify one frontier entry of FILE instead of searching",
+            .default_value = std::nullopt})
+      .add({.long_name = "index", .short_name = '\0', .value_name = "K",
+            .help = "frontier entry to replay (rank K+1)",
+            .default_value = "0"})
+      .add({.long_name = "minimized", .short_name = '\0', .value_name = "",
+            .help = "replay the minimized entry instead of a ranked one",
+            .default_value = std::nullopt});
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+  if (args.has("replay")) return run_search_replay(args);
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: hpas search <space.json> [options]\n"
+                 "       hpas search --replay <frontier.json> [--index K]\n");
+    return 2;
+  }
+
+  auto space = hpas::search::ScenarioSpace::load_file(args.positional()[0]);
+  if (args.has("seed"))
+    space.set_base_seed(hpas::parse_u64(args.value("seed")));
+
+  const std::string out_dir = args.value("out");
+  std::filesystem::create_directories(out_dir);
+
+  // Static lifetime: the watcher thread may outlive this frame (see
+  // run_sweep_command).
+  static hpas::CancelToken graceful;
+  auto& shutdown = hpas::ShutdownController::instance();
+  shutdown.install();
+  ScopedShutdownSubscription on_signal([](int) {
+    graceful.cancel(hpas::CancelReason::kShutdown);
+    std::fprintf(stderr,
+                 "\nhpas: finishing the running batch (journaling), then "
+                 "stopping; resume with --resume\n");
+  });
+
+  hpas::search::SearchOptions options;
+  options.strategy = args.value("strategy");
+  options.objective = args.value("objective");
+  options.budget = hpas::parse_u64(args.value("budget"));
+  options.batch = hpas::parse_u64(args.value("batch"));
+  options.frontier_size = hpas::parse_u64(args.value("frontier"));
+  options.threads = static_cast<int>(hpas::parse_u64(args.value("threads")));
+  options.sim_shards =
+      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+  options.journal_path = out_dir + "/search.journal";
+  options.resume = args.flag("resume");
+  options.minimize = args.flag("minimize");
+  options.minimize_keep = std::stod(args.value("keep"));
+  options.graceful = &graceful;
+
+  std::printf("search '%s': strategy=%s objective=%s budget=%zu seed=%llu\n",
+              space.name().c_str(), options.strategy.c_str(),
+              options.objective.c_str(), options.budget,
+              static_cast<unsigned long long>(space.base_seed()));
+
+  const auto result = hpas::search::run_search(space, options);
+
+  const std::string frontier_path = out_dir + "/frontier.json";
+  write_text_file(frontier_path,
+                  result.frontier_json(space, frontier_path).dump(2));
+
+  for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+    const auto& e = result.frontier[i];
+    std::printf("  #%zu %-20s objective=%.6g app_time=%.1fs\n", i + 1,
+                e.spec.name.c_str(), e.objective, e.app_elapsed_s);
+  }
+  if (result.has_minimized)
+    std::printf("  min %-20s objective=%.6g (keep >= %.2f of best)\n",
+                result.minimized.spec.name.c_str(),
+                result.minimized.objective, options.minimize_keep);
+
+  // Optional trace captures of the frontier: deterministic re-runs of the
+  // winning scenarios, replay-diffable with trace_diff.
+  if (args.flag("trace")) {
+    for (const auto& e : result.frontier) {
+      const auto rerun = hpas::runner::run_scenario(
+          e.spec, /*capture_trace=*/true, nullptr, options.sim_shards);
+      write_text_file(out_dir + "/" + e.spec.name + ".trace.bin",
+                      rerun.trace_bin);
+    }
+    std::printf("wrote %zu frontier trace(s) to %s/\n",
+                result.frontier.size(), out_dir.c_str());
+  }
+
+  std::printf("search: %zu evaluated, %zu cached; wrote %s\n",
+              result.executed, result.cached, frontier_path.c_str());
+  if (result.interrupted) {
+    std::printf("hpas: search interrupted after draining; resume with: "
+                "hpas search ... -o %s --resume\n",
+                out_dir.c_str());
+  }
+  return 0;
+}
+
 void print_catalog() {
   std::printf("%-12s %-16s %-34s %s\n", "NAME", "SUBSYSTEM", "BEHAVIOR",
               "KNOBS");
@@ -323,6 +562,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "sweep") {
       return run_sweep_command({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "search") {
+      return run_search_command({args.begin() + 1, args.end()});
     }
     if (!hpas::anomalies::is_known_anomaly(args[0])) {
       std::fprintf(stderr, "hpas: unknown anomaly '%s'; try `hpas list`\n",

@@ -109,6 +109,12 @@ std::string encode_record(const JournalRecord& r) {
   put_f64(payload, r.app_elapsed_s);
   put_f64(payload, r.wall_seconds);
   put_string(payload, r.error);
+  if (r.has_objective) {
+    // Trailing extension (see JournalRecord): absent in sweep records,
+    // so their frames stay byte-identical to the legacy format.
+    put_u8(payload, 1);
+    put_f64(payload, r.objective);
+  }
   return payload;
 }
 
@@ -126,6 +132,15 @@ bool decode_record(const unsigned char* data, std::size_t n,
   out.app_elapsed_s = c.f64();
   out.wall_seconds = c.f64();
   out.error = c.str();
+  out.has_objective = false;
+  out.objective = 0.0;
+  if (c.ok && c.off < n) {
+    // Trailing objective extension; anything else trailing is corruption.
+    const std::uint8_t flag = c.u8();
+    if (flag != 1) return false;
+    out.objective = c.f64();
+    out.has_objective = true;
+  }
   if (!c.ok || c.off != n) return false;
   if (status < 1 || status > 4) return false;
   out.status = static_cast<JournalStatus>(status);

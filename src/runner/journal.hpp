@@ -49,6 +49,13 @@ struct JournalRecord {
   double app_elapsed_s = 0.0;  ///< simulated result (feeds summary.json)
   double wall_seconds = 0.0;   ///< host execution time (diagnostics only)
   std::string error;           ///< non-empty for kFailed
+  /// Optional trailing extension used by `hpas search`: the scenario's
+  /// final objective value, journaled so resume can reuse evaluations as
+  /// an exact cache without recomputing probe-based objectives. Encoded
+  /// only when set, so sweep journals keep their exact legacy bytes; the
+  /// decoder accepts both layouts.
+  bool has_objective = false;
+  double objective = 0.0;
 };
 
 /// Stable digest of every ScenarioSpec field that affects the scenario's

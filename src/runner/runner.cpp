@@ -181,7 +181,8 @@ const char* scenario_status_name(ScenarioStatus status) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace,
-                            const CancelToken* cancel, int sim_shards) {
+                            const CancelToken* cancel, int sim_shards,
+                            const std::function<void(sim::World&)>& inspect) {
   ScenarioResult result;
   result.spec = spec;
 
@@ -252,6 +253,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace,
                              world->now());
     }
   }
+
+  if (inspect && result.status == ScenarioStatus::kDone) inspect(*world);
 
   std::ostringstream csv;
   metrics::write_csv(csv, world->node_store(0));

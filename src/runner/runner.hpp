@@ -20,12 +20,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/cancel.hpp"
 #include "common/json.hpp"
 #include "runner/grid.hpp"
+
+namespace hpas::sim {
+class World;
+}
 
 namespace hpas::runner {
 
@@ -126,10 +131,16 @@ struct SweepResult {
 /// `sim_shards` > 0 shards the scenario's engine (World::set_shards);
 /// 0 keeps the world's default. Pure execution knob -- all outputs are
 /// bit-identical at any shard count.
-ScenarioResult run_scenario(const ScenarioSpec& spec,
-                            bool capture_trace = false,
-                            const CancelToken* cancel = nullptr,
-                            int sim_shards = 0);
+///
+/// `inspect` (optional) is invoked on the scenario's world after a
+/// *completed* run, before the world is torn down -- the hook behind
+/// probe-based search objectives (WBAS capacity ranks, classifier
+/// confidence). It must be deterministic and must not advance the
+/// simulation if the scenario's outputs are to stay reproducible.
+ScenarioResult run_scenario(
+    const ScenarioSpec& spec, bool capture_trace = false,
+    const CancelToken* cancel = nullptr, int sim_shards = 0,
+    const std::function<void(sim::World&)>& inspect = {});
 
 /// Runs the whole grid across `options.threads` workers.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});

@@ -1,0 +1,116 @@
+// Guided scenario-space search driver.
+//
+// run_search() walks a ScenarioSpace with a pluggable strategy, evaluating
+// proposals on the work-stealing pool and scoring them with a pluggable
+// objective. The search is *batch-synchronous*: the strategy proposes a
+// fixed-size batch, the pool evaluates it in parallel, and the results are
+// observed in proposal order -- so the trajectory is a pure function of
+// (space, seed, objective), independent of thread count.
+//
+// Determinism + crash safety contract (see DESIGN.md):
+//   * Every distinct point materializes to the same ScenarioSpec (name and
+//     seed derived from the point hash), so a point's evaluation is a pure
+//     function of the point.
+//   * Every finished evaluation is appended to the PR-4 crash-safe journal
+//     -- in deterministic batch order, with wall_seconds zeroed and the
+//     final objective stored in the record's trailing extension -- which
+//     makes the journal both byte-reproducible and an *exact evaluation
+//     cache*: --resume replays the strategy from scratch, satisfies every
+//     already-journaled evaluation from the cache, and runs only the
+//     missing suffix. An interrupted search therefore converges to the
+//     exact bytes (journal and frontier) of an uninterrupted one.
+//   * The frontier JSON contains nothing execution-dependent (no wall
+//     clock, no thread count, no executed/cached tallies).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/json.hpp"
+#include "search/objective.hpp"
+#include "search/space.hpp"
+
+namespace hpas::search {
+
+struct SearchOptions {
+  std::string strategy = "anneal";  ///< random | anneal | bandit
+  std::string objective = "max_degradation_per_intensity";
+  std::size_t budget = 64;   ///< total proposals to evaluate
+  std::size_t batch = 8;     ///< proposals per batch (a search parameter,
+                             ///< NOT the thread count)
+  std::size_t frontier_size = 8;
+  int threads = 1;           ///< pool workers; 0 = hardware concurrency
+  std::size_t queue_capacity = 256;
+  int sim_shards = 0;        ///< per-scenario engine shards (execution knob)
+  /// Path of the evaluation journal (conventionally <out>/search.journal).
+  /// Empty disables journaling (and with it crash safety).
+  std::string journal_path;
+  /// Replay the journal first and reuse every validated evaluation.
+  bool resume = false;
+  /// Run the greedy dimension-minimizer on the best frontier entry.
+  bool minimize = false;
+  /// Minimizer threshold: shrunk configs must keep at least this fraction
+  /// of the best objective value.
+  double minimize_keep = 0.9;
+  /// Drain request: finish the running batch, then stop proposing.
+  const CancelToken* graceful = nullptr;
+  /// Pre-built objective (tests inject small ones); when null, the driver
+  /// calls make_objective(objective).
+  std::shared_ptr<const Objective> objective_impl;
+};
+
+struct FrontierEntry {
+  Point point;
+  runner::ScenarioSpec spec;  ///< materialized (name + seed derived)
+  double objective = 0.0;
+  double app_elapsed_s = 0.0;
+  std::uint64_t app_iterations = 0;
+};
+
+struct SearchResult {
+  std::string space_name;
+  std::string strategy;
+  std::string objective;
+  std::uint64_t seed = 0;  ///< the space's base seed (drives everything)
+  std::size_t budget = 0;
+  std::size_t batch = 0;
+  std::vector<FrontierEntry> frontier;  ///< ranked, best first
+  bool has_minimized = false;
+  FrontierEntry minimized;  ///< set when the minimizer ran
+  bool interrupted = false; ///< a graceful drain cut the search short
+
+  std::size_t executed = 0;  ///< scenarios run this invocation
+  std::size_t cached = 0;    ///< evaluations served from the journal
+
+  /// Deterministic frontier document: ranked entries with the point, the
+  /// full replayable spec, the sweep-style summary row and a replay
+  /// command line. Byte-identical across thread counts and resume.
+  Json frontier_json(const ScenarioSpace& space,
+                     const std::string& replay_path) const;
+};
+
+/// Objective score recorded for evaluations that threw: low enough that a
+/// failed point never enters the frontier yet still totally ordered.
+constexpr double kFailedObjective = -1e30;
+
+/// Serialization used by frontier entries and `hpas search --replay`:
+/// every ScenarioSpec field, seed as a decimal string (64-bit seeds do
+/// not survive JSON doubles).
+Json spec_to_json(const runner::ScenarioSpec& spec);
+runner::ScenarioSpec spec_from_json(const Json& doc);
+
+/// The sweep summary row this scenario would produce in a clean sweep
+/// (same members, same order as SweepResult::summary_json rows) -- the
+/// byte-level replay target.
+Json summary_row_json(const runner::ScenarioSpec& spec, double app_elapsed_s,
+                      std::uint64_t app_iterations);
+
+/// Runs the search. Throws ConfigError on invalid options and SystemError
+/// on journal I/O failure.
+SearchResult run_search(const ScenarioSpace& space,
+                        const SearchOptions& options);
+
+}  // namespace hpas::search

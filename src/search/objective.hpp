@@ -1,0 +1,144 @@
+// Pluggable search objectives.
+//
+// An objective turns one evaluated scenario into a single maximized score.
+// Scores are computed from the scenario's summary scalars (app execution
+// time, iterations -- exactly what the sweep summary JSON carries and the
+// journal checkpoints), optionally augmented by
+//   * a baseline run (the same scenario with anomaly "none"), which the
+//     driver evaluates, caches and journals like any other scenario, and
+//   * a world probe -- a deterministic measurement taken on the simulated
+//     world right after the run, before teardown (e.g. WBAS computing-
+//     capacity ranks, or classifier confidence over the monitoring
+//     window's features).
+//
+// Determinism contract: score() must be a pure function of its arguments,
+// and probe() a pure function of the post-run world state -- the journal
+// stores the final objective value per scenario, and resume trusts it as
+// an exact evaluation cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "runner/grid.hpp"
+#include "sim/world.hpp"
+
+namespace hpas::search {
+
+/// The summary scalars one scenario evaluation produces.
+struct Measurement {
+  double app_elapsed_s = 0.0;
+  std::uint64_t app_iterations = 0;
+};
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual const char* name() const = 0;
+
+  /// True when score() needs the anomaly-free baseline's app time; the
+  /// driver evaluates (and journals) one baseline per distinct
+  /// configuration.
+  virtual bool needs_baseline() const { return false; }
+
+  /// True when the objective measures the post-run world (probe()).
+  virtual bool needs_probe() const { return false; }
+
+  /// Deterministic measurement on the world right after the scenario ran
+  /// (only called when needs_probe()). Runs on the evaluating worker
+  /// thread; the world is scenario-private, so no synchronization is
+  /// needed.
+  virtual double probe(sim::World& world,
+                       const runner::ScenarioSpec& spec) const {
+    (void)world;
+    (void)spec;
+    return 0.0;
+  }
+
+  /// The maximized score. `baseline` is all-zero when no baseline was
+  /// requested (or it failed); `probe_value` is 0 unless needs_probe().
+  virtual double score(const runner::ScenarioSpec& spec,
+                       const Measurement& run, const Measurement& baseline,
+                       double probe_value) const = 0;
+};
+
+/// App slowdown per unit anomaly intensity, measured on iteration
+/// *throughput* so it works in both run modes: in windowed runs the
+/// elapsed time is pinned to the window and only the completed-iteration
+/// count carries the degradation; in run-to-completion runs the iteration
+/// count is pinned and the ratio reduces to the paper's execution-time
+/// ratio. score = (baseline_throughput / throughput - 1) / intensity --
+/// the fig08 question: which anomaly configurations hurt applications
+/// most for the least injected load. Anomaly-free scenarios score
+/// exactly 0.
+class DegradationPerIntensityObjective final : public Objective {
+ public:
+  const char* name() const override {
+    return "max_degradation_per_intensity";
+  }
+  bool needs_baseline() const override { return true; }
+  double score(const runner::ScenarioSpec& spec, const Measurement& run,
+               const Measurement& baseline,
+               double probe_value) const override;
+};
+
+/// Drives the fig09/fig10 classifier's confidence in the *true* anomaly
+/// class down: score = 1 - P(true class | window features), where the
+/// probability comes from a RandomForest trained on the diagnosis dataset.
+/// A high score is an anomaly configuration the ML diagnosis misses.
+/// Anomaly-free scenarios (nothing to evade) score 0.
+class EvadeDiagnosisObjective final : public Objective {
+ public:
+  /// Takes a trained forest and the class list it was trained with
+  /// (tests inject small ones; make_objective trains the default).
+  EvadeDiagnosisObjective(std::shared_ptr<const ml::RandomForest> forest,
+                          std::vector<std::string> classes,
+                          double warmup_s = 2.0);
+
+  const char* name() const override { return "evade_diagnosis"; }
+  bool needs_probe() const override { return true; }
+  double probe(sim::World& world,
+               const runner::ScenarioSpec& spec) const override;
+  double score(const runner::ScenarioSpec& spec, const Measurement& run,
+               const Measurement& baseline,
+               double probe_value) const override;
+
+ private:
+  std::shared_ptr<const ml::RandomForest> forest_;
+  std::vector<std::string> classes_;
+  double warmup_s_;
+};
+
+/// Scheduler worst case (fig12/fig13): how attractive the anomalous node
+/// still looks to WBAS after the anomaly ran, as the ratio of its
+/// computing-capacity value to the best node's. 1 means WBAS would
+/// allocate the next job straight onto the degraded node -- the
+/// allocation-policy failure mode the paper studies.
+class SchedulerWorstCaseObjective final : public Objective {
+ public:
+  const char* name() const override { return "scheduler_worst_case"; }
+  bool needs_probe() const override { return true; }
+  double probe(sim::World& world,
+               const runner::ScenarioSpec& spec) const override;
+  double score(const runner::ScenarioSpec& spec, const Measurement& run,
+               const Measurement& baseline,
+               double probe_value) const override;
+};
+
+struct ObjectiveFactoryOptions {
+  /// Worker threads for one-off setup work (the evade objective trains a
+  /// forest on a freshly generated diagnosis dataset).
+  int threads = 1;
+};
+
+/// Factory by CLI name: "max_degradation_per_intensity" (alias
+/// "degradation"), "evade_diagnosis" (alias "evade"),
+/// "scheduler_worst_case" (alias "wbas"). Throws ConfigError otherwise.
+/// Building "evade_diagnosis" generates a small deterministic diagnosis
+/// dataset and trains the classifier -- a one-time, seeded setup cost.
+std::unique_ptr<Objective> make_objective(
+    const std::string& name, const ObjectiveFactoryOptions& options = {});
+
+}  // namespace hpas::search

@@ -1,0 +1,169 @@
+#include "search/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpas::search {
+namespace {
+
+/// Stream-splitting: each strategy derives its generator from (seed, tag)
+/// so strategies seeded alike but named differently do not share streams.
+Rng strategy_rng(std::uint64_t seed, std::uint64_t tag) {
+  SplitMix64 mixer(seed ^ tag);
+  return Rng(mixer.next());
+}
+
+}  // namespace
+
+// --- random ------------------------------------------------------------
+
+RandomStrategy::RandomStrategy(const ScenarioSpace& space, std::uint64_t seed)
+    : space_(space), rng_(strategy_rng(seed, 0x52414e44ULL /* "RAND" */)) {}
+
+std::vector<Point> RandomStrategy::propose(std::size_t count) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(space_.sample(rng_));
+  return out;
+}
+
+void RandomStrategy::observe(const Point&, double) {}
+
+// --- simulated annealing ----------------------------------------------
+
+AnnealingStrategy::AnnealingStrategy(const ScenarioSpace& space,
+                                     std::uint64_t seed, Options options)
+    : space_(space),
+      rng_(strategy_rng(seed, 0x414e4e45ULL /* "ANNE" */)),
+      options_(options) {}
+
+std::vector<Point> AnnealingStrategy::propose(std::size_t count) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!has_current_) {
+      out.push_back(space_.sample(rng_));
+    } else {
+      out.push_back(space_.mutate(current_, rng_, options_.mutation_scale));
+    }
+  }
+  return out;
+}
+
+void AnnealingStrategy::observe(const Point& p, double objective) {
+  // Geometric cooling, one step per observation; the temperature is
+  // relative to the incumbent's magnitude so the schedule does not depend
+  // on the objective's absolute scale.
+  const double temperature =
+      options_.initial_temperature *
+      std::pow(options_.decay, static_cast<double>(observed_));
+  ++observed_;
+
+  if (!has_current_ || objective >= current_value_) {
+    current_ = p;
+    current_value_ = objective;
+    has_current_ = true;
+  } else {
+    const double scale = std::max(std::abs(current_value_), 1e-3);
+    const double accept =
+        std::exp((objective - current_value_) / (temperature * scale));
+    if (rng_.uniform01() < accept) {
+      current_ = p;
+      current_value_ = objective;
+    }
+  }
+  if (best_.coords.empty() || objective > best_value_) {
+    best_ = p;
+    best_value_ = objective;
+  }
+}
+
+// --- epsilon-greedy bandit --------------------------------------------
+
+BanditStrategy::BanditStrategy(const ScenarioSpace& space, std::uint64_t seed,
+                               Options options)
+    : space_(space),
+      rng_(strategy_rng(seed, 0x42414e44ULL /* "BAND" */)),
+      options_(options),
+      pulls_(space.size() + 1, 0),
+      total_reward_(space.size() + 1, 0.0) {}
+
+std::size_t BanditStrategy::pick_arm() {
+  const std::size_t arms = pulls_.size();
+  if (rng_.uniform01() < options_.epsilon)
+    return static_cast<std::size_t>(rng_.next_below(arms));
+  // Exploit: best mean reward; unpulled arms count as 0, ties resolve to
+  // the lowest index -- both deterministic.
+  std::size_t best_arm = 0;
+  double best_mean = -1.0;
+  for (std::size_t a = 0; a < arms; ++a) {
+    const double mean =
+        pulls_[a] == 0 ? 0.0
+                       : total_reward_[a] / static_cast<double>(pulls_[a]);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best_arm = a;
+    }
+  }
+  return best_arm;
+}
+
+std::vector<Point> BanditStrategy::propose(std::size_t count) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!has_best_) {
+      out.push_back(space_.sample(rng_));
+      pending_arms_.push_back(pulls_.size());  // sentinel: seeding draw
+      continue;
+    }
+    const std::size_t arm = pick_arm();
+    pending_arms_.push_back(arm);
+    if (arm == space_.size()) {
+      // The recombine arm: crossover of the incumbent with a fresh
+      // uniform sample (never an interpolation -- see ScenarioSpace).
+      out.push_back(space_.crossover(best_, space_.sample(rng_), rng_));
+    } else {
+      out.push_back(
+          space_.mutate_dimension(best_, arm, rng_, options_.mutation_scale));
+    }
+  }
+  return out;
+}
+
+void BanditStrategy::observe(const Point& p, double objective) {
+  const std::size_t arm = pending_next_ < pending_arms_.size()
+                              ? pending_arms_[pending_next_]
+                              : pulls_.size();
+  ++pending_next_;
+  // Reward is the improvement over the incumbent at observation time; a
+  // non-improving pull scores 0, so arm means stay comparable.
+  const double reward =
+      has_best_ ? std::max(0.0, objective - best_value_) : 0.0;
+  if (arm < pulls_.size()) {
+    ++pulls_[arm];
+    total_reward_[arm] += reward;
+  }
+  if (!has_best_ || objective > best_value_) {
+    best_ = p;
+    best_value_ = objective;
+    has_best_ = true;
+  }
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
+                                              const ScenarioSpace& space,
+                                              std::uint64_t seed) {
+  if (name == "random")
+    return std::make_unique<RandomStrategy>(space, seed);
+  if (name == "anneal" || name == "annealing")
+    return std::make_unique<AnnealingStrategy>(space, seed);
+  if (name == "bandit")
+    return std::make_unique<BanditStrategy>(space, seed);
+  throw ConfigError("search: unknown strategy '" + name +
+                    "' (expected random, anneal or bandit)");
+}
+
+}  // namespace hpas::search

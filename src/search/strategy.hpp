@@ -1,0 +1,129 @@
+// Pluggable search strategies over a ScenarioSpace.
+//
+// The driver runs the search in fixed-size batches: it asks the strategy
+// for `count` proposals, evaluates them on the work-stealing pool, and
+// feeds the results back through observe() in proposal order. Because the
+// batch size is a search parameter (not the thread count) and observations
+// are folded in proposal order, a strategy's trajectory is a pure function
+// of (space, seed, objective values) -- the pool's thread count is as
+// unobservable here as it is in `hpas sweep`.
+//
+// All randomness flows from one Rng seeded by the driver, so the proposal
+// sequence is bit-reproducible; strategies must not consult wall clocks,
+// addresses, or any other ambient state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/space.hpp"
+
+namespace hpas::search {
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  virtual const char* name() const = 0;
+
+  /// Next `count` points to evaluate, in order. Called once per batch.
+  virtual std::vector<Point> propose(std::size_t count) = 0;
+
+  /// Result of one evaluated proposal, fed back in proposal order.
+  /// Failed evaluations report a very large negative objective.
+  virtual void observe(const Point& p, double objective) = 0;
+};
+
+/// Uniform random sampling -- the baseline guided strategies must beat.
+class RandomStrategy final : public SearchStrategy {
+ public:
+  RandomStrategy(const ScenarioSpace& space, std::uint64_t seed);
+  const char* name() const override { return "random"; }
+  std::vector<Point> propose(std::size_t count) override;
+  void observe(const Point& p, double objective) override;
+
+ private:
+  const ScenarioSpace& space_;
+  Rng rng_;
+};
+
+/// Simulated annealing (maximizing): proposals are seeded mutations of the
+/// current chain state; Metropolis acceptance with a geometric temperature
+/// schedule decides whether the chain moves. The first batch is drawn
+/// uniformly to seed the chain.
+class AnnealingStrategy final : public SearchStrategy {
+ public:
+  struct Options {
+    double initial_temperature = 0.5;  ///< relative to the objective scale
+    double decay = 0.95;               ///< per observation
+    double mutation_scale = 0.2;       ///< stddev as a fraction of range
+  };
+
+  /// (No default for `options`: nested-class member initializers cannot
+  /// appear in a default argument of the enclosing class.)
+  AnnealingStrategy(const ScenarioSpace& space, std::uint64_t seed)
+      : AnnealingStrategy(space, seed, Options{}) {}
+  AnnealingStrategy(const ScenarioSpace& space, std::uint64_t seed,
+                    Options options);
+  const char* name() const override { return "anneal"; }
+  std::vector<Point> propose(std::size_t count) override;
+  void observe(const Point& p, double objective) override;
+
+  const Point& best_point() const { return best_; }
+  double best_value() const { return best_value_; }
+
+ private:
+  const ScenarioSpace& space_;
+  Rng rng_;
+  Options options_;
+  bool has_current_ = false;
+  Point current_;
+  double current_value_ = 0.0;
+  Point best_;
+  double best_value_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+/// Epsilon-greedy bandit over dimension subspaces: each dimension is an
+/// arm whose pull mutates the incumbent best point along that dimension
+/// only; arm value is the mean objective improvement it has produced. One
+/// extra "recombine" arm proposes a crossover of the incumbent with a
+/// fresh uniform sample, which is what lets the bandit escape a local
+/// optimum no single-dimension move can leave.
+class BanditStrategy final : public SearchStrategy {
+ public:
+  struct Options {
+    double epsilon = 0.25;       ///< exploration probability per proposal
+    double mutation_scale = 0.25;
+  };
+
+  BanditStrategy(const ScenarioSpace& space, std::uint64_t seed)
+      : BanditStrategy(space, seed, Options{}) {}
+  BanditStrategy(const ScenarioSpace& space, std::uint64_t seed,
+                 Options options);
+  const char* name() const override { return "bandit"; }
+  std::vector<Point> propose(std::size_t count) override;
+  void observe(const Point& p, double objective) override;
+
+ private:
+  std::size_t pick_arm();
+
+  const ScenarioSpace& space_;
+  Rng rng_;
+  Options options_;
+  bool has_best_ = false;
+  Point best_;
+  double best_value_ = 0.0;
+  std::vector<std::size_t> pulls_;    ///< per arm (last = recombine)
+  std::vector<double> total_reward_;  ///< per arm
+  std::vector<std::size_t> pending_arms_;  ///< arm of each open proposal
+  std::size_t pending_next_ = 0;
+};
+
+/// Factory by CLI name: "random", "anneal", "bandit". Throws ConfigError
+/// on anything else.
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
+                                              const ScenarioSpace& space,
+                                              std::uint64_t seed);
+
+}  // namespace hpas::search

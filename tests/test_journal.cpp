@@ -79,6 +79,8 @@ void expect_equal(const JournalRecord& a, const JournalRecord& b) {
   EXPECT_DOUBLE_EQ(a.app_elapsed_s, b.app_elapsed_s);
   EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
   EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.has_objective, b.has_objective);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
 }
 
 TEST_F(JournalTest, RoundTripsAllFields) {
@@ -171,6 +173,68 @@ TEST_F(JournalTest, ImplausibleFrameLengthStopsReading) {
   write_bytes(bytes);
   const JournalReadResult read = read_journal(path_);
   EXPECT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.dropped_frames, 1u);
+}
+
+TEST_F(JournalTest, ObjectiveExtensionRoundTrips) {
+  // `hpas search` stores the final objective in an optional trailing
+  // extension of the record; sweep records never set it, so their frames
+  // keep the exact legacy byte layout.
+  JournalRecord with = sample_record(0);
+  with.has_objective = true;
+  with.objective = -3.75;
+  JournalRecord without = sample_record(1);
+  {
+    JournalWriter writer(path_, /*truncate=*/true);
+    writer.append(with);
+    writer.append(without);
+  }
+  const JournalReadResult read = read_journal(path_);
+  EXPECT_TRUE(read.damage.empty()) << read.damage;
+  ASSERT_EQ(read.records.size(), 2u);
+  expect_equal(read.records[0], with);
+  EXPECT_TRUE(read.records[0].has_objective);
+  EXPECT_DOUBLE_EQ(read.records[0].objective, -3.75);
+  expect_equal(read.records[1], without);
+  EXPECT_FALSE(read.records[1].has_objective);
+  EXPECT_DOUBLE_EQ(read.records[1].objective, 0.0);
+}
+
+TEST_F(JournalTest, ObjectiveExtensionDoesNotChangeLegacyBytes) {
+  // A record without the extension must encode to the same bytes as
+  // before the field existed: byte-stability of sweep journals is part of
+  // the crash-resume contract.
+  {
+    JournalWriter writer(path_, /*truncate=*/true);
+    writer.append(sample_record(0));
+  }
+  const std::string legacy = read_bytes();
+  {
+    JournalRecord rec = sample_record(0);
+    rec.has_objective = false;
+    rec.objective = 123.0;  // must be ignored when the flag is off
+    JournalWriter writer(path_, /*truncate=*/true);
+    writer.append(rec);
+  }
+  EXPECT_EQ(read_bytes(), legacy);
+}
+
+TEST_F(JournalTest, CorruptObjectiveExtensionRejectsTheFrame) {
+  // The extension rides inside the CRC-guarded frame: a flipped bit in
+  // the objective bytes (the frame's tail, just before the CRC trailer)
+  // must drop the frame, never yield a silently wrong objective.
+  JournalRecord rec = sample_record(0);
+  rec.has_objective = true;
+  rec.objective = 2.5;
+  {
+    JournalWriter writer(path_, /*truncate=*/true);
+    writer.append(rec);
+  }
+  std::string bytes = read_bytes();
+  bytes[bytes.size() - 6] = static_cast<char>(bytes[bytes.size() - 6] ^ 0x01);
+  write_bytes(bytes);
+  const JournalReadResult read = read_journal(path_);
+  EXPECT_TRUE(read.records.empty());
   EXPECT_EQ(read.dropped_frames, 1u);
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "runner/grid.hpp"
 #include "runner/runner.hpp"
 
@@ -104,6 +105,37 @@ TEST_F(SweepOutputsTest, FailedScenariosProduceNoPartialFiles) {
   for (const std::string& name : names)
     EXPECT_TRUE(name.find(".tmp") == std::string::npos)
         << "stray temporary left behind: " << name;
+}
+
+TEST_F(SweepOutputsTest, InjectorKeysAreOptionalInSummaryRows) {
+  // Schema round-trip: summary rows carry injector_fail_at_s /
+  // injector_fail_tasks ONLY for degraded-injector scenarios, so clean
+  // sweeps stay byte-identical to summaries recorded before the fields
+  // existed. Search frontier replay relies on exactly this row shape.
+  auto grid = tiny_grid();
+  grid.scenarios[0].app = "CoMD";
+  grid.scenarios[0].anomaly = "cpuoccupy";
+  grid.scenarios[0].injector_fail_at_s = 1.5;
+  grid.scenarios[0].injector_fail_tasks = 2;
+  const auto result = hpas::runner::run_sweep(grid, {.threads = 1});
+  ASSERT_TRUE(result.ok()) << result.first_error();
+
+  const hpas::Json summary =
+      hpas::Json::parse(result.summary_json().dump(2));
+  const hpas::Json* rows = summary.find("scenarios");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 2u);
+
+  const hpas::Json& degraded = rows->as_array()[0];
+  ASSERT_NE(degraded.find("injector_fail_at_s"), nullptr);
+  ASSERT_NE(degraded.find("injector_fail_tasks"), nullptr);
+  EXPECT_DOUBLE_EQ(degraded.find("injector_fail_at_s")->as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(degraded.find("injector_fail_tasks")->as_number(), 2.0);
+
+  const hpas::Json& clean = rows->as_array()[1];
+  EXPECT_EQ(clean.find("injector_fail_at_s"), nullptr)
+      << "clean scenarios must not grow injector keys";
+  EXPECT_EQ(clean.find("injector_fail_tasks"), nullptr);
 }
 
 TEST_F(SweepOutputsTest, ObstructedTargetThrowsAndRemovesTemporary) {
