@@ -24,6 +24,11 @@
 //   hpas search space.json -o out/ --resume        # continue a killed search
 //   hpas search --replay out/frontier.json --index 0   # verify a finding
 //
+// Sweep-as-a-service (durable daemon with a content-addressed cache):
+//   hpas serve --data srv/ -j 8                # start the daemon
+//   hpas submit grid.json --socket srv/hpas.sock   # run a grid through it
+//   hpas submit --status --socket srv/hpas.sock    # server statistics
+//
 // Shutdown contract: the first SIGINT/SIGTERM drains gracefully (sweeps
 // journal in-flight scenarios and exit 0 with a resume hint); a second
 // signal cancels hard (exit 130) but still leaves a valid journal.
@@ -39,6 +44,7 @@
 #include "anomalies/schedule.hpp"
 #include "anomalies/suite.hpp"
 #include "common/cancel.hpp"
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
 #include "common/units.hpp"
@@ -46,6 +52,11 @@
 #include "runner/thread_pool.hpp"
 #include "search/driver.hpp"
 #include "search/space.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+#include <chrono>
+#include <thread>
 
 namespace {
 
@@ -155,7 +166,7 @@ int run_sweep_command(const std::vector<std::string>& argv) {
   }
 
   const auto grid = hpas::runner::load_grid_file(args.positional()[0]);
-  int threads = static_cast<int>(hpas::parse_u64(args.value("threads")));
+  int threads = static_cast<int>(hpas::flag_u64(args, "threads"));
   if (threads == 0)
     threads = hpas::runner::WorkStealingPool::default_thread_count();
   std::printf("sweep '%s': %zu scenarios across %d threads\n",
@@ -191,10 +202,10 @@ int run_sweep_command(const std::vector<std::string>& argv) {
   options.queue_capacity = 256;
   options.capture_traces = args.flag("trace");
   options.scenario_timeout_s =
-      hpas::parse_duration_seconds(args.value("scenario-timeout"));
-  options.deadline_s = hpas::parse_duration_seconds(args.value("deadline"));
+      hpas::flag_duration_seconds(args, "scenario-timeout");
+  options.deadline_s = hpas::flag_duration_seconds(args, "deadline");
   options.sim_shards =
-      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+      static_cast<int>(hpas::flag_u64(args, "sim-shards"));
   options.journal_path = out_dir + "/sweep.journal";
   options.resume = args.flag("resume");
   options.graceful = &graceful;
@@ -288,7 +299,7 @@ int run_search_replay(const hpas::ParsedArgs& args) {
     if (frontier == nullptr || !frontier->is_array())
       throw hpas::ConfigError("replay: document has no frontier array");
     const auto index =
-        static_cast<std::size_t>(hpas::parse_u64(args.value("index")));
+        static_cast<std::size_t>(hpas::flag_u64(args, "index"));
     if (index >= frontier->as_array().size())
       throw hpas::ConfigError("replay: --index is out of range");
     entry = &frontier->as_array()[index];
@@ -300,7 +311,7 @@ int run_search_replay(const hpas::ParsedArgs& args) {
 
   const auto spec = hpas::search::spec_from_json(*spec_doc);
   const int sim_shards =
-      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+      static_cast<int>(hpas::flag_u64(args, "sim-shards"));
   const auto result =
       hpas::runner::run_scenario(spec, args.flag("trace"), nullptr,
                                  sim_shards);
@@ -406,7 +417,7 @@ int run_search_command(const std::vector<std::string>& argv) {
 
   auto space = hpas::search::ScenarioSpace::load_file(args.positional()[0]);
   if (args.has("seed"))
-    space.set_base_seed(hpas::parse_u64(args.value("seed")));
+    space.set_base_seed(hpas::flag_u64(args, "seed"));
 
   const std::string out_dir = args.value("out");
   std::filesystem::create_directories(out_dir);
@@ -426,16 +437,16 @@ int run_search_command(const std::vector<std::string>& argv) {
   hpas::search::SearchOptions options;
   options.strategy = args.value("strategy");
   options.objective = args.value("objective");
-  options.budget = hpas::parse_u64(args.value("budget"));
-  options.batch = hpas::parse_u64(args.value("batch"));
-  options.frontier_size = hpas::parse_u64(args.value("frontier"));
-  options.threads = static_cast<int>(hpas::parse_u64(args.value("threads")));
+  options.budget = hpas::flag_u64(args, "budget");
+  options.batch = hpas::flag_u64(args, "batch");
+  options.frontier_size = hpas::flag_u64(args, "frontier");
+  options.threads = static_cast<int>(hpas::flag_u64(args, "threads"));
   options.sim_shards =
-      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+      static_cast<int>(hpas::flag_u64(args, "sim-shards"));
   options.journal_path = out_dir + "/search.journal";
   options.resume = args.flag("resume");
   options.minimize = args.flag("minimize");
-  options.minimize_keep = std::stod(args.value("keep"));
+  options.minimize_keep = hpas::flag_double(args, "keep");
   options.graceful = &graceful;
 
   std::printf("search '%s': strategy=%s objective=%s budget=%zu seed=%llu\n",
@@ -480,6 +491,202 @@ int run_search_command(const std::vector<std::string>& argv) {
                 out_dir.c_str());
   }
   return 0;
+}
+
+int run_serve_command(const std::vector<std::string>& argv) {
+  hpas::CliParser parser(
+      "hpas serve",
+      "long-running experiment daemon with a durable result cache");
+  parser
+      .add({.long_name = "data", .short_name = 'o', .value_name = "DIR",
+            .help = "durable state: server.journal + result spool",
+            .default_value = "serve-data"})
+      .add({.long_name = "socket", .short_name = 's', .value_name = "PATH",
+            .help = "unix-domain listener (default: DATA/hpas.sock)",
+            .default_value = std::nullopt})
+      .add({.long_name = "tcp", .short_name = '\0', .value_name = "PORT",
+            .help = "also listen on 127.0.0.1:PORT (0 = ephemeral)",
+            .default_value = std::nullopt})
+      .add({.long_name = "threads", .short_name = 'j', .value_name = "N",
+            .help = "worker threads; 0 = all hardware threads",
+            .default_value = "0"})
+      .add({.long_name = "admit", .short_name = '\0', .value_name = "N",
+            .help = "max outstanding scenarios before `busy` backpressure",
+            .default_value = "64"})
+      .add({.long_name = "sim-shards", .short_name = '\0', .value_name = "N",
+            .help = "engine shards per scenario world (execution knob)",
+            .default_value = "0"});
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  hpas::server::ServerOptions options;
+  options.data_dir = args.value("data");
+  options.socket_path = args.has("socket") ? args.value("socket")
+                                           : options.data_dir + "/hpas.sock";
+  if (args.has("tcp"))
+    options.tcp_port = static_cast<int>(hpas::flag_u64(args, "tcp"));
+  options.threads = static_cast<int>(hpas::flag_u64(args, "threads"));
+  options.admission_capacity =
+      static_cast<std::size_t>(hpas::flag_u64(args, "admit"));
+  options.sim_shards = static_cast<int>(hpas::flag_u64(args, "sim-shards"));
+  // The cache replays the journal before the socket exists, so the data
+  // dir must be creatable up front.
+  std::filesystem::create_directories(options.data_dir);
+
+  hpas::server::Server server(options);
+  server.start();
+
+  auto& shutdown = hpas::ShutdownController::instance();
+  shutdown.install();
+  ScopedShutdownSubscription on_signal([&server](int count) {
+    // Nonblocking on the watcher thread: the blocking drain happens in
+    // server.wait() below, so a second signal can still get through.
+    if (count == 1) {
+      std::fprintf(stderr,
+                   "\nhpas: draining (finishing admitted scenarios, "
+                   "journaling); signal again to cancel hard\n");
+      server.request_drain();
+    } else {
+      server.request_hard();
+    }
+  });
+
+  const auto stats = server.stats();
+  std::printf("serve: listening on %s", options.socket_path.c_str());
+  if (server.tcp_port() >= 0)
+    std::printf(" and 127.0.0.1:%d", server.tcp_port());
+  std::printf("\nserve: cache ready, %zu result(s) restored from %s\n",
+              stats.restored, options.data_dir.c_str());
+  std::fflush(stdout);  // "cache ready" is the scriptable readiness line
+
+  const std::uint64_t executed = server.wait();
+  const auto final_stats = server.stats();
+  std::printf("serve: %llu submission(s), %llu executed, %llu cache hit(s), "
+              "%llu coalesced, %llu busy\n",
+              static_cast<unsigned long long>(final_stats.submissions),
+              static_cast<unsigned long long>(executed),
+              static_cast<unsigned long long>(final_stats.cache_hits),
+              static_cast<unsigned long long>(final_stats.coalesced),
+              static_cast<unsigned long long>(final_stats.busy_rejected));
+  if (shutdown.hard_requested()) return 130;
+  return 0;
+}
+
+int run_submit_command(const std::vector<std::string>& argv) {
+  hpas::CliParser parser(
+      "hpas submit", "run a scenario grid through a running `hpas serve`");
+  parser
+      .add({.long_name = "socket", .short_name = 's', .value_name = "PATH",
+            .help = "daemon's unix-domain socket",
+            .default_value = "serve-data/hpas.sock"})
+      .add({.long_name = "tcp", .short_name = '\0', .value_name = "PORT",
+            .help = "connect to 127.0.0.1:PORT instead of the socket",
+            .default_value = std::nullopt})
+      .add({.long_name = "out", .short_name = 'o', .value_name = "DIR",
+            .help = "also write each scenario's metrics CSV here",
+            .default_value = std::nullopt})
+      .add({.long_name = "status", .short_name = '\0', .value_name = "",
+            .help = "print server statistics instead of submitting",
+            .default_value = std::nullopt});
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  auto client =
+      args.has("tcp")
+          ? hpas::server::Client::connect_tcp(
+                static_cast<int>(hpas::flag_u64(args, "tcp")))
+          : hpas::server::Client::connect(args.value("socket"));
+
+  if (args.flag("status")) {
+    client.request_status();
+    hpas::Json frame;
+    while (client.recv(frame)) {
+      if (frame.string_or("type", "") != "status") continue;
+      std::fputs(frame.dump(2).c_str(), stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "hpas: server closed before answering\n");
+    return 1;
+  }
+
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: hpas submit <grid.json> [--socket PATH | --tcp "
+                 "PORT] [-o DIR]\n");
+    return 2;
+  }
+  const auto grid = hpas::runner::load_grid_file(args.positional()[0]);
+  if (args.has("out"))
+    std::filesystem::create_directories(args.value("out"));
+
+  std::size_t done = 0, failed = 0, hits = 0, refused = 0;
+  for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
+    const auto& spec = grid.scenarios[i];
+    const std::uint64_t id = i + 1;
+    bool cached = false;
+    hpas::Json outcome;
+    // Submit-and-wait per scenario; `busy` answers are retried -- the
+    // explicit backpressure loop the daemon's bounded admission expects.
+    while (true) {
+      client.submit(id, spec);
+      bool retry = false;
+      hpas::Json frame;
+      while (true) {
+        if (!client.recv(frame))
+          throw hpas::SystemError("submit: server closed mid-campaign");
+        if (static_cast<std::uint64_t>(frame.number_or("id", 0)) != id)
+          continue;
+        const std::string type = frame.string_or("type", "");
+        if (type == "accepted") {
+          cached = frame.bool_or("cached", false);
+          continue;
+        }
+        if (type == "busy") {
+          retry = true;
+          break;
+        }
+        outcome = std::move(frame);
+        break;
+      }
+      if (!retry) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    const std::string type = outcome.string_or("type", "");
+    const std::string status = outcome.string_or("status", type);
+    if (cached) ++hits;
+    if (type == "result" && status == "done") {
+      ++done;
+      if (args.has("out")) {
+        const hpas::Json* csv = outcome.find("metrics_csv");
+        if (csv != nullptr)
+          write_text_file(args.value("out") + "/" + spec.name + ".csv",
+                          csv->as_string());
+      }
+    } else if (type == "draining") {
+      ++refused;
+    } else {
+      ++failed;
+    }
+    std::printf("  %-40s %-9s%s\n", spec.name.c_str(), status.c_str(),
+                cached ? "  (cached)" : "");
+    if (!outcome.string_or("error", "").empty() ||
+        outcome.find("message") != nullptr)
+      std::fprintf(stderr, "hpas: %s: %s\n", spec.name.c_str(),
+                   outcome.string_or("error",
+                                     outcome.string_or("message", ""))
+                       .c_str());
+  }
+  std::printf("submit: %zu scenario(s), %zu done, %zu failed, %zu refused, "
+              "%zu cache hit(s)\n",
+              grid.scenarios.size(), done, failed, refused, hits);
+  return (failed == 0 && refused == 0) ? 0 : 1;
 }
 
 void print_catalog() {
@@ -565,6 +772,12 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "search") {
       return run_search_command({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "serve") {
+      return run_serve_command({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "submit") {
+      return run_submit_command({args.begin() + 1, args.end()});
     }
     if (!hpas::anomalies::is_known_anomaly(args[0])) {
       std::fprintf(stderr, "hpas: unknown anomaly '%s'; try `hpas list`\n",

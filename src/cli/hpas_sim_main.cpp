@@ -110,12 +110,12 @@ int run(const hpas::ParsedArgs& args) {
                             "' (expected voltrino, chameleon or dragonfly1k)");
   }
   const int sim_shards =
-      static_cast<int>(hpas::parse_u64(args.value("sim-shards")));
+      static_cast<int>(hpas::flag_u64(args, "sim-shards"));
   if (sim_shards > 0) world->set_shards(sim_shards);
 
-  const double duration = hpas::parse_duration_seconds(args.value("duration"));
+  const double duration = hpas::flag_duration_seconds(args, "duration");
   const double period =
-      hpas::parse_duration_seconds(args.value("sample-period"));
+      hpas::flag_duration_seconds(args, "sample-period");
 
   const std::string trace_path = args.value("trace");
   const std::string check_path = args.value("check-trace");
@@ -132,15 +132,15 @@ int run(const hpas::ParsedArgs& args) {
   if (!anomaly.empty()) {
     const auto injected = hpas::simanom::inject_by_name(
         *world, anomaly,
-        static_cast<int>(hpas::parse_u64(args.value("anomaly-node"))),
-        static_cast<int>(hpas::parse_u64(args.value("anomaly-core"))),
-        duration, hpas::parse_double(args.value("intensity")));
+        static_cast<int>(hpas::flag_u64(args, "anomaly-node")),
+        static_cast<int>(hpas::flag_u64(args, "anomaly-core")),
+        duration, hpas::flag_double(args, "intensity"));
     const std::string fail_at = args.value("fail-at");
     if (!fail_at.empty()) {
       const int fail_tasks =
-          static_cast<int>(hpas::parse_u64(args.value("fail-tasks")));
+          static_cast<int>(hpas::flag_u64(args, "fail-tasks"));
       hpas::simanom::schedule_injector_failure(
-          *world, injected, hpas::parse_duration_seconds(fail_at),
+          *world, injected, hpas::flag_duration_seconds(args, "fail-at"),
           fail_tasks == 0 ? -1 : fail_tasks);
     }
   }
@@ -156,7 +156,7 @@ int run(const hpas::ParsedArgs& args) {
         hpas::apps::BspApp::Placement{
             .nodes = {0, peer},
             .ranks_per_node =
-                static_cast<int>(hpas::parse_u64(args.value("ranks"))),
+                static_cast<int>(hpas::flag_u64(args, "ranks")),
             .first_core = 0});
   }
 

@@ -3,8 +3,43 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace hpas {
+namespace {
+
+/// Runs `parse` on the flag's value and prefixes any ConfigError with the
+/// flag name -- the difference between "malformed number 'abc'" and
+/// "--keep: malformed number 'abc'" in a usage error.
+template <typename Parse>
+auto parse_flag(const ParsedArgs& args, const std::string& long_name,
+                Parse parse) {
+  const std::string text = args.value(long_name);
+  try {
+    return parse(text);
+  } catch (const ConfigError& e) {
+    throw ConfigError("--" + long_name + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::uint64_t flag_u64(const ParsedArgs& args, const std::string& long_name) {
+  return parse_flag(args, long_name,
+                    [](const std::string& text) { return parse_u64(text); });
+}
+
+double flag_double(const ParsedArgs& args, const std::string& long_name) {
+  return parse_flag(args, long_name,
+                    [](const std::string& text) { return parse_double(text); });
+}
+
+double flag_duration_seconds(const ParsedArgs& args,
+                             const std::string& long_name) {
+  return parse_flag(args, long_name, [](const std::string& text) {
+    return parse_duration_seconds(text);
+  });
+}
 
 bool ParsedArgs::has(const std::string& long_name) const {
   return values_.count(long_name) > 0;

@@ -6,6 +6,7 @@
 // flags, required options, defaults, and generated --help text.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -45,6 +46,18 @@ class ParsedArgs {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Checked numeric accessors for parsed flag values. Each parses the
+/// value of `--long_name` through the corresponding common parser
+/// (units.hpp) and rethrows malformed input as a ConfigError that names
+/// the offending flag -- so `hpas search --keep abc` reports
+/// "--keep: malformed number 'abc'" and exits with the usage status (2)
+/// instead of surfacing a bare std::stod message through the generic
+/// fatal-error handler.
+std::uint64_t flag_u64(const ParsedArgs& args, const std::string& long_name);
+double flag_double(const ParsedArgs& args, const std::string& long_name);
+double flag_duration_seconds(const ParsedArgs& args,
+                             const std::string& long_name);
 
 /// A reusable parser for one subcommand.
 class CliParser {

@@ -46,6 +46,18 @@ Subscriptions& subscriptions() {
 
 bool g_installed = false;
 int g_pipe_rd = -1;
+// Joinable watcher handle, heap-held so a process that never calls
+// teardown() (the one-shot CLIs) leaks one std::thread object instead of
+// tripping std::terminate in a static destructor.
+std::thread* g_watcher = nullptr;
+// Dispositions in effect before install(), restored by teardown().
+struct sigaction g_old_int = {};
+struct sigaction g_old_term = {};
+
+std::mutex& install_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 }  // namespace
 
@@ -55,8 +67,7 @@ ShutdownController& ShutdownController::instance() {
 }
 
 void ShutdownController::install() {
-  static std::mutex install_mu;
-  std::lock_guard<std::mutex> lock(install_mu);
+  std::lock_guard<std::mutex> lock(install_mutex());
   if (g_installed) return;
 
   int fds[2];
@@ -77,15 +88,47 @@ void ShutdownController::install() {
   // not surface spurious EINTRs just because the operator pressed Ctrl-C;
   // shutdown is delivered cooperatively through callbacks and tokens.
   action.sa_flags = SA_RESTART;
-  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
-      ::sigaction(SIGTERM, &action, nullptr) != 0)
+  if (::sigaction(SIGINT, &action, &g_old_int) != 0 ||
+      ::sigaction(SIGTERM, &action, &g_old_term) != 0)
     throw SystemError("ShutdownController: sigaction() failed");
 
-  // Detached process-lifetime watcher: it owns no destructible state (the
-  // subscription map is a leaky function-local static) and dies with the
-  // process.
-  std::thread([this] { watcher_loop(); }).detach();
+  // Joinable watcher: teardown() closes the pipe's write end (read()
+  // returns 0) and joins it. A process that never tears down leaks the
+  // heap-held handle and the thread dies with the process -- the old
+  // detached behavior, minus the unjoinable handle.
+  g_watcher = new std::thread([this] { watcher_loop(); });
   g_installed = true;
+}
+
+void ShutdownController::teardown() {
+  std::lock_guard<std::mutex> lock(install_mutex());
+  if (!g_installed) return;
+
+  // Restore dispositions first so no new handler invocation can race the
+  // pipe close below. A handler already executing on another thread may
+  // still write to the old fd; it checks g_pipe_wr >= 0, which we clear
+  // before closing, shrinking the window to the unavoidable
+  // load-then-write instant (and a dropped wakeup byte is harmless -- the
+  // counters, not the pipe, carry the state).
+  ::sigaction(SIGINT, &g_old_int, nullptr);
+  ::sigaction(SIGTERM, &g_old_term, nullptr);
+
+  const int wr = g_pipe_wr;
+  g_pipe_wr = -1;
+  if (wr >= 0) ::close(wr);  // watcher's read() now returns 0 -> it exits
+  if (g_watcher != nullptr) {
+    g_watcher->join();
+    delete g_watcher;
+    g_watcher = nullptr;
+  }
+  if (g_pipe_rd >= 0) ::close(g_pipe_rd);
+  g_pipe_rd = -1;
+  g_installed = false;
+}
+
+bool ShutdownController::installed() const {
+  std::lock_guard<std::mutex> lock(install_mutex());
+  return g_installed;
 }
 
 void ShutdownController::watcher_loop() {

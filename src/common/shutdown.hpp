@@ -33,6 +33,17 @@ class ShutdownController {
   /// starts the watcher thread. Idempotent: later calls are no-ops.
   void install();
 
+  /// Undoes install(): restores the previous SIGINT/SIGTERM dispositions,
+  /// joins the watcher thread, and closes both self-pipe ends. Idempotent
+  /// (a no-op when not installed), and install() works again afterwards --
+  /// the pair is what lets a long-running daemon re-install around
+  /// restarts without leaking an fd pair and a thread per cycle.
+  /// Subscriptions and counters survive a teardown/install cycle;
+  /// callbacks simply stop firing while torn down.
+  void teardown();
+
+  bool installed() const;
+
   /// Cumulative signals received since install(); 0 = none, 1 = graceful
   /// shutdown requested, >= 2 = hard shutdown requested.
   int signal_count() const;

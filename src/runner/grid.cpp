@@ -1,6 +1,7 @@
 #include "runner/grid.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -143,6 +144,52 @@ SweepGrid load_grid_file(const std::string& path) {
   } catch (const ConfigError& e) {
     throw ConfigError(path + ": " + e.what());
   }
+}
+
+Json spec_to_json(const ScenarioSpec& spec) {
+  Json doc = Json::object();
+  doc.set("name", spec.name);
+  doc.set("system", spec.system);
+  doc.set("app", spec.app);
+  doc.set("anomaly", spec.anomaly);
+  doc.set("intensity", spec.intensity);
+  doc.set("duration_s", spec.duration_s);
+  doc.set("sample_period_s", spec.sample_period_s);
+  doc.set("app_nodes", static_cast<double>(spec.app_nodes));
+  doc.set("ranks_per_node", static_cast<double>(spec.ranks_per_node));
+  doc.set("run_to_completion", spec.run_to_completion);
+  doc.set("injector_fail_at_s", spec.injector_fail_at_s);
+  doc.set("injector_fail_tasks",
+          static_cast<double>(spec.injector_fail_tasks));
+  // 64-bit seeds do not round-trip through JSON doubles; keep exact.
+  doc.set("seed", std::to_string(spec.seed));
+  return doc;
+}
+
+ScenarioSpec spec_from_json(const Json& doc) {
+  if (!doc.is_object())
+    throw ConfigError("scenario spec must be a JSON object");
+  ScenarioSpec spec;
+  spec.name = doc.string_or("name", spec.name);
+  spec.system = doc.string_or("system", spec.system);
+  spec.app = doc.string_or("app", spec.app);
+  spec.anomaly = doc.string_or("anomaly", spec.anomaly);
+  spec.intensity = doc.number_or("intensity", spec.intensity);
+  spec.duration_s = doc.number_or("duration_s", spec.duration_s);
+  spec.sample_period_s =
+      doc.number_or("sample_period_s", spec.sample_period_s);
+  spec.app_nodes = static_cast<int>(
+      doc.number_or("app_nodes", static_cast<double>(spec.app_nodes)));
+  spec.ranks_per_node = static_cast<int>(doc.number_or(
+      "ranks_per_node", static_cast<double>(spec.ranks_per_node)));
+  spec.run_to_completion =
+      doc.bool_or("run_to_completion", spec.run_to_completion);
+  spec.injector_fail_at_s =
+      doc.number_or("injector_fail_at_s", spec.injector_fail_at_s);
+  spec.injector_fail_tasks = static_cast<int>(doc.number_or(
+      "injector_fail_tasks", static_cast<double>(spec.injector_fail_tasks)));
+  spec.seed = std::strtoull(doc.string_or("seed", "0").c_str(), nullptr, 10);
+  return spec;
 }
 
 }  // namespace hpas::runner

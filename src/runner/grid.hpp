@@ -77,4 +77,13 @@ SweepGrid expand_grid(const Json& spec);
 /// ConfigError when invalid.
 SweepGrid load_grid_file(const std::string& path);
 
+/// ScenarioSpec <-> JSON round-trip, shared by the search frontier files
+/// and the experiment server's wire protocol. Every field is explicit;
+/// the 64-bit seed travels as a decimal string because it does not
+/// round-trip through JSON doubles. spec_from_json() applies the struct's
+/// defaults for absent members and throws ConfigError when the document
+/// is not an object (or a member has the wrong type).
+Json spec_to_json(const ScenarioSpec& spec);
+ScenarioSpec spec_from_json(const Json& doc);
+
 }  // namespace hpas::runner

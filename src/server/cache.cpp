@@ -1,0 +1,143 @@
+#include "server/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace hpas::server {
+namespace {
+
+std::string read_file_bytes(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+/// Temp-sibling + rename: the spool file is either absent or complete,
+/// mirroring the runner's atomic output writes.
+void write_file_atomically(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SystemError("server: cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw SystemError("server: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw SystemError("server: cannot rename " + tmp + " to " + path);
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "e%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string data_dir)
+    : data_dir_(std::move(data_dir)),
+      spool_dir_(data_dir_ + "/spool"),
+      journal_path_(data_dir_ + "/server.journal") {}
+
+std::string ResultCache::spool_file(std::uint64_t key) const {
+  return spool_dir_ + "/" + key_hex(key) + ".csv";
+}
+
+void ResultCache::open() {
+  std::filesystem::create_directories(spool_dir_);
+
+  // Replay the valid journal prefix. Every surviving record is
+  // re-validated against its on-disk spool bytes; the journal is then
+  // truncate-rewritten with exactly the validated entries, so a torn
+  // tail (the expected post-SIGKILL state) heals on the first restart.
+  const runner::JournalReadResult prior =
+      runner::read_journal(journal_path_);
+  journal_dropped_ = prior.dropped_frames;
+  journal_ = std::make_unique<runner::JournalWriter>(journal_path_, true);
+  for (const runner::JournalRecord& rec : prior.records) {
+    if (rec.status != runner::JournalStatus::kDone &&
+        rec.status != runner::JournalStatus::kFailed)
+      continue;  // timeouts/cancellations are never served from cache
+    CachedResult entry;
+    entry.key = rec.key_hash;
+    entry.status = rec.status;
+    entry.name = rec.name;
+    entry.error = rec.error;
+    entry.app_iterations = rec.app_iterations;
+    entry.app_elapsed_s = rec.app_elapsed_s;
+    if (rec.status == runner::JournalStatus::kDone) {
+      bool ok = false;
+      entry.metrics_csv = read_file_bytes(spool_file(rec.key_hash), ok);
+      if (!ok || crc32(entry.metrics_csv) != rec.csv_crc) {
+        // Missing or damaged spool bytes: drop the record (the scenario
+        // re-runs on its next submission) rather than serve bytes that
+        // do not match what was journaled.
+        ++spool_invalid_;
+        continue;
+      }
+    }
+    if (!entries_.emplace(rec.key_hash, std::move(entry)).second) continue;
+    journal_->append(rec);
+    ++restored_;
+  }
+}
+
+const CachedResult* ResultCache::find(std::uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CachedResult& ResultCache::insert(std::uint64_t key,
+                                        const runner::ScenarioResult& result) {
+  require(journal_ != nullptr, "ResultCache::insert before open()");
+  require(result.status == runner::ScenarioStatus::kDone ||
+              result.status == runner::ScenarioStatus::kFailed,
+          "ResultCache: only done/failed results are cacheable");
+  const auto existing = entries_.find(key);
+  if (existing != entries_.end()) return existing->second;
+
+  CachedResult entry;
+  entry.key = key;
+  entry.name = result.spec.name;
+  entry.app_iterations = static_cast<std::uint64_t>(result.app_iterations);
+  entry.app_elapsed_s = result.app_elapsed_s;
+
+  runner::JournalRecord rec;
+  rec.key_hash = key;
+  rec.name = result.spec.name;
+  rec.app_iterations = entry.app_iterations;
+  rec.app_elapsed_s = entry.app_elapsed_s;
+  rec.wall_seconds = 0.0;  // byte-stability: host time never journaled
+
+  if (result.status == runner::ScenarioStatus::kDone) {
+    entry.status = runner::JournalStatus::kDone;
+    entry.metrics_csv = result.metrics_csv;
+    rec.status = runner::JournalStatus::kDone;
+    rec.output = "spool/" + key_hex(key) + ".csv";
+    rec.csv_crc = crc32(entry.metrics_csv);
+    // Spool bytes before the record that names them: a crash between the
+    // two leaves an orphan file, never a record without its bytes.
+    write_file_atomically(spool_file(key), entry.metrics_csv);
+  } else {
+    entry.status = runner::JournalStatus::kFailed;
+    entry.error = result.error;
+    rec.status = runner::JournalStatus::kFailed;
+    rec.error = result.error;
+  }
+  journal_->append(rec);
+  return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+}  // namespace hpas::server

@@ -1,0 +1,90 @@
+// Content-addressed result cache of the experiment server, durable
+// through the PR-4 crash-safe journal.
+//
+// Keyed by the journal's splitmix64 scenario hash (scenario_key_hash): a
+// repeated submission of a byte-identical spec is a cache hit served
+// from memory, never a re-run. Durability is the sweep journal reused as
+// a write-ahead store:
+//
+//   <data_dir>/server.journal    CRC-framed fsync'd record per finished
+//                                scenario (the authoritative index)
+//   <data_dir>/spool/e<16hex>.csv   the scenario's metrics CSV, written
+//                                atomically (tmp+rename) *before* its
+//                                journal record
+//
+// Because the CSV bytes land (and are fsync-ordered by the journal
+// append) before the record that names them, a SIGKILL can leave at most
+// (a) a torn journal tail, which the reader drops, or (b) an orphaned
+// spool file, which is harmless. On restart, open() replays the valid
+// journal prefix, re-validates every kDone record's spool bytes against
+// the journaled CRC32, rewrites the journal with exactly the entries
+// that survived (self-healing, same as sweep --resume), and the daemon
+// serves those results byte-identically to the pre-crash responses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "runner/journal.hpp"
+#include "runner/runner.hpp"
+
+namespace hpas::server {
+
+/// One finished scenario, everything a result frame needs. Only terminal
+/// deterministic outcomes are cached (kDone and kFailed); cancellations
+/// are host-timing artifacts and are never stored.
+struct CachedResult {
+  std::uint64_t key = 0;
+  runner::JournalStatus status = runner::JournalStatus::kDone;
+  std::string name;
+  std::string error;           ///< non-empty for kFailed
+  std::uint64_t app_iterations = 0;
+  double app_elapsed_s = 0.0;
+  std::string metrics_csv;     ///< node-0 monitoring series (kDone only)
+};
+
+/// Not internally synchronized: the server serializes access (and the
+/// journal's append ordering) under its own mutex.
+class ResultCache {
+ public:
+  explicit ResultCache(std::string data_dir);
+
+  /// Creates the directory layout, replays and self-heals the journal,
+  /// and leaves the writer open for appends. Idempotent per instance.
+  void open();
+
+  /// nullptr on miss. The pointer is invalidated by the next insert().
+  const CachedResult* find(std::uint64_t key) const;
+
+  /// Stores a terminal result: spool CSV first (atomic tmp+rename), then
+  /// the fsync'd journal record, then the in-memory entry -- the ordering
+  /// that makes "journaled" imply "servable after SIGKILL". Only kDone /
+  /// kFailed scenario statuses are accepted (require()d).
+  const CachedResult& insert(std::uint64_t key,
+                             const runner::ScenarioResult& result);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t restored() const { return restored_; }
+  /// Journal frames dropped at open(): torn tail or CRC damage.
+  std::size_t journal_dropped() const { return journal_dropped_; }
+  /// kDone records whose spool bytes were missing or failed their CRC.
+  std::size_t spool_invalid() const { return spool_invalid_; }
+
+  const std::string& journal_path() const { return journal_path_; }
+
+ private:
+  std::string spool_file(std::uint64_t key) const;
+
+  std::string data_dir_;
+  std::string spool_dir_;
+  std::string journal_path_;
+  std::unordered_map<std::uint64_t, CachedResult> entries_;
+  std::unique_ptr<runner::JournalWriter> journal_;
+  std::size_t restored_ = 0;
+  std::size_t journal_dropped_ = 0;
+  std::size_t spool_invalid_ = 0;
+};
+
+}  // namespace hpas::server

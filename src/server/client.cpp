@@ -1,0 +1,110 @@
+#include "server/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "server/protocol.hpp"
+
+namespace hpas::server {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffered_(std::move(other.buffered_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffered_ = std::move(other.buffered_);
+  }
+  return *this;
+}
+
+Client Client::connect(const std::string& socket_path) {
+  return Client(connect_unix(socket_path));
+}
+
+Client Client::connect_tcp(int port) {
+  return Client(connect_tcp_localhost(port));
+}
+
+void Client::send(const Json& request) {
+  require(fd_ >= 0, "Client::send on a closed client");
+  write_json(fd_, request);
+}
+
+bool Client::recv(Json& response) {
+  if (!buffered_.empty()) {
+    response = std::move(buffered_.front());
+    buffered_.pop_front();
+    return true;
+  }
+  require(fd_ >= 0, "Client::recv on a closed client");
+  return read_json(fd_, response);
+}
+
+void Client::submit(std::uint64_t id, const runner::ScenarioSpec& spec) {
+  Json request = Json::object();
+  request.set("op", "submit");
+  request.set("id", Json(id));
+  request.set("spec", runner::spec_to_json(spec));
+  send(request);
+}
+
+void Client::ping() {
+  Json request = Json::object();
+  request.set("op", "ping");
+  send(request);
+}
+
+void Client::request_status() {
+  Json request = Json::object();
+  request.set("op", "status");
+  send(request);
+}
+
+Json Client::wait_result(std::uint64_t id) {
+  require(fd_ >= 0, "Client::wait_result on a closed client");
+  // Scan the buffer first -- an earlier wait_result() may have read past
+  // this id's frame while looking for its own.
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    const std::string type = it->string_or("type", "");
+    const bool terminal = type == "result" || type == "busy" ||
+                          type == "draining" || type == "error";
+    if (terminal &&
+        static_cast<std::uint64_t>(it->number_or("id", 0)) == id) {
+      Json frame = std::move(*it);
+      buffered_.erase(it);
+      return frame;
+    }
+  }
+  Json frame;
+  while (true) {
+    if (!read_json(fd_, frame))
+      throw SystemError("client: server closed before the result for id " +
+                        std::to_string(id));
+    const std::string type = frame.string_or("type", "");
+    const bool terminal = type == "result" || type == "busy" ||
+                          type == "draining" || type == "error";
+    const bool mine =
+        static_cast<std::uint64_t>(frame.number_or("id", 0)) == id;
+    if (terminal && mine) return frame;
+    // This id's own "accepted" ack is consumed; everything else (other
+    // ids' frames, status/pong) is buffered for later recv() calls.
+    if (!(type == "accepted" && mine))
+      buffered_.push_back(std::move(frame));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace hpas::server

@@ -1,0 +1,66 @@
+// Thin synchronous client of the experiment server.
+//
+// Owns one connected socket and speaks the frame protocol. Deliberately
+// minimal: send a request, read the next frame -- responses to a single
+// submission arrive in order (accepted, then eventually result), but a
+// client with several submissions outstanding sees result frames in
+// completion order, so callers match them up by "id". wait_result() does
+// that matching for the common one-at-a-time case, buffering unrelated
+// frames for later recv() calls.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/json.hpp"
+#include "runner/grid.hpp"
+
+namespace hpas::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect helpers; throw SystemError when the daemon is not there.
+  static Client connect(const std::string& socket_path);
+  static Client connect_tcp(int port);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one raw request frame.
+  void send(const Json& request);
+
+  /// Reads the next frame (buffered ones first). Returns false on a
+  /// clean server close; throws SystemError on a torn connection.
+  bool recv(Json& response);
+
+  /// submit request for `spec` under the caller-chosen id.
+  void submit(std::uint64_t id, const runner::ScenarioSpec& spec);
+
+  void ping();
+  void request_status();
+
+  /// Reads frames until the `result` (or terminal `busy` / `draining` /
+  /// `error`) frame for `id` arrives; frames for other ids are buffered
+  /// and surface through recv() later. Throws SystemError when the
+  /// server closes first.
+  Json wait_result(std::uint64_t id);
+
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::deque<Json> buffered_;
+};
+
+}  // namespace hpas::server

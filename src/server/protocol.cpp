@@ -1,0 +1,208 @@
+#include "server/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpas::server {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SystemError(what + ": " + std::strerror(errno));
+}
+
+/// write()/send() the whole buffer. MSG_NOSIGNAL keeps a dead peer from
+/// raising SIGPIPE; on non-socket fds (tests use pipes) send() fails with
+/// ENOTSOCK and we fall back to write().
+void write_fully(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("protocol: write failed");
+    }
+    if (n == 0) throw SystemError("protocol: peer closed mid-write");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF at offset 0 when
+/// `eof_ok`; throws on EOF anywhere else (a torn frame is an error, not
+/// a clean close).
+bool read_fully(int fd, char* data, std::size_t size, bool eof_ok) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("protocol: read failed");
+    }
+    if (n == 0) {
+      if (done == 0 && eof_ok) return false;
+      throw SystemError("protocol: peer closed mid-frame");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ConfigError("socket path too long (" + std::to_string(path.size()) +
+                      " bytes, max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + "): " +
+                      path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_localhost_addr(int port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw SystemError("protocol: frame payload exceeds " +
+                      std::to_string(kMaxFramePayload) + " bytes");
+  char prefix[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xffu);
+  // Two writes, not one coalesced buffer: the peer reads the length
+  // first anyway and both land in the socket buffer back to back.
+  write_fully(fd, prefix, sizeof prefix);
+  write_fully(fd, payload.data(), payload.size());
+}
+
+void write_json(int fd, const Json& doc) { write_frame(fd, doc.dump()); }
+
+bool read_frame(int fd, std::string& payload) {
+  char prefix[4];
+  if (!read_fully(fd, prefix, sizeof prefix, /*eof_ok=*/true)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]))
+           << (8 * i);
+  if (len > kMaxFramePayload)
+    throw SystemError("protocol: frame length " + std::to_string(len) +
+                      " exceeds the " + std::to_string(kMaxFramePayload) +
+                      "-byte cap");
+  payload.resize(len);
+  if (len > 0) read_fully(fd, payload.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+bool read_json(int fd, Json& doc) {
+  std::string payload;
+  if (!read_frame(fd, payload)) return false;
+  doc = Json::parse(payload);
+  return true;
+}
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("server: socket(AF_UNIX) failed");
+  set_cloexec(fd);
+  // A stale socket file from a SIGKILLed daemon would fail the bind with
+  // EADDRINUSE even though nobody is listening; unlink unconditionally --
+  // the data dir, not the socket, is the durable state.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("server: cannot bind unix socket " + path);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("server: listen failed on " + path);
+  }
+  return fd;
+}
+
+int listen_tcp_localhost(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("server: socket(AF_INET) failed");
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_localhost_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("server: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("server: listen failed on port " + std::to_string(port));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("client: socket(AF_UNIX) failed");
+  set_cloexec(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("client: cannot connect to " + path);
+  }
+  return fd;
+}
+
+int connect_tcp_localhost(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("client: socket(AF_INET) failed");
+  set_cloexec(fd);
+  const sockaddr_in addr = make_localhost_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("client: cannot connect to 127.0.0.1:" +
+                std::to_string(port));
+  }
+  return fd;
+}
+
+int local_tcp_port(int fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("server: getsockname failed");
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+}  // namespace hpas::server

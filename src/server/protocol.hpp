@@ -1,0 +1,76 @@
+// Wire protocol of the experiment server: length-prefixed JSON frames
+// over stream sockets, plus the few socket helpers daemon and client
+// share.
+//
+//   frame := len:u32 (little-endian) payload[len]
+//
+// The payload is one UTF-8 JSON document. Length-prefix framing keeps
+// the parser trivial (no streaming JSON, no sentinel scanning) and makes
+// a torn connection detectable: a clean EOF can only happen *between*
+// frames, anything else is a protocol error. Frames are capped at
+// kMaxFramePayload so a corrupt or hostile length prefix cannot make the
+// server allocate unbounded memory.
+//
+// Requests (client -> server), dispatched on the "op" member:
+//   {"op":"submit","id":N,"spec":{...}}   run (or serve cached) a scenario
+//   {"op":"status"}                       server statistics
+//   {"op":"ping"}                         liveness probe
+//
+// Responses (server -> client), dispatched on the "type" member:
+//   {"type":"accepted","id":N,"cached":B} submission admitted; "cached"
+//                                         is scheduling metadata: true
+//                                         when the result is served from
+//                                         the content-addressed cache
+//                                         with no engine work
+//   {"type":"busy","id":N}                admission queue full: resubmit
+//                                         later (explicit backpressure,
+//                                         the server never buffers
+//                                         unboundedly)
+//   {"type":"draining","id":N}            server is shutting down
+//   {"type":"result","id":N,...}          terminal scenario outcome; all
+//                                         members except "id" are a pure
+//                                         function of the spec (the
+//                                         byte-identity contract)
+//   {"type":"error","id":N,"message":S}   malformed submission
+//   {"type":"status",...} / {"type":"pong"} / {"type":"shutdown"}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace hpas::server {
+
+/// Upper bound on one frame's payload bytes (a result frame carries a
+/// scenario's whole metrics CSV; 16 MiB is ~two orders of magnitude above
+/// the largest real one).
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Writes one frame. Uses send(MSG_NOSIGNAL) on sockets so a vanished
+/// peer surfaces as a SystemError (EPIPE), never SIGPIPE. Throws
+/// SystemError on short writes or oversized payloads.
+void write_frame(int fd, std::string_view payload);
+void write_json(int fd, const Json& doc);  // compact, deterministic dump
+
+/// Reads one complete frame into `payload`. Returns false on a clean EOF
+/// before the first length byte (peer closed between frames); throws
+/// SystemError on mid-frame EOF, an oversized length prefix, or a socket
+/// error. ConfigError propagates from Json::parse in read_json.
+bool read_frame(int fd, std::string& payload);
+bool read_json(int fd, Json& doc);
+
+/// Listener/connector helpers. All return CLOEXEC-owning fds and throw
+/// SystemError on failure. The unix listener unlinks a stale socket file
+/// first; the TCP variants bind/connect 127.0.0.1 only -- the daemon has
+/// no authentication story and must not listen on public interfaces.
+int listen_unix(const std::string& path);
+int listen_tcp_localhost(int port);
+int connect_unix(const std::string& path);
+int connect_tcp_localhost(int port);
+
+/// Bound TCP port of a listener fd (resolves port 0 after bind).
+int local_tcp_port(int fd);
+
+}  // namespace hpas::server

@@ -112,5 +112,63 @@ TEST(Cli, ValueOrNone) {
   EXPECT_FALSE(args.value_or_none("nonexistent").has_value());
 }
 
+// --- checked numeric flag accessors ------------------------------------
+// A malformed numeric flag must surface as a ConfigError (exit 2 through
+// the CLIs' usage-error handler) that *names the flag*, never as a bare
+// std::stod/std::stoi message through the generic fatal handler.
+
+CliParser numeric_parser() {
+  CliParser parser("test", "numeric flags");
+  parser
+      .add({.long_name = "keep", .short_name = '\0', .value_name = "FRAC",
+            .help = "a fraction", .default_value = "0.9", .required = false})
+      .add({.long_name = "threads", .short_name = 'j', .value_name = "N",
+            .help = "a count", .default_value = "0", .required = false})
+      .add({.long_name = "deadline", .short_name = '\0', .value_name = "TIME",
+            .help = "a duration", .default_value = "0", .required = false});
+  return parser;
+}
+
+/// EXPECT that `fn` throws a ConfigError whose message names `flag`.
+template <typename Fn>
+void expect_flag_error(Fn fn, const std::string& flag) {
+  try {
+    fn();
+    FAIL() << "expected ConfigError naming " << flag;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+        << "message does not name the flag: " << e.what();
+  }
+}
+
+TEST(Cli, FlagU64ParsesAndNamesFlagOnGarbage) {
+  const auto ok = numeric_parser().parse({"--threads", "8"});
+  EXPECT_EQ(flag_u64(ok, "threads"), 8u);
+  const auto bad = numeric_parser().parse({"--threads", "abc"});
+  expect_flag_error([&] { flag_u64(bad, "threads"); }, "--threads");
+  const auto negative = numeric_parser().parse({"-j", "-3"});
+  expect_flag_error([&] { flag_u64(negative, "threads"); }, "--threads");
+}
+
+TEST(Cli, FlagDoubleParsesAndNamesFlagOnGarbage) {
+  const auto ok = numeric_parser().parse({"--keep", "0.75"});
+  EXPECT_DOUBLE_EQ(flag_double(ok, "keep"), 0.75);
+  const auto bad = numeric_parser().parse({"--keep", "abc"});
+  expect_flag_error([&] { flag_double(bad, "keep"); }, "--keep");
+  const auto trailing = numeric_parser().parse({"--keep", "0.9x"});
+  expect_flag_error([&] { flag_double(trailing, "keep"); }, "--keep");
+}
+
+TEST(Cli, FlagDurationParsesAndNamesFlagOnGarbage) {
+  const auto ok = numeric_parser().parse({"--deadline", "5m"});
+  EXPECT_DOUBLE_EQ(flag_duration_seconds(ok, "deadline"), 300.0);
+  const auto bad = numeric_parser().parse({"--deadline", "soon"});
+  expect_flag_error([&] { flag_duration_seconds(bad, "deadline"); },
+                    "--deadline");
+  const auto suffix = numeric_parser().parse({"--deadline", "5parsecs"});
+  expect_flag_error([&] { flag_duration_seconds(suffix, "deadline"); },
+                    "--deadline");
+}
+
 }  // namespace
 }  // namespace hpas

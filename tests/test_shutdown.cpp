@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 namespace {
@@ -54,6 +55,46 @@ TEST(ShutdownController, SignalsReachSubscribersWithEscalation) {
   EXPECT_TRUE(controller.hard_requested());
   EXPECT_EQ(controller.last_signal(), SIGINT);
 
+  controller.unsubscribe(id);
+  controller.reset_counts_for_tests();
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++count;
+  return count;
+}
+
+// A daemon re-installing around restarts must not leak the self-pipe fd
+// pair or the watcher thread: teardown() joins and closes, install()
+// starts fresh, and signal delivery still works on the latest instance.
+TEST(ShutdownController, RepeatedInstallTeardownDoesNotLeak) {
+  auto& controller = ShutdownController::instance();
+  controller.teardown();  // idempotent from any prior state
+  controller.teardown();
+  EXPECT_FALSE(controller.installed());
+
+  const std::size_t fds_before = open_fd_count();
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    controller.install();
+    EXPECT_TRUE(controller.installed());
+    controller.teardown();
+    EXPECT_FALSE(controller.installed());
+  }
+  // The directory_iterator itself holds one fd while counting; comparing
+  // two identical measurements cancels it out.
+  EXPECT_EQ(open_fd_count(), fds_before);
+
+  // The final re-install must deliver signals like the first one did.
+  controller.install();
+  controller.reset_counts_for_tests();
+  std::atomic<int> calls{0};
+  const auto id = controller.subscribe([&](int) { calls.fetch_add(1); });
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(wait_until([&] { return calls.load() >= 1; }));
+  EXPECT_TRUE(controller.requested());
   controller.unsubscribe(id);
   controller.reset_counts_for_tests();
 }
