@@ -34,6 +34,7 @@
 // signal cancels hard (exit 130) but still leaves a valid journal.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -43,11 +44,13 @@
 #include "anomalies/anomaly.hpp"
 #include "anomalies/schedule.hpp"
 #include "anomalies/suite.hpp"
+#include "common/backoff.hpp"
 #include "common/cancel.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
 #include "common/units.hpp"
+#include "faultline/faultline.hpp"
 #include "runner/runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "search/driver.hpp"
@@ -78,6 +81,24 @@ class ScopedShutdownSubscription {
  private:
   std::uint64_t id_;
 };
+
+/// Arms the process-wide fault-injection engine from a --fault-schedule
+/// flag. The flag wins over HPAS_FAULT_SCHEDULE (already armed by main);
+/// neither is ever part of scenario identity -- schedules shape I/O
+/// failures, not results.
+void arm_fault_schedule_flag(const hpas::ParsedArgs& args) {
+  if (args.has("fault-schedule"))
+    hpas::faultline::arm(hpas::faultline::FaultSchedule::load_file(
+        args.value("fault-schedule")));
+}
+
+hpas::OptionSpec fault_schedule_flag() {
+  return {.long_name = "fault-schedule", .short_name = '\0',
+          .value_name = "FILE",
+          .help = "arm a deterministic fault-injection schedule (chaos "
+                  "testing; see DESIGN.md)",
+          .default_value = std::nullopt};
+}
 
 int run_schedule_command(const std::vector<std::string>& args) {
   if (args.empty()) {
@@ -515,12 +536,30 @@ int run_serve_command(const std::vector<std::string>& argv) {
             .default_value = "64"})
       .add({.long_name = "sim-shards", .short_name = '\0', .value_name = "N",
             .help = "engine shards per scenario world (execution knob)",
-            .default_value = "0"});
+            .default_value = "0"})
+      .add({.long_name = "io-timeout", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "per-connection I/O deadline; a peer stalled mid-frame "
+                    "is disconnected, idle clients are unaffected (0 = off)",
+            .default_value = "30s"})
+      .add({.long_name = "spool-cap", .short_name = '\0',
+            .value_name = "BYTES",
+            .help = "result-spool size cap; past it least-recently-served "
+                    "results are evicted and re-run on demand (0 = "
+                    "unbounded)",
+            .default_value = "0"})
+      .add({.long_name = "scrub-interval", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "CRC-verify the spool this often, quarantining corrupt "
+                    "entries (0 = off)",
+            .default_value = "0"})
+      .add(fault_schedule_flag());
   const auto args = parser.parse(argv);
   if (args.flag("help")) {
     std::fputs(parser.help_text().c_str(), stdout);
     return 0;
   }
+  arm_fault_schedule_flag(args);
 
   hpas::server::ServerOptions options;
   options.data_dir = args.value("data");
@@ -532,6 +571,10 @@ int run_serve_command(const std::vector<std::string>& argv) {
   options.admission_capacity =
       static_cast<std::size_t>(hpas::flag_u64(args, "admit"));
   options.sim_shards = static_cast<int>(hpas::flag_u64(args, "sim-shards"));
+  options.io_timeout_s = hpas::flag_duration_seconds(args, "io-timeout");
+  options.spool_cap_bytes = hpas::parse_bytes(args.value("spool-cap"));
+  options.scrub_interval_s =
+      hpas::flag_duration_seconds(args, "scrub-interval");
   // The cache replays the journal before the socket exists, so the data
   // dir must be creatable up front.
   std::filesystem::create_directories(options.data_dir);
@@ -590,18 +633,54 @@ int run_submit_command(const std::vector<std::string>& argv) {
             .default_value = std::nullopt})
       .add({.long_name = "status", .short_name = '\0', .value_name = "",
             .help = "print server statistics instead of submitting",
-            .default_value = std::nullopt});
+            .default_value = std::nullopt})
+      .add({.long_name = "retry-base", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "initial busy/reconnect retry delay (doubles per "
+                    "attempt, jittered)",
+            .default_value = "50ms"})
+      .add({.long_name = "retry-cap", .short_name = '\0',
+            .value_name = "TIME",
+            .help = "upper bound on one retry delay",
+            .default_value = "2s"})
+      .add({.long_name = "retry-seed", .short_name = '\0', .value_name = "S",
+            .help = "jitter seed; the delay sequence is deterministic "
+                    "per seed",
+            .default_value = "1"})
+      .add(fault_schedule_flag());
   const auto args = parser.parse(argv);
   if (args.flag("help")) {
     std::fputs(parser.help_text().c_str(), stdout);
     return 0;
   }
+  arm_fault_schedule_flag(args);
 
-  auto client =
-      args.has("tcp")
-          ? hpas::server::Client::connect_tcp(
-                static_cast<int>(hpas::flag_u64(args, "tcp")))
-          : hpas::server::Client::connect(args.value("socket"));
+  const double retry_base_ms =
+      hpas::flag_duration_seconds(args, "retry-base") * 1000.0;
+  const double retry_cap_ms =
+      hpas::flag_duration_seconds(args, "retry-cap") * 1000.0;
+  const std::uint64_t retry_seed = hpas::flag_u64(args, "retry-seed");
+
+  // Reconnect discipline: a daemon mid-restart refuses connections for a
+  // moment; retry with the same capped jittered backoff as busy answers
+  // instead of failing the whole campaign on the first ECONNREFUSED.
+  hpas::Backoff connect_backoff(retry_base_ms, retry_cap_ms, retry_seed);
+  constexpr std::uint64_t kMaxConnectAttempts = 5;
+  auto connect_with_backoff = [&]() {
+    while (true) {
+      try {
+        return args.has("tcp")
+                   ? hpas::server::Client::connect_tcp(
+                         static_cast<int>(hpas::flag_u64(args, "tcp")))
+                   : hpas::server::Client::connect(args.value("socket"));
+      } catch (const hpas::SystemError&) {
+        if (connect_backoff.attempts() + 1 >= kMaxConnectAttempts) throw;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            connect_backoff.next_ms()));
+      }
+    }
+  };
+  auto client = connect_with_backoff();
 
   if (args.flag("status")) {
     client.request_status();
@@ -609,6 +688,9 @@ int run_submit_command(const std::vector<std::string>& argv) {
     while (client.recv(frame)) {
       if (frame.string_or("type", "") != "status") continue;
       std::fputs(frame.dump(2).c_str(), stdout);
+      std::printf("submit: %llu connect retry(ies)\n",
+                  static_cast<unsigned long long>(
+                      connect_backoff.attempts()));
       return 0;
     }
     std::fprintf(stderr, "hpas: server closed before answering\n");
@@ -626,6 +708,8 @@ int run_submit_command(const std::vector<std::string>& argv) {
     std::filesystem::create_directories(args.value("out"));
 
   std::size_t done = 0, failed = 0, hits = 0, refused = 0;
+  std::uint64_t busy_retries = 0;
+  hpas::Backoff busy_backoff(retry_base_ms, retry_cap_ms, retry_seed);
   for (std::size_t i = 0; i < grid.scenarios.size(); ++i) {
     const auto& spec = grid.scenarios[i];
     const std::uint64_t id = i + 1;
@@ -655,8 +739,14 @@ int run_submit_command(const std::vector<std::string>& argv) {
         break;
       }
       if (!retry) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      // Capped jittered exponential backoff on `busy`: admission pressure
+      // clears on the server's schedule, not ours, and lockstep
+      // resubmission from several clients would just re-create the burst.
+      ++busy_retries;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          busy_backoff.next_ms()));
     }
+    busy_backoff.reset();  // fresh delay ladder per scenario
 
     const std::string type = outcome.string_or("type", "");
     const std::string status = outcome.string_or("status", type);
@@ -684,8 +774,9 @@ int run_submit_command(const std::vector<std::string>& argv) {
                        .c_str());
   }
   std::printf("submit: %zu scenario(s), %zu done, %zu failed, %zu refused, "
-              "%zu cache hit(s)\n",
-              grid.scenarios.size(), done, failed, refused, hits);
+              "%zu cache hit(s), %llu busy retry(ies)\n",
+              grid.scenarios.size(), done, failed, refused, hits,
+              static_cast<unsigned long long>(busy_retries));
   return (failed == 0 && refused == 0) ? 0 : 1;
 }
 
@@ -754,6 +845,12 @@ int run_anomaly(const std::string& name, const std::vector<std::string>& argv) {
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   try {
+    // Chaos-testing hook: arm a fault schedule for any subcommand. The
+    // per-command --fault-schedule flag re-arms over this if both are
+    // given. Unset (the normal case) this is a single getenv.
+    if (const char* env = std::getenv("HPAS_FAULT_SCHEDULE");
+        env != nullptr && *env != '\0')
+      hpas::faultline::arm(hpas::faultline::FaultSchedule::load_file(env));
     if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
         args[0] == "help") {
       std::printf("hpas - HPC Performance Anomaly Suite\n\n");

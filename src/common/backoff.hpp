@@ -1,0 +1,52 @@
+// Capped jittered exponential backoff, seedable for deterministic tests.
+//
+// The standard retry discipline for a busy or briefly absent peer: the
+// base delay doubles per attempt up to a cap, and each delay is jittered
+// uniformly over [delay/2, delay] (the "equal jitter" rule) so a fleet of
+// clients bounced by the same `busy` burst does not resubmit in lockstep.
+// Jitter comes from a SplitMix64 seeded explicitly, never from host
+// entropy -- the delay sequence for a given seed is part of a test's
+// expected output.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hpas {
+
+class Backoff {
+ public:
+  /// Delays grow base_ms, 2*base_ms, 4*base_ms, ... capped at cap_ms,
+  /// each then jittered down by up to half. base_ms must be >= 1.
+  Backoff(double base_ms, double cap_ms, std::uint64_t seed)
+      : base_ms_(base_ms < 1.0 ? 1.0 : base_ms),
+        cap_ms_(std::max(cap_ms, base_ms_)),
+        rng_(seed) {}
+
+  /// The next delay in milliseconds; advances the attempt counter.
+  double next_ms() {
+    double delay = base_ms_;
+    // Exponentiate by doubling with an early cap so huge attempt counts
+    // cannot overflow.
+    for (std::uint64_t i = 0; i < attempt_ && delay < cap_ms_; ++i)
+      delay *= 2.0;
+    delay = std::min(delay, cap_ms_);
+    ++attempt_;
+    const double unit = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+    return delay / 2.0 + unit * (delay / 2.0);
+  }
+
+  std::uint64_t attempts() const { return attempt_; }
+
+  void reset() { attempt_ = 0; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  std::uint64_t attempt_ = 0;
+  SplitMix64 rng_;
+};
+
+}  // namespace hpas

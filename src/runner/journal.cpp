@@ -10,11 +10,30 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "faultline/faultline.hpp"
 
 namespace hpas::runner {
 namespace {
 
 constexpr char kMagic[8] = {'H', 'P', 'A', 'S', 'J', 'N', 'L', '1'};
+
+/// All journal bytes leave through here: a short-write retry loop over
+/// the faultline journal domain, so injected short writes, EIO/ENOSPC,
+/// and torn-write crash points hit exactly the path real disks fail on.
+void write_all(int fd, const std::string& path, const char* data,
+               std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t w = faultline::write(faultline::Domain::kJournal, fd,
+                                       data + done, size - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError("journal: write failed on " + path + ": " +
+                        std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
 
 // --- little-endian payload serialization -------------------------------
 
@@ -211,15 +230,14 @@ JournalWriter::JournalWriter(const std::string& path, bool truncate)
   // already has one. off_t of the current end distinguishes them.
   const off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end == 0) {
-    if (::write(fd_, kMagic, sizeof(kMagic)) !=
-        static_cast<ssize_t>(sizeof(kMagic))) {
-      const std::string err = std::strerror(errno);
+    try {
+      write_all(fd_, path, kMagic, sizeof(kMagic));
+    } catch (const SystemError&) {
       ::close(fd_);
       fd_ = -1;
-      throw SystemError("journal: cannot write header to " + path + ": " +
-                        err);
+      throw;
     }
-    ::fsync(fd_);
+    faultline::fsync(faultline::Domain::kJournal, fd_);
   }
 }
 
@@ -237,19 +255,8 @@ void JournalWriter::append(const JournalRecord& record) {
   // One write() per frame: either the whole record lands or the reader
   // sees a short tail it can discard. fsync makes "journaled" mean
   // "survives SIGKILL and power loss", which is the resume contract.
-  const char* p = frame.data();
-  std::size_t left = frame.size();
-  while (left > 0) {
-    const ssize_t w = ::write(fd_, p, left);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw SystemError("journal: write failed on " + path_ + ": " +
-                        std::strerror(errno));
-    }
-    p += w;
-    left -= static_cast<std::size_t>(w);
-  }
-  if (::fsync(fd_) != 0)
+  write_all(fd_, path_, frame.data(), frame.size());
+  if (faultline::fsync(faultline::Domain::kJournal, fd_) != 0)
     throw SystemError("journal: fsync failed on " + path_ + ": " +
                       std::strerror(errno));
 }

@@ -1,12 +1,18 @@
 #include "server/cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "faultline/faultline.hpp"
 
 namespace hpas::server {
 namespace {
@@ -23,18 +29,43 @@ std::string read_file_bytes(const std::string& path, bool& ok) {
   return buf.str();
 }
 
-/// Temp-sibling + rename: the spool file is either absent or complete,
-/// mirroring the runner's atomic output writes.
+/// Temp-sibling + fsync + rename: the spool file is either absent or
+/// complete *and durable* before the journal record that names it is
+/// written. Every byte flows through the faultline cache domain so the
+/// torture battery can crash or fail this sequence at any point.
 void write_file_atomically(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw SystemError("server: cannot write " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw SystemError("server: short write to " + tmp);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0)
+    throw SystemError("server: cannot open " + tmp + ": " +
+                      std::strerror(errno));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t w = faultline::write(faultline::Domain::kCache, fd,
+                                       bytes.data() + done,
+                                       bytes.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      throw SystemError("server: write failed on " + tmp + ": " + err);
+    }
+    done += static_cast<std::size_t>(w);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw SystemError("server: cannot rename " + tmp + " to " + path);
+  // fsync before rename: without it a crash after the rename could leave
+  // the *final* name pointing at unwritten bytes, which the journal CRC
+  // would only catch on the next restart.
+  if (faultline::fsync(faultline::Domain::kCache, fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw SystemError("server: fsync failed on " + tmp + ": " + err);
+  }
+  ::close(fd);
+  if (faultline::rename_file(faultline::Domain::kCache, tmp.c_str(),
+                             path.c_str()) != 0)
+    throw SystemError("server: cannot rename " + tmp + " to " + path + ": " +
+                      std::strerror(errno));
 }
 
 std::string key_hex(std::uint64_t key) {
@@ -49,10 +80,28 @@ std::string key_hex(std::uint64_t key) {
 ResultCache::ResultCache(std::string data_dir)
     : data_dir_(std::move(data_dir)),
       spool_dir_(data_dir_ + "/spool"),
+      quarantine_dir_(data_dir_ + "/quarantine"),
       journal_path_(data_dir_ + "/server.journal") {}
 
 std::string ResultCache::spool_file(std::uint64_t key) const {
   return spool_dir_ + "/" + key_hex(key) + ".csv";
+}
+
+runner::JournalRecord ResultCache::record_for(
+    const CachedResult& entry) const {
+  runner::JournalRecord rec;
+  rec.key_hash = entry.key;
+  rec.status = entry.status;
+  rec.name = entry.name;
+  rec.error = entry.error;
+  rec.app_iterations = entry.app_iterations;
+  rec.app_elapsed_s = entry.app_elapsed_s;
+  rec.wall_seconds = 0.0;  // byte-stability: host time never journaled
+  if (entry.status == runner::JournalStatus::kDone) {
+    rec.output = "spool/" + key_hex(entry.key) + ".csv";
+    rec.csv_crc = entry.csv_crc;
+  }
+  return rec;
 }
 
 void ResultCache::open() {
@@ -65,11 +114,11 @@ void ResultCache::open() {
   const runner::JournalReadResult prior =
       runner::read_journal(journal_path_);
   journal_dropped_ = prior.dropped_frames;
-  journal_ = std::make_unique<runner::JournalWriter>(journal_path_, true);
   for (const runner::JournalRecord& rec : prior.records) {
     if (rec.status != runner::JournalStatus::kDone &&
         rec.status != runner::JournalStatus::kFailed)
       continue;  // timeouts/cancellations are never served from cache
+    if (entries_.count(rec.key_hash) != 0) continue;
     CachedResult entry;
     entry.key = rec.key_hash;
     entry.status = rec.status;
@@ -87,16 +136,68 @@ void ResultCache::open() {
         ++spool_invalid_;
         continue;
       }
+      entry.csv_crc = rec.csv_crc;
+      spool_bytes_ += entry.metrics_csv.size();
+      lru_.push_front(rec.key_hash);
+      lru_pos_[rec.key_hash] = lru_.begin();
     }
-    if (!entries_.emplace(rec.key_hash, std::move(entry)).second) continue;
-    journal_->append(rec);
+    order_.push_back(rec.key_hash);
+    order_pos_[rec.key_hash] = std::prev(order_.end());
+    entries_.emplace(rec.key_hash, std::move(entry));
     ++restored_;
+  }
+  // A cap smaller than the restored spool trims it before serving: the
+  // evicted entries re-run on demand, exactly as post-restart eviction
+  // would behave.
+  if (spool_cap_bytes_ > 0) evicted_ += enforce_cap(/*keep=*/0);
+  journal_ = std::make_unique<runner::JournalWriter>(journal_path_, true);
+  for (const std::uint64_t key : order_)
+    journal_->append(record_for(entries_.at(key)));
+}
+
+const CachedResult* ResultCache::find(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.status == runner::JournalStatus::kDone) lru_touch(key);
+  return &it->second;
+}
+
+void ResultCache::lru_touch(std::uint64_t key) {
+  const auto pos = lru_pos_.find(key);
+  if (pos == lru_pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, pos->second);
+  pos->second = lru_.begin();
+}
+
+void ResultCache::drop_entry(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.status == runner::JournalStatus::kDone)
+    spool_bytes_ -= it->second.metrics_csv.size();
+  entries_.erase(it);
+  if (const auto pos = lru_pos_.find(key); pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  if (const auto pos = order_pos_.find(key); pos != order_pos_.end()) {
+    order_.erase(pos->second);
+    order_pos_.erase(pos);
   }
 }
 
-const CachedResult* ResultCache::find(std::uint64_t key) const {
-  const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+std::size_t ResultCache::enforce_cap(std::uint64_t keep) {
+  if (spool_cap_bytes_ == 0) return 0;
+  std::size_t dropped = 0;
+  while (spool_bytes_ > spool_cap_bytes_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    // The entry being inserted must stay servable even if it alone
+    // exceeds the cap; with only it left there is nothing to evict.
+    if (victim == keep) break;
+    (void)::unlink(spool_file(victim).c_str());
+    drop_entry(victim);
+    ++dropped;
+  }
+  return dropped;
 }
 
 const CachedResult& ResultCache::insert(std::uint64_t key,
@@ -114,30 +215,70 @@ const CachedResult& ResultCache::insert(std::uint64_t key,
   entry.app_iterations = static_cast<std::uint64_t>(result.app_iterations);
   entry.app_elapsed_s = result.app_elapsed_s;
 
-  runner::JournalRecord rec;
-  rec.key_hash = key;
-  rec.name = result.spec.name;
-  rec.app_iterations = entry.app_iterations;
-  rec.app_elapsed_s = entry.app_elapsed_s;
-  rec.wall_seconds = 0.0;  // byte-stability: host time never journaled
-
   if (result.status == runner::ScenarioStatus::kDone) {
     entry.status = runner::JournalStatus::kDone;
     entry.metrics_csv = result.metrics_csv;
-    rec.status = runner::JournalStatus::kDone;
-    rec.output = "spool/" + key_hex(key) + ".csv";
-    rec.csv_crc = crc32(entry.metrics_csv);
+    entry.csv_crc = crc32(entry.metrics_csv);
     // Spool bytes before the record that names them: a crash between the
     // two leaves an orphan file, never a record without its bytes.
     write_file_atomically(spool_file(key), entry.metrics_csv);
   } else {
     entry.status = runner::JournalStatus::kFailed;
     entry.error = result.error;
-    rec.status = runner::JournalStatus::kFailed;
-    rec.error = result.error;
   }
-  journal_->append(rec);
-  return entries_.emplace(key, std::move(entry)).first->second;
+  journal_->append(record_for(entry));
+
+  if (entry.status == runner::JournalStatus::kDone) {
+    spool_bytes_ += entry.metrics_csv.size();
+    lru_.push_front(key);
+    lru_pos_[key] = lru_.begin();
+  }
+  order_.push_back(key);
+  order_pos_[key] = std::prev(order_.end());
+  const auto& stored = entries_.emplace(key, std::move(entry)).first->second;
+
+  if (const std::size_t dropped = enforce_cap(key); dropped > 0) {
+    evicted_ += dropped;
+    rewrite_journal();
+  }
+  return stored;
+}
+
+ScrubReport ResultCache::scrub() {
+  require(journal_ != nullptr, "ResultCache::scrub before open()");
+  ScrubReport report;
+  std::vector<std::uint64_t> corrupt;
+  for (const std::uint64_t key : order_) {
+    const CachedResult& entry = entries_.at(key);
+    if (entry.status != runner::JournalStatus::kDone) continue;
+    ++report.scanned;
+    bool ok = false;
+    const std::string bytes = read_file_bytes(spool_file(key), ok);
+    if (ok && crc32(bytes) == entry.csv_crc) continue;
+    corrupt.push_back(key);
+  }
+  if (corrupt.empty()) return report;
+
+  std::filesystem::create_directories(quarantine_dir_);
+  for (const std::uint64_t key : corrupt) {
+    // Move the bad bytes aside as evidence (best effort -- the file may
+    // be gone entirely) and drop the entry: the next submission of this
+    // spec re-runs and re-caches instead of ever serving a byte that
+    // fails its CRC.
+    (void)std::rename(spool_file(key).c_str(),
+                      (quarantine_dir_ + "/" + key_hex(key) + ".csv").c_str());
+    drop_entry(key);
+    ++quarantined_;
+    ++report.quarantined;
+  }
+  rewrite_journal();
+  return report;
+}
+
+void ResultCache::rewrite_journal() {
+  journal_ = std::make_unique<runner::JournalWriter>(journal_path_, true);
+  for (const std::uint64_t key : order_)
+    journal_->append(record_for(entries_.at(key)));
 }
 
 }  // namespace hpas::server

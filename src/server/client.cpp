@@ -34,7 +34,7 @@ Client Client::connect_tcp(int port) {
 
 void Client::send(const Json& request) {
   require(fd_ >= 0, "Client::send on a closed client");
-  write_json(fd_, request);
+  write_json(fd_, request, faultline::Domain::kClient);
 }
 
 bool Client::recv(Json& response) {
@@ -44,7 +44,7 @@ bool Client::recv(Json& response) {
     return true;
   }
   require(fd_ >= 0, "Client::recv on a closed client");
-  return read_json(fd_, response);
+  return read_json(fd_, response, faultline::Domain::kClient);
 }
 
 void Client::submit(std::uint64_t id, const runner::ScenarioSpec& spec) {
@@ -84,7 +84,7 @@ Json Client::wait_result(std::uint64_t id) {
   }
   Json frame;
   while (true) {
-    if (!read_json(fd_, frame))
+    if (!read_json(fd_, frame, faultline::Domain::kClient))
       throw SystemError("client: server closed before the result for id " +
                         std::to_string(id));
     const std::string type = frame.string_or("type", "");

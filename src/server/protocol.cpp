@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -19,17 +20,22 @@ namespace {
   throw SystemError(what + ": " + std::strerror(errno));
 }
 
-/// write()/send() the whole buffer. MSG_NOSIGNAL keeps a dead peer from
-/// raising SIGPIPE; on non-socket fds (tests use pipes) send() fails with
-/// ENOTSOCK and we fall back to write().
-void write_fully(int fd, const char* data, std::size_t size) {
+/// write()/send() the whole buffer through the faultline socket edge.
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE; on non-socket
+/// fds (tests use pipes) send() fails with ENOTSOCK and faultline falls
+/// back to write(). A send timeout (set_io_deadline) expiring mid-write
+/// means the peer stopped draining: that connection is dead to us.
+void write_fully(int fd, const char* data, std::size_t size,
+                 faultline::Domain domain) {
   std::size_t done = 0;
   while (done < size) {
-    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-    if (n < 0 && errno == ENOTSOCK)
-      n = ::write(fd, data + done, size - done);
+    const ssize_t n =
+        faultline::send_fd(domain, fd, data + done, size - done,
+                           MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SystemError("protocol: peer stalled, write deadline exceeded");
       throw_errno("protocol: write failed");
     }
     if (n == 0) throw SystemError("protocol: peer closed mid-write");
@@ -39,13 +45,21 @@ void write_fully(int fd, const char* data, std::size_t size) {
 
 /// Reads exactly `size` bytes. Returns false on EOF at offset 0 when
 /// `eof_ok`; throws on EOF anywhere else (a torn frame is an error, not
-/// a clean close).
-bool read_fully(int fd, char* data, std::size_t size, bool eof_ok) {
+/// a clean close). A receive timeout at offset 0 of the length prefix is
+/// an idle peer and keeps waiting (`idle_ok`, the frame-boundary case);
+/// any other timeout is a stalled half-frame and throws.
+bool read_fully(int fd, char* data, std::size_t size, bool eof_ok,
+                bool idle_ok, faultline::Domain domain) {
   std::size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::read(fd, data + done, size - done);
+    const ssize_t n = faultline::read(domain, fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (done == 0 && idle_ok) continue;
+        throw SystemError("protocol: peer stalled mid-frame, read deadline "
+                          "exceeded");
+      }
       throw_errno("protocol: read failed");
     }
     if (n == 0) {
@@ -81,7 +95,8 @@ sockaddr_in make_localhost_addr(int port) {
 
 }  // namespace
 
-void write_frame(int fd, std::string_view payload) {
+void write_frame(int fd, std::string_view payload,
+                 faultline::Domain domain) {
   if (payload.size() > kMaxFramePayload)
     throw SystemError("protocol: frame payload exceeds " +
                       std::to_string(kMaxFramePayload) + " bytes");
@@ -91,15 +106,21 @@ void write_frame(int fd, std::string_view payload) {
     prefix[i] = static_cast<char>((len >> (8 * i)) & 0xffu);
   // Two writes, not one coalesced buffer: the peer reads the length
   // first anyway and both land in the socket buffer back to back.
-  write_fully(fd, prefix, sizeof prefix);
-  write_fully(fd, payload.data(), payload.size());
+  write_fully(fd, prefix, sizeof prefix, domain);
+  write_fully(fd, payload.data(), payload.size(), domain);
 }
 
-void write_json(int fd, const Json& doc) { write_frame(fd, doc.dump()); }
+void write_json(int fd, const Json& doc, faultline::Domain domain) {
+  write_frame(fd, doc.dump(), domain);
+}
 
-bool read_frame(int fd, std::string& payload) {
+bool read_frame(int fd, std::string& payload, faultline::Domain domain) {
   char prefix[4];
-  if (!read_fully(fd, prefix, sizeof prefix, /*eof_ok=*/true)) return false;
+  // A timeout before the first prefix byte is an idle frame boundary,
+  // not a stall -- only a half-read frame trips the deadline.
+  if (!read_fully(fd, prefix, sizeof prefix, /*eof_ok=*/true,
+                  /*idle_ok=*/true, domain))
+    return false;
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i)
     len |= static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]))
@@ -109,25 +130,61 @@ bool read_frame(int fd, std::string& payload) {
                       " exceeds the " + std::to_string(kMaxFramePayload) +
                       "-byte cap");
   payload.resize(len);
-  if (len > 0) read_fully(fd, payload.data(), len, /*eof_ok=*/false);
+  if (len > 0)
+    read_fully(fd, payload.data(), len, /*eof_ok=*/false, /*idle_ok=*/false,
+               domain);
   return true;
 }
 
-bool read_json(int fd, Json& doc) {
+bool read_json(int fd, Json& doc, faultline::Domain domain) {
   std::string payload;
-  if (!read_frame(fd, payload)) return false;
+  if (!read_frame(fd, payload, domain)) return false;
   doc = Json::parse(payload);
   return true;
 }
 
+void set_io_deadline(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv = {};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool unix_socket_alive(const std::string& path) {
+  if (::access(path.c_str(), F_OK) != 0) return false;
+  sockaddr_un addr;
+  try {
+    addr = make_unix_addr(path);
+  } catch (const ConfigError&) {
+    return false;  // unbindable path cannot host a live server either
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool alive =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+      0;
+  ::close(fd);
+  return alive;
+}
+
 int listen_unix(const std::string& path) {
   const sockaddr_un addr = make_unix_addr(path);
+  // A stale socket file from a SIGKILLed daemon would fail the bind with
+  // EADDRINUSE even though nobody is listening. Probe it: a connect that
+  // succeeds means a live daemon owns this path -- refuse loudly instead
+  // of yanking its socket away; a refused connect means the file is dead
+  // weight and safe to unlink (the data dir, not the socket, is the
+  // durable state).
+  if (unix_socket_alive(path))
+    throw ConfigError("server: a live server already answers on " + path +
+                      " (stop it first, or pick another --socket)");
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("server: socket(AF_UNIX) failed");
   set_cloexec(fd);
-  // A stale socket file from a SIGKILLed daemon would fail the bind with
-  // EADDRINUSE even though nobody is listening; unlink unconditionally --
-  // the data dir, not the socket, is the durable state.
   ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     const int saved = errno;

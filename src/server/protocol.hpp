@@ -40,6 +40,7 @@
 #include <string_view>
 
 #include "common/json.hpp"
+#include "faultline/faultline.hpp"
 
 namespace hpas::server {
 
@@ -50,21 +51,43 @@ inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 
 /// Writes one frame. Uses send(MSG_NOSIGNAL) on sockets so a vanished
 /// peer surfaces as a SystemError (EPIPE), never SIGPIPE. Throws
-/// SystemError on short writes or oversized payloads.
-void write_frame(int fd, std::string_view payload);
-void write_json(int fd, const Json& doc);  // compact, deterministic dump
+/// SystemError on short writes or oversized payloads. `domain` names the
+/// faultline edge the raw I/O flows through (socket for the daemon,
+/// client for `hpas submit`).
+void write_frame(int fd, std::string_view payload,
+                 faultline::Domain domain = faultline::Domain::kSocket);
+void write_json(int fd, const Json& doc,
+                faultline::Domain domain = faultline::Domain::kSocket);
 
 /// Reads one complete frame into `payload`. Returns false on a clean EOF
 /// before the first length byte (peer closed between frames); throws
 /// SystemError on mid-frame EOF, an oversized length prefix, or a socket
 /// error. ConfigError propagates from Json::parse in read_json.
-bool read_frame(int fd, std::string& payload);
-bool read_json(int fd, Json& doc);
+///
+/// Deadline semantics (set_io_deadline): a receive timeout that expires
+/// before the first byte of a frame is *idle* -- the read keeps waiting,
+/// an idle client is legitimate. A timeout with part of a frame already
+/// read is a stalled peer (slowloris) and throws SystemError.
+bool read_frame(int fd, std::string& payload,
+                faultline::Domain domain = faultline::Domain::kSocket);
+bool read_json(int fd, Json& doc,
+               faultline::Domain domain = faultline::Domain::kSocket);
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO on a connection fd so a stalled peer
+/// cannot pin it forever (see read_frame). seconds <= 0 disables.
+void set_io_deadline(int fd, double seconds);
+
+/// True when a live server answers a connect() on the socket file at
+/// `path`. False for a missing file or a stale one left by a SIGKILLed
+/// daemon (connect refuses when nobody listens).
+bool unix_socket_alive(const std::string& path);
 
 /// Listener/connector helpers. All return CLOEXEC-owning fds and throw
-/// SystemError on failure. The unix listener unlinks a stale socket file
-/// first; the TCP variants bind/connect 127.0.0.1 only -- the daemon has
-/// no authentication story and must not listen on public interfaces.
+/// SystemError on failure. The unix listener probes an existing socket
+/// file first: a dead (stale) one is unlinked, a live one makes it
+/// throw ConfigError rather than yank a running daemon's socket out from
+/// under it. The TCP variants bind/connect 127.0.0.1 only -- the daemon
+/// has no authentication story and must not listen on public interfaces.
 int listen_unix(const std::string& path);
 int listen_tcp_localhost(int port);
 int connect_unix(const std::string& path);

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
@@ -32,6 +34,18 @@ Json make_ack(const char* type, std::uint64_t id) {
 }
 
 }  // namespace
+
+int accept_backoff_ms(int err) {
+  switch (err) {
+    case EMFILE:   // this process is out of descriptors
+    case ENFILE:   // the whole host is out of descriptors
+    case ENOBUFS:  // transient kernel buffer exhaustion
+    case ENOMEM:
+      return 50;
+    default:
+      return 0;  // ECONNABORTED, EINTR, ...: retry immediately
+  }
+}
 
 /// One connected client. The fd is owned here (closed at destruction);
 /// `closed` and writes are serialized by `write_mu`, while the admitted
@@ -77,6 +91,7 @@ void Server::start() {
   if (options_.admission_capacity == 0)
     throw ConfigError("serve: admission capacity must be positive");
 
+  cache_.set_spool_cap_bytes(options_.spool_cap_bytes);
   cache_.open();
 
   runner::PoolOptions pool_opts;
@@ -98,6 +113,8 @@ void Server::start() {
 
   accept_thread_ = std::thread([this] { accept_loop(); });
   scheduler_thread_ = std::thread([this] { scheduler_loop(); });
+  if (options_.scrub_interval_s > 0.0)
+    scrub_thread_ = std::thread([this] { scrub_loop(); });
   started_ = true;
 }
 
@@ -126,6 +143,7 @@ std::uint64_t Server::wait() {
     idle_cv_.wait(lock, [&] { return draining_ && outstanding_ == 0; });
     stopping_ = true;
     sched_cv_.notify_all();
+    scrub_cv_.notify_all();
   }
 
   // Wake the accept loop's poll(), then tear down in dependency order:
@@ -135,6 +153,7 @@ std::uint64_t Server::wait() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (scheduler_thread_.joinable()) scheduler_thread_.join();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
 
   if (unix_listener_ >= 0) {
     ::close(unix_listener_);
@@ -189,12 +208,20 @@ ServerStats Server::stats() const {
   ServerStats s = counters_;
   s.cache_size = cache_.size();
   s.restored = cache_.restored();
+  s.evicted = cache_.evicted();
+  s.quarantined = cache_.quarantined();
+  s.spool_bytes = cache_.spool_bytes();
   s.outstanding = outstanding_;
   s.draining = draining_;
   return s;
 }
 
 void Server::accept_loop() {
+  // Rate limit for the descriptor-exhaustion warning: the condition can
+  // persist for minutes and the backoff retries ~20x/second -- one line
+  // every few seconds says everything a log reader needs.
+  auto last_backoff_log =
+      std::chrono::steady_clock::now() - std::chrono::hours(1);
   while (true) {
     pollfd fds[3];
     nfds_t n = 0;
@@ -212,8 +239,27 @@ void Server::accept_loop() {
     for (nfds_t i = first_listener; i < n; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
-      if (cfd < 0) continue;
+      if (cfd < 0) {
+        // EMFILE/ENFILE leave the listener readable, so without a pause
+        // this loop would spin at full speed while the process is out of
+        // fds. Sleep on the stop pipe instead of plain sleep so shutdown
+        // still interrupts the backoff instantly.
+        const int delay_ms = accept_backoff_ms(errno);
+        if (delay_ms > 0) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_backoff_log >= std::chrono::seconds(5)) {
+            last_backoff_log = now;
+            std::fprintf(stderr,
+                         "hpas serve: accept failed (%s); backing off\n",
+                         std::strerror(errno));
+          }
+          pollfd stop_fd = {stop_pipe_[0], POLLIN, 0};
+          if (::poll(&stop_fd, 1, delay_ms) > 0) return;
+        }
+        continue;
+      }
       ::fcntl(cfd, F_SETFD, FD_CLOEXEC);
+      set_io_deadline(cfd, options_.io_timeout_s);
       auto conn = std::make_shared<ClientConn>();
       conn->fd = cfd;
       {
@@ -360,6 +406,25 @@ void Server::scheduler_loop() {
   }
 }
 
+void Server::scrub_loop() {
+  const auto period = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(options_.scrub_interval_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Waiting on stopping_ (not draining_) lets a final pass of an
+    // armed drain still be interrupted; cache access stays under mu_
+    // like every other cache caller.
+    if (scrub_cv_.wait_for(lock, period, [&] { return stopping_; })) return;
+    const ScrubReport report = cache_.scrub();
+    ++counters_.scrub_passes;
+    if (report.quarantined > 0)
+      std::fprintf(stderr,
+                   "hpas serve: scrubber quarantined %zu corrupt spool "
+                   "entries (of %zu scanned); they re-run on resubmission\n",
+                   report.quarantined, report.scanned);
+  }
+}
+
 void Server::run_admitted(std::uint64_t key) {
   runner::ScenarioSpec spec;
   {
@@ -400,10 +465,37 @@ void Server::run_admitted(std::uint64_t key) {
       // Journal (spool bytes + fsync'd record) BEFORE any result frame
       // leaves the process: a client that saw the result can always get
       // it again from a restarted daemon.
-      const CachedResult& entry = cache_.insert(key, result);
+      CachedResult uncached;
+      const CachedResult* entry = nullptr;
+      try {
+        entry = &cache_.insert(key, result);
+      } catch (const SystemError& e) {
+        // Disk-full / I/O failure on the spool or journal. The result is
+        // still correct -- serve it from memory rather than fail the
+        // waiters; determinism means a post-restart resubmission re-runs
+        // to the same bytes, so skipping the cache only costs time.
+        ++counters_.insert_errors;
+        std::fprintf(stderr,
+                     "hpas serve: cache insert failed (%s); serving "
+                     "result uncached\n",
+                     e.what());
+        uncached.key = key;
+        uncached.name = result.spec.name;
+        uncached.app_iterations =
+            static_cast<std::uint64_t>(result.app_iterations);
+        uncached.app_elapsed_s = result.app_elapsed_s;
+        if (result.status == runner::ScenarioStatus::kDone) {
+          uncached.status = runner::JournalStatus::kDone;
+          uncached.metrics_csv = result.metrics_csv;
+        } else {
+          uncached.status = runner::JournalStatus::kFailed;
+          uncached.error = result.error;
+        }
+        entry = &uncached;
+      }
       frames.reserve(waiters.size());
       for (const auto& waiter : waiters)
-        frames.push_back(result_frame(entry, waiter.second));
+        frames.push_back(result_frame(*entry, waiter.second));
     } else {
       // Cancelled/timed out: a host-timing artifact, never cached.
       for (const auto& waiter : waiters) {
@@ -461,8 +553,13 @@ Json Server::stats_json() const {
   doc.set("coalesced", Json(s.coalesced));
   doc.set("executed", Json(s.executed));
   doc.set("busy_rejected", Json(s.busy_rejected));
+  doc.set("insert_errors", Json(s.insert_errors));
+  doc.set("scrub_passes", Json(s.scrub_passes));
   doc.set("cache_size", Json(static_cast<std::uint64_t>(s.cache_size)));
   doc.set("restored", Json(static_cast<std::uint64_t>(s.restored)));
+  doc.set("evicted", Json(static_cast<std::uint64_t>(s.evicted)));
+  doc.set("quarantined", Json(static_cast<std::uint64_t>(s.quarantined)));
+  doc.set("spool_bytes", Json(s.spool_bytes));
   doc.set("outstanding", Json(static_cast<std::uint64_t>(s.outstanding)));
   doc.set("draining", s.draining);
   return doc;

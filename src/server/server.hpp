@@ -68,6 +68,16 @@ struct ServerOptions {
   /// not consume admission slots -- they do no engine work.
   std::size_t admission_capacity = 64;
   int sim_shards = 0;       ///< per-scenario engine shards (0 = default)
+  /// Per-connection I/O deadline in seconds; 0 disables. A peer stalled
+  /// mid-frame (slowloris) or not draining its responses is disconnected
+  /// after this long. Idle clients at a frame boundary are unaffected.
+  double io_timeout_s = 0.0;
+  /// Result-spool size cap in bytes; 0 = unbounded. Past it the cache
+  /// evicts least-recently-served entries (they re-run on demand).
+  std::uint64_t spool_cap_bytes = 0;
+  /// Scrubber period in seconds; 0 disables. Each pass CRC-verifies the
+  /// spool against the journal and quarantines corrupt entries.
+  double scrub_interval_s = 0.0;
   /// Test hook, called on the worker thread immediately before a
   /// scenario's engine run (not for cache hits). Lets tests hold the
   /// pipeline at a known point to probe admission behaviour.
@@ -81,11 +91,23 @@ struct ServerStats {
   std::uint64_t coalesced = 0;     ///< attached to an in-flight run
   std::uint64_t executed = 0;      ///< engine runs finished this process
   std::uint64_t busy_rejected = 0; ///< bounced by admission control
+  std::uint64_t insert_errors = 0; ///< results served but not journaled
+  std::uint64_t scrub_passes = 0;  ///< completed scrubber sweeps
   std::size_t cache_size = 0;      ///< entries (restored + inserted)
   std::size_t restored = 0;        ///< entries rebuilt from the journal
+  std::size_t evicted = 0;         ///< entries dropped by the spool cap
+  std::size_t quarantined = 0;     ///< corrupt entries moved aside
+  std::uint64_t spool_bytes = 0;   ///< current on-disk result footprint
   std::size_t outstanding = 0;     ///< admitted, not yet completed
   bool draining = false;
 };
+
+/// Bounded retry delay (ms) for an accept() failure, or 0 when the errno
+/// is not transient fd/buffer exhaustion. EMFILE/ENFILE mean the process
+/// (or host) is out of descriptors: accept() will keep failing while the
+/// listener stays readable, so without this delay the accept loop spins
+/// at 100% CPU exactly when the machine is at its sickest.
+int accept_backoff_ms(int err);
 
 class Server {
  public:
@@ -126,6 +148,7 @@ class Server {
 
   void accept_loop();
   void scheduler_loop();
+  void scrub_loop();
   void reader_loop(const std::shared_ptr<ClientConn>& conn);
   void handle_submit(const std::shared_ptr<ClientConn>& conn,
                      const Json& request);
@@ -145,10 +168,12 @@ class Server {
 
   std::thread accept_thread_;
   std::thread scheduler_thread_;
+  std::thread scrub_thread_;
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;  ///< pending work or stop
   std::condition_variable idle_cv_;   ///< outstanding_ hit zero
+  std::condition_variable scrub_cv_;  ///< wakes the scrubber early on stop
   std::vector<std::shared_ptr<ClientConn>> clients_;
   std::size_t rr_next_ = 0;  ///< round-robin cursor over clients_
   std::unordered_map<std::uint64_t, Inflight> inflight_;

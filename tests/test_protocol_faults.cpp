@@ -1,0 +1,256 @@
+// Frame-codec edge cases driven through the fault layer: short reads and
+// writes mid-header and mid-body, EINTR storms, oversized-length
+// rejection, peer resets mid-frame, the idle-vs-stalled deadline
+// semantics, and the stale-socket probe -- all without leaking a
+// descriptor.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "faultline/faultline.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+namespace fl = hpas::faultline;
+using hpas::ConfigError;
+using hpas::SystemError;
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+/// A connected AF_UNIX socket pair; both ends closed at scope exit.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+class ProtocolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fl::disarm(); }
+  void TearDown() override { fl::disarm(); }
+};
+
+TEST_F(ProtocolFaultTest, RoundTripSurvivesShortWritesAndShortReads) {
+  SocketPair pair;
+  // Every socket write lands at most 3 bytes and every read delivers at
+  // most 2: the 4-byte header and the body are both torn into fragments
+  // the retry loops must reassemble.
+  fl::FaultSchedule schedule;
+  schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                            .op = fl::Op::kWrite,
+                            .kind = fl::FaultKind::kShortWrite,
+                            .bytes = 3,
+                            .every = 1});
+  schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                            .op = fl::Op::kRead,
+                            .kind = fl::FaultKind::kShortRead,
+                            .bytes = 2,
+                            .every = 1});
+  fl::arm(schedule);
+
+  const std::string payload =
+      R"({"op":"submit","id":9,"spec":{"name":"frag"}})";
+  hpas::server::write_frame(pair.fds[0], payload);
+  std::string got;
+  ASSERT_TRUE(hpas::server::read_frame(pair.fds[1], got));
+  EXPECT_EQ(got, payload);
+  // The fragmentation actually happened: far more calls than the two
+  // writes and two reads of the fast path.
+  EXPECT_GT(fl::stats().injected, 10u);
+}
+
+TEST_F(ProtocolFaultTest, EintrStormIsRetriedOnBothSides) {
+  SocketPair pair;
+  fl::FaultSchedule schedule;
+  schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                            .op = fl::Op::kWrite,
+                            .kind = fl::FaultKind::kErrno,
+                            .err = EINTR,
+                            .every = 1,
+                            .count = 20});
+  schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                            .op = fl::Op::kRead,
+                            .kind = fl::FaultKind::kErrno,
+                            .err = EINTR,
+                            .every = 1,
+                            .count = 20});
+  fl::arm(schedule);
+
+  hpas::server::write_frame(pair.fds[0], "stormy payload");
+  std::string got;
+  ASSERT_TRUE(hpas::server::read_frame(pair.fds[1], got));
+  EXPECT_EQ(got, "stormy payload");
+  EXPECT_EQ(fl::stats().injected, 40u);
+}
+
+TEST_F(ProtocolFaultTest, ConnectionResetSurfacesAsSystemError) {
+  SocketPair pair;
+  fl::FaultSchedule schedule;
+  schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                            .op = fl::Op::kWrite,
+                            .kind = fl::FaultKind::kErrno,
+                            .err = ECONNRESET,
+                            .at = 0});
+  fl::arm(schedule);
+  EXPECT_THROW(hpas::server::write_frame(pair.fds[0], "never lands"),
+               SystemError);
+}
+
+TEST_F(ProtocolFaultTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  SocketPair pair;
+  // A hostile 0xffffffff length prefix, written raw.
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(pair.fds[0], prefix, sizeof prefix, 0),
+            static_cast<ssize_t>(sizeof prefix));
+  std::string payload;
+  EXPECT_THROW(hpas::server::read_frame(pair.fds[1], payload), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, OversizedPayloadIsRefusedBeforeAnyWrite) {
+  SocketPair pair;
+  const std::string huge(hpas::server::kMaxFramePayload + 1, 'x');
+  EXPECT_THROW(hpas::server::write_frame(pair.fds[0], huge), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, PeerClosingMidHeaderThrows) {
+  SocketPair pair;
+  const unsigned char half_header[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(pair.fds[0], half_header, 2, 0), 2);
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string payload;
+  EXPECT_THROW(hpas::server::read_frame(pair.fds[1], payload), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, PeerClosingMidBodyThrows) {
+  SocketPair pair;
+  // Announce 16 bytes, deliver 5, vanish.
+  const unsigned char header[4] = {0x10, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(pair.fds[0], header, 4, 0), 4);
+  ASSERT_EQ(::send(pair.fds[0], "hello", 5, 0), 5);
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string payload;
+  EXPECT_THROW(hpas::server::read_frame(pair.fds[1], payload), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, CleanEofBetweenFramesIsNotAnError) {
+  SocketPair pair;
+  hpas::server::write_frame(pair.fds[0], "last frame");
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string payload;
+  ASSERT_TRUE(hpas::server::read_frame(pair.fds[1], payload));
+  EXPECT_EQ(payload, "last frame");
+  EXPECT_FALSE(hpas::server::read_frame(pair.fds[1], payload));
+}
+
+TEST_F(ProtocolFaultTest, StalledPeerMidFrameTripsTheReadDeadline) {
+  SocketPair pair;
+  hpas::server::set_io_deadline(pair.fds[1], 0.05);
+  // Half a header, then silence: a slowloris. The deadline must fire.
+  const unsigned char half_header[2] = {0x08, 0x00};
+  ASSERT_EQ(::send(pair.fds[0], half_header, 2, 0), 2);
+  std::string payload;
+  EXPECT_THROW(hpas::server::read_frame(pair.fds[1], payload), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, IdlePeerAtFrameBoundarySurvivesTheDeadline) {
+  SocketPair pair;
+  hpas::server::set_io_deadline(pair.fds[1], 0.05);
+  // The writer stays quiet for three deadline periods, then sends a
+  // whole frame: timeouts before byte 0 are idleness, not a stall.
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    hpas::server::write_frame(pair.fds[0], "patience pays");
+  });
+  std::string payload;
+  ASSERT_TRUE(hpas::server::read_frame(pair.fds[1], payload));
+  EXPECT_EQ(payload, "patience pays");
+  writer.join();
+}
+
+TEST_F(ProtocolFaultTest, UndrainedPeerTripsTheWriteDeadline) {
+  SocketPair pair;
+  const int tiny = 1;
+  ::setsockopt(pair.fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny);
+  hpas::server::set_io_deadline(pair.fds[0], 0.05);
+  // A frame far larger than the socket buffers, with nobody reading the
+  // other end: the send must block, time out, and throw -- not hang.
+  const std::string big(4u << 20, 'b');
+  EXPECT_THROW(hpas::server::write_frame(pair.fds[0], big), SystemError);
+}
+
+TEST_F(ProtocolFaultTest, StaleSocketProbeAndHelpersLeakNoFds) {
+  const auto dir = std::filesystem::temp_directory_path() / "hpas-proto-fd";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "probe.sock").string();
+
+  const std::size_t before = open_fd_count();
+  {
+    // Missing file: not alive, connect refuses.
+    EXPECT_FALSE(hpas::server::unix_socket_alive(path));
+    EXPECT_THROW(hpas::server::connect_unix(path), SystemError);
+
+    // Live listener: alive, and a second bind refuses loudly instead of
+    // yanking the socket out from under the running daemon.
+    int fd = hpas::server::listen_unix(path);
+    EXPECT_TRUE(hpas::server::unix_socket_alive(path));
+    EXPECT_THROW(hpas::server::listen_unix(path), ConfigError);
+    ::close(fd);
+
+    // SIGKILLed-daemon state: the file exists but nobody listens. The
+    // probe reports dead and the next bind unlinks and succeeds.
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(hpas::server::unix_socket_alive(path));
+    fd = hpas::server::listen_unix(path);
+    EXPECT_GE(fd, 0);
+    ::close(fd);
+  }
+  EXPECT_EQ(open_fd_count(), before);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ProtocolFaultTest, FaultedCodecCallsLeakNoFds) {
+  const std::size_t before = open_fd_count();
+  {
+    SocketPair pair;
+    fl::FaultSchedule schedule;
+    schedule.rules.push_back({.domain = fl::Domain::kSocket,
+                              .op = fl::Op::kWrite,
+                              .kind = fl::FaultKind::kErrno,
+                              .err = EPIPE,
+                              .every = 1});
+    fl::arm(schedule);
+    for (int i = 0; i < 8; ++i)
+      EXPECT_THROW(hpas::server::write_frame(pair.fds[0], "doomed"),
+                   SystemError);
+    fl::disarm();
+  }
+  EXPECT_EQ(open_fd_count(), before);
+}
+
+}  // namespace
