@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Dispersion statistics over repeated BENCH_*.json runs.
+
+Takes N runs of the same microbenchmark and reports, per metric, the
+median, sample standard deviation, coefficient of variation (%CV =
+100 * sigma / |median|), and the p95/p99 order statistics (linear
+interpolation). With --cv-threshold it exits 1 when any reported
+metric's %CV exceeds the threshold -- the "is this machine quiet enough
+for the regression gate to mean anything" check the CI bench-smoke job
+runs before comparing medians against the baseline.
+
+Metrics are dotted paths into the JSON document ("factory.rows_per_sec").
+Without --metric, every numeric scalar leaf shared by all runs is
+reported (booleans and arrays are skipped); configuration echoes such as
+"quick" or counters that are exact by construction have zero variance
+and cost nothing to include.
+
+Usage: bench_stats.py RUN1.json RUN2.json [...]
+           [--metric a.b.c ...] [--cv-threshold PCT]
+           [--format table|csv|json] [--out PATH]
+"""
+
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def numeric_leaves(doc, prefix=()):
+    """Yield (dotted path, value) for every numeric scalar leaf."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            yield from numeric_leaves(value, prefix + (key,))
+    elif isinstance(doc, bool):
+        return
+    elif isinstance(doc, (int, float)):
+        yield ".".join(prefix), float(doc)
+
+
+def lookup(doc, dotted):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def percentile(sorted_values, q):
+    """Linear-interpolation percentile (numpy default) of sorted data."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = (q / 100.0) * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def main(argv):
+    run_paths = []
+    metrics = []
+    cv_threshold = None
+    fmt = "table"
+    out_path = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--metric" and i + 1 < len(argv):
+            metrics.append(argv[i + 1])
+            i += 2
+        elif arg == "--cv-threshold" and i + 1 < len(argv):
+            cv_threshold = float(argv[i + 1])
+            i += 2
+        elif arg == "--format" and i + 1 < len(argv):
+            fmt = argv[i + 1]
+            i += 2
+        elif arg == "--out" and i + 1 < len(argv):
+            out_path = Path(argv[i + 1])
+            i += 2
+        elif arg.startswith("--"):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        else:
+            run_paths.append(Path(arg))
+            i += 1
+    if len(run_paths) < 2:
+        print("need at least two runs", file=sys.stderr)
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if fmt not in ("table", "csv", "json"):
+        print(f"unknown --format {fmt!r}", file=sys.stderr)
+        return 2
+
+    runs = [json.loads(p.read_text()) for p in run_paths]
+    if not metrics:
+        # Every numeric leaf present in ALL runs, in first-run order.
+        first = [path for path, _ in numeric_leaves(runs[0])]
+        shared = set(first)
+        for run in runs[1:]:
+            shared &= {path for path, _ in numeric_leaves(run)}
+        metrics = [path for path in first if path in shared]
+    if not metrics:
+        print("no shared numeric metrics across the runs", file=sys.stderr)
+        return 2
+
+    rows = []
+    missing = 0
+    for metric in metrics:
+        values = [lookup(run, metric) for run in runs]
+        if any(v is None for v in values):
+            print(f"warning: {metric} missing or non-numeric in a run; "
+                  f"skipped", file=sys.stderr)
+            missing += 1
+            continue
+        ordered = sorted(values)
+        median = statistics.median(values)
+        sigma = statistics.stdev(values)
+        cv = 0.0 if median == 0.0 else 100.0 * sigma / abs(median)
+        rows.append({
+            "metric": metric,
+            "n": len(values),
+            "median": median,
+            "sigma": sigma,
+            "cv_pct": cv,
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
+            "min": ordered[0],
+            "max": ordered[-1],
+        })
+
+    if fmt == "json":
+        text = json.dumps({"runs": len(runs), "metrics": rows}, indent=2)
+        text += "\n"
+    elif fmt == "csv":
+        lines = ["metric,n,median,sigma,cv_pct,p95,p99,min,max"]
+        for r in rows:
+            lines.append(
+                f"{r['metric']},{r['n']},{r['median']:.17g},"
+                f"{r['sigma']:.17g},{r['cv_pct']:.17g},{r['p95']:.17g},"
+                f"{r['p99']:.17g},{r['min']:.17g},{r['max']:.17g}")
+        text = "\n".join(lines) + "\n"
+    else:
+        width = max(len(r["metric"]) for r in rows)
+        lines = [f"{'metric':<{width}}  {'n':>3} {'median':>12} "
+                 f"{'sigma':>11} {'%CV':>7} {'p95':>12} {'p99':>12}"]
+        for r in rows:
+            lines.append(
+                f"{r['metric']:<{width}}  {r['n']:>3} {r['median']:>12.5g} "
+                f"{r['sigma']:>11.4g} {r['cv_pct']:>7.2f} "
+                f"{r['p95']:>12.5g} {r['p99']:>12.5g}")
+        text = "\n".join(lines) + "\n"
+
+    if out_path is not None:
+        out_path.write_text(text)
+        print(f"wrote {out_path}")
+    else:
+        sys.stdout.write(text)
+
+    if cv_threshold is not None:
+        noisy = [r for r in rows if r["cv_pct"] > cv_threshold]
+        if noisy:
+            for r in noisy:
+                print(f"FAIL  {r['metric']}: CV {r['cv_pct']:.2f}% exceeds "
+                      f"{cv_threshold:.2f}% over {r['n']} runs",
+                      file=sys.stderr)
+            return 1
+        print(f"all {len(rows)} metric(s) within CV {cv_threshold:.2f}% "
+              f"over {len(runs)} runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,43 +1,78 @@
 #!/usr/bin/env python3
-"""Gate BENCH_engine.json against the checked-in baseline.
+"""Gate BENCH_*.json runs against the checked-in baseline.
 
-Compares the throughput metrics of a fresh microbench_engine run against
-bench/BENCH_engine_baseline.json and fails (exit 1) when any of them
-regressed by more than the allowed fraction (default 30%, per the CI
-bench-smoke job). Machine-independent contracts (zero allocations on the
-warm path, the >=3x incremental speedup) are enforced by the benchmark
-binary itself; this script only guards against throughput drift.
+Compares one or more runs of a microbenchmark (microbench_engine or
+microbench_dataset; the suite is read from the file's top-level "suite"
+marker) against the corresponding bench/BENCH_<suite>_baseline.json and
+fails (exit 1) on regression beyond the allowed fraction (default 30%,
+per the CI bench-smoke job). Machine-independent contracts (zero
+allocations, bit-equality, flat memory) are enforced by the benchmark
+binaries themselves; this script only guards against drift.
 
-Usage: check_bench_regression.py CURRENT.json [BASELINE.json] [--max-regression 0.30]
+Given several runs of the same suite, the gate compares the *median*
+with a variance bar: a metric fails only when its median is beyond the
+allowed bound by more than one sample standard deviation. That keeps a
+single noisy repeat from failing CI while still catching real drift --
+the medians-with-variance-bars companion to bench_stats.py's CV gate.
+With a single run the bar is zero and the comparison is the plain
+point-estimate floor/ceiling.
+
+Metrics are directional: throughput regresses downward (gated by a
+floor), footprint metrics such as peak RSS regress upward (gated by a
+ceiling).
+
+Usage: check_bench_regression.py RUN.json [RUN2.json ...]
+           [--baseline PATH] [--suite engine|dataset]
+           [--max-regression 0.30]
 """
 
 import json
+import statistics
 import sys
 from pathlib import Path
 
-# (path into the JSON document, human label, hardware-gated?)
+# (path into the JSON document, human label, hardware-gated?, direction)
+# direction "higher" = bigger is better (floor gate); "lower" = smaller
+# is better (ceiling gate).
 # Hardware-gated rows measure parallel shard throughput, which is
-# meaningless below kMinHwThreadsForShardGates hardware threads: on such
-# machines they are reported as explicitly *skipped*, never as a silent
-# pass, so CI logs distinguish "gate held" from "gate never armed".
-METRICS = [
-    (("engine", "events_per_sec"), "engine events/sec", False),
-    (("world", "incremental_events_per_sec"),
-     "world incremental events/sec", False),
-    (("world", "speedup"), "incremental vs full-recompute speedup", False),
-    # Sharded 1k-node topology: the serial-shard throughput tracks the
-    # machine like the metrics above; the multi-shard entries guard the
-    # fork/join path against overhead creep, but only once the machine has
-    # the cores for the fan-out to be real parallelism. Absolute parallel
-    # *speedup* is additionally gated inside the benchmark binary (see the
-    # sharded section's "gates_skipped" marker).
-    (("sharded", "shards_1", "agg_ops_per_sec"),
-     "sharded dragonfly 1-shard aggregate ops/sec", False),
-    (("sharded", "shards_4", "agg_ops_per_sec"),
-     "sharded dragonfly 4-shard aggregate ops/sec", True),
-    (("sharded", "shards_8", "agg_ops_per_sec"),
-     "sharded dragonfly 8-shard aggregate ops/sec", True),
-]
+# meaningless below MIN_HW_THREADS_FOR_SHARD_GATES hardware threads: on
+# such machines they are reported as explicitly *skipped*, never as a
+# silent pass, so CI logs distinguish "gate held" from "gate never
+# armed".
+METRICS_BY_SUITE = {
+    "engine": [
+        (("engine", "events_per_sec"), "engine events/sec", False, "higher"),
+        (("world", "incremental_events_per_sec"),
+         "world incremental events/sec", False, "higher"),
+        (("world", "speedup"), "incremental vs full-recompute speedup",
+         False, "higher"),
+        # Sharded 1k-node topology: the serial-shard throughput tracks the
+        # machine like the metrics above; the multi-shard entries guard the
+        # fork/join path against overhead creep, but only once the machine
+        # has the cores for the fan-out to be real parallelism. Absolute
+        # parallel *speedup* is additionally gated inside the benchmark
+        # binary (see the sharded section's "gates_skipped" marker).
+        (("sharded", "shards_1", "agg_ops_per_sec"),
+         "sharded dragonfly 1-shard aggregate ops/sec", False, "higher"),
+        (("sharded", "shards_4", "agg_ops_per_sec"),
+         "sharded dragonfly 4-shard aggregate ops/sec", True, "higher"),
+        (("sharded", "shards_8", "agg_ops_per_sec"),
+         "sharded dragonfly 8-shard aggregate ops/sec", True, "higher"),
+        (("peak_rss_bytes",), "peak RSS bytes", False, "lower"),
+    ],
+    "dataset": [
+        (("extractor", "samples_per_sec"),
+         "streaming extractor samples/sec", False, "higher"),
+        (("factory", "rows_per_sec"), "factory rows/sec", False, "higher"),
+        # Deterministic row framing: 24-byte shard headers amortized over
+        # the rows plus 8 + 12 + 8F bytes per frame. Growth means the
+        # on-disk format got fatter.
+        (("factory", "bytes_per_row"), "shard bytes/row", False, "lower"),
+        (("factory", "peak_buffered_values"),
+         "peak buffered values per row", False, "lower"),
+        (("peak_rss_bytes",), "peak RSS bytes", False, "lower"),
+    ],
+}
 
 MIN_HW_THREADS_FOR_SHARD_GATES = 8
 
@@ -52,51 +87,88 @@ def lookup(doc, path):
 
 
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
+    run_paths = []
+    baseline_path = None
+    suite = None
     max_regression = 0.30
-    for i, arg in enumerate(argv):
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
         if arg == "--max-regression" and i + 1 < len(argv):
             max_regression = float(argv[i + 1])
-    if not args:
+            i += 2
+        elif arg == "--baseline" and i + 1 < len(argv):
+            baseline_path = Path(argv[i + 1])
+            i += 2
+        elif arg == "--suite" and i + 1 < len(argv):
+            suite = argv[i + 1]
+            i += 2
+        elif arg.startswith("--"):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        else:
+            run_paths.append(Path(arg))
+            i += 1
+    if not run_paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    current_path = Path(args[0])
-    baseline_path = (
-        Path(args[1])
-        if len(args) > 1
-        else Path(__file__).resolve().parent / "BENCH_engine_baseline.json"
-    )
 
-    current = json.loads(current_path.read_text())
+    runs = [json.loads(p.read_text()) for p in run_paths]
+    if suite is None:
+        suite = runs[0].get("suite", "engine")
+    if suite not in METRICS_BY_SUITE:
+        print(f"unknown suite {suite!r} (have: "
+              f"{', '.join(sorted(METRICS_BY_SUITE))})", file=sys.stderr)
+        return 2
+    for path, run in zip(run_paths, runs):
+        run_suite = run.get("suite", "engine")
+        if run_suite != suite:
+            print(f"{path}: suite {run_suite!r} does not match {suite!r}",
+                  file=sys.stderr)
+            return 2
+    if baseline_path is None:
+        baseline_path = (Path(__file__).resolve().parent
+                         / f"BENCH_{suite}_baseline.json")
     baseline = json.loads(baseline_path.read_text())
 
-    hw_threads = lookup(current, ("sharded", "hw_threads"))
+    hw_threads = lookup(runs[0], ("sharded", "hw_threads"))
     shard_gates_armed = (
         hw_threads is not None
         and hw_threads >= MIN_HW_THREADS_FOR_SHARD_GATES
     )
 
+    n = len(runs)
     failures = 0
     skipped = 0
-    for path, label, hardware_gated in METRICS:
+    for path, label, hardware_gated, direction in METRICS_BY_SUITE[suite]:
         if hardware_gated and not shard_gates_armed:
             skipped += 1
             print(f"skip  {label}: skipped (hardware-gated: "
                   f"{hw_threads if hw_threads is not None else '?'} "
                   f"hw threads, need {MIN_HW_THREADS_FOR_SHARD_GATES})")
             continue
-        cur = lookup(current, path)
+        values = [lookup(run, path) for run in runs]
         base = lookup(baseline, path)
-        if cur is None or base is None:
+        if any(v is None for v in values) or base is None:
             print(f"FAIL  {label}: missing from "
-                  f"{'current' if cur is None else 'baseline'} file")
+                  f"{'baseline' if base is None else 'a current run'}")
             failures += 1
             continue
-        floor = base * (1.0 - max_regression)
-        status = "ok  " if cur >= floor else "FAIL"
-        print(f"{status}  {label}: current {cur:.4g}, baseline {base:.4g} "
-              f"(floor {floor:.4g})")
-        if cur < floor:
+        median = statistics.median(values)
+        sigma = statistics.stdev(values) if n > 1 else 0.0
+        if direction == "higher":
+            bound = base * (1.0 - max_regression)
+            ok = median >= bound - sigma
+            bound_name = "floor"
+        else:
+            bound = base * (1.0 + max_regression)
+            ok = median <= bound + sigma
+            bound_name = "ceiling"
+        bar = f" +/- {sigma:.3g} over {n} runs" if n > 1 else ""
+        status = "ok  " if ok else "FAIL"
+        print(f"{status}  {label}: median {median:.4g}{bar}, "
+              f"baseline {base:.4g} ({bound_name} {bound:.4g})")
+        if not ok:
             failures += 1
 
     if failures:

@@ -46,7 +46,7 @@ int main() {
       hpas::runner::generate_diagnosis_dataset_parallel(options, hw_threads);
   const double parallel_s = parallel_watch.elapsed_seconds();
 
-  const bool identical = serial_data.features == data.features &&
+  const bool identical = serial_data.values() == data.values() &&
                          serial_data.labels == data.labels;
   std::printf("dataset: %zu samples x %zu features, %d classes\n",
               data.size(), data.num_features(), data.num_classes());

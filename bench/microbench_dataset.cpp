@@ -1,0 +1,371 @@
+// Microbenchmark + contract gate for the streaming dataset factory.
+//
+// Emits BENCH_dataset.json (suite "dataset") and exits non-zero when a
+// hard contract fails. Three sections:
+//
+//   extractor    raw StreamingFeatureExtractor on_sample() throughput on
+//                a synthetic sample stream, plus its retained-buffer peak
+//                (the O(metrics x window) bound).
+//   equality     spot bit-equality: a handful of diagnosis runs executed
+//                twice -- batch (MetricStore + extract_window_features
+//                via run_diagnosis_scenario) and streamed (SampleSink,
+//                store_samples = false) -- must produce byte-identical
+//                feature vectors.
+//   factory      the scale demo: >= 100k labeled rows (10k with --quick)
+//                generated end-to-end through run_dataset_factory into
+//                sharded, checksummed output. Reports rows/s, bytes/row,
+//                samples streamed, and proves the flat-memory claim by
+//                comparing peak RSS (VmHWM) after a small run against
+//                peak RSS after a 10x larger run: the delta must stay
+//                bounded regardless of row count.
+//
+// Usage: microbench_dataset [--out PATH] [--quick]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.hpp"
+#include "common/peak_rss.hpp"
+#include "common/rng.hpp"
+#include "dataset/factory.hpp"
+#include "dataset/streaming.hpp"
+#include "ml/diagnosis.hpp"
+#include "runner/grid.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+hpas::dataset::StreamingExtractorConfig extractor_config(
+    const hpas::ml::DiagnosisDataOptions& options) {
+  hpas::dataset::StreamingExtractorConfig config;
+  config.metrics = hpas::ml::diagnosis_feature_metrics(
+      options.include_bandwidth_metrics);
+  config.gauge.reserve(config.metrics.size());
+  for (const auto& id : config.metrics) {
+    config.gauge.push_back(hpas::ml::diagnosis_metric_is_gauge(id) ? 1 : 0);
+  }
+  config.window_t0 = options.warmup_s;
+  config.window_t1 = options.run_duration_s + 0.5;
+  config.noise = options.measurement_noise;
+  return config;
+}
+
+struct ExtractorResult {
+  double samples_per_sec = 0.0;
+  std::uint64_t samples = 0;
+  std::size_t peak_buffered = 0;
+  std::size_t window_values = 0;  ///< in-window samples per metric
+};
+
+// Synthetic stream: `rounds` scenarios of `duration_s` seconds at 1 Hz
+// across the feature metrics, reusing one extractor via reset() -- the
+// factory's steady-state shape.
+ExtractorResult bench_extractor(const hpas::ml::DiagnosisDataOptions& options,
+                                int rounds, double duration_s) {
+  hpas::dataset::StreamingFeatureExtractor extractor(
+      extractor_config(options));
+  const auto metrics =
+      hpas::ml::diagnosis_feature_metrics(options.include_bandwidth_metrics);
+  hpas::Rng rng(0xB43C);
+  ExtractorResult r;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (double t = 0.0; t < duration_s; t += 1.0) {
+      for (const auto& id : metrics) {
+        extractor.on_sample(id, t, rng.uniform(100.0, 110.0));
+        ++r.samples;
+      }
+    }
+    hpas::Rng noise(0x4E6F);
+    (void)extractor.finalize(&noise);
+    r.peak_buffered =
+        std::max(r.peak_buffered, extractor.peak_buffered_values());
+    extractor.reset();
+  }
+  const double wall = seconds_since(t0);
+  r.samples_per_sec = static_cast<double>(r.samples) / wall;
+  r.window_values = static_cast<std::size_t>(
+      options.run_duration_s + 0.5 - options.warmup_s + 1.0);
+  return r;
+}
+
+struct EqualityResult {
+  int runs = 0;
+  int mismatches = 0;
+};
+
+// Executes the first `runs` planned diagnosis runs both ways and compares
+// the feature vectors bit for bit.
+EqualityResult bench_equality(const hpas::ml::DiagnosisDataOptions& options,
+                              int runs) {
+  EqualityResult r;
+  const auto plans = hpas::ml::plan_diagnosis_runs(options);
+  for (const auto& plan : plans) {
+    if (r.runs >= runs) break;
+    ++r.runs;
+    const std::vector<double> batch =
+        hpas::ml::run_diagnosis_scenario(plan, options);
+
+    hpas::dataset::StreamingFeatureExtractor extractor(
+        extractor_config(options));
+    auto scenario = hpas::ml::begin_diagnosis_scenario(
+        plan, options, &extractor, /*store_samples=*/false);
+    scenario.world->run_until(options.run_duration_s);
+    hpas::Rng noise_rng = plan.noise_rng;
+    const std::vector<double> streamed = extractor.finalize(&noise_rng);
+
+    bool equal = batch.size() == streamed.size();
+    for (std::size_t i = 0; equal && i < batch.size(); ++i) {
+      equal = std::memcmp(&batch[i], &streamed[i], sizeof(double)) == 0;
+    }
+    if (!equal) ++r.mismatches;
+  }
+  return r;
+}
+
+hpas::runner::SweepGrid demo_grid() {
+  hpas::Json doc = hpas::Json::object();
+  doc.set("name", "bench_dataset");
+  doc.set("system", "voltrino");
+  doc.set("seed", std::uint64_t{42});
+  hpas::Json apps = hpas::Json::array();
+  apps.push_back("CoMD");
+  apps.push_back("milc");
+  doc.set("apps", std::move(apps));
+  hpas::Json anomalies = hpas::Json::array();
+  anomalies.push_back("none");
+  anomalies.push_back("cpuoccupy");
+  anomalies.push_back("cachecopy");
+  anomalies.push_back("membw");
+  doc.set("anomalies", std::move(anomalies));
+  hpas::Json intensities = hpas::Json::array();
+  intensities.push_back(0.75);
+  doc.set("intensities", std::move(intensities));
+  doc.set("repeats", 1);
+  doc.set("duration_s", 12.0);
+  doc.set("sample_period_s", 1.0);
+  doc.set("run_to_completion", false);
+  return hpas::runner::expand_grid(doc);
+}
+
+struct FactoryResult {
+  std::uint64_t rows = 0;
+  double wall_s = 0.0;
+  double rows_per_sec = 0.0;
+  double bytes_per_row = 0.0;
+  std::uint64_t shard_bytes = 0;
+  std::uint64_t samples_seen = 0;
+  std::size_t peak_buffered_values = 0;
+  std::uint64_t peak_rss_after = 0;
+  bool complete = false;
+};
+
+FactoryResult bench_factory(const hpas::runner::SweepGrid& grid,
+                            std::uint64_t rows, int threads,
+                            const std::filesystem::path& out_dir) {
+  const hpas::dataset::DatasetPlan plan = hpas::dataset::plan_from_grid(
+      grid, rows, /*warmup_s=*/2.0, /*noise=*/0.5,
+      /*include_bandwidth=*/false);
+  hpas::dataset::DatasetFactoryOptions options;
+  options.out_dir = out_dir.string();
+  options.shards = 8;
+  options.threads = threads;
+  options.checkpoint_rows = 4096;
+
+  FactoryResult r;
+  const auto t0 = Clock::now();
+  const hpas::dataset::DatasetFactoryResult result =
+      hpas::dataset::run_dataset_factory(plan, options);
+  r.wall_s = seconds_since(t0);
+  r.rows = result.rows_executed + result.rows_resumed;
+  r.rows_per_sec = static_cast<double>(r.rows) / r.wall_s;
+  r.samples_seen = result.samples_seen;
+  r.peak_buffered_values = result.peak_buffered_values;
+  r.complete = result.complete;
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    const auto p = out_dir / hpas::dataset::shard_file_name(s);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(p, ec);
+    if (!ec) r.shard_bytes += size;
+  }
+  r.bytes_per_row = r.rows == 0 ? 0.0
+                                : static_cast<double>(r.shard_bytes) /
+                                      static_cast<double>(r.rows);
+  r.peak_rss_after = hpas::peak_rss_bytes();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_dataset.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  hpas::Json doc = hpas::Json::object();
+  doc.set("suite", "dataset");
+  doc.set("quick", quick);
+
+  // Short diagnosis options shared by the extractor and equality legs.
+  hpas::ml::DiagnosisDataOptions diag;
+  diag.variants_per_app = 1;
+  diag.run_duration_s = 15.0;
+  diag.warmup_s = 2.0;
+
+  // Raw extractor throughput and the bounded-buffer contract.
+  {
+    const ExtractorResult e =
+        bench_extractor(diag, quick ? 500 : 2000, diag.run_duration_s);
+    std::printf("extractor: %.3g samples/s, peak %zu buffered values\n",
+                e.samples_per_sec, e.peak_buffered);
+    // Bound: every feature metric holds at most the in-window sample
+    // count; anything near O(rounds x duration) means the reset() path
+    // leaks history between scenarios.
+    const std::size_t bound = hpas::ml::diagnosis_feature_metrics(false).size()
+                              * (e.window_values + 2);
+    if (e.peak_buffered > bound) {
+      std::fprintf(stderr,
+                   "FAIL: extractor retained %zu values (bound %zu) -- "
+                   "buffer grows beyond the window\n",
+                   e.peak_buffered, bound);
+      ++failures;
+    }
+    hpas::Json section = hpas::Json::object();
+    section.set("samples_per_sec", e.samples_per_sec);
+    section.set("samples", e.samples);
+    section.set("peak_buffered_values", e.peak_buffered);
+    doc.set("extractor", std::move(section));
+  }
+
+  // Spot bit-equality: streamed vs batch feature vectors.
+  {
+    const EqualityResult eq = bench_equality(diag, quick ? 3 : 6);
+    std::printf("equality: %d/%d diagnosis runs bit-identical\n",
+                eq.runs - eq.mismatches, eq.runs);
+    if (eq.mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %d of %d streamed feature vectors differ from "
+                   "the batch extractor\n",
+                   eq.mismatches, eq.runs);
+      ++failures;
+    }
+    hpas::Json section = hpas::Json::object();
+    section.set("runs", eq.runs);
+    section.set("mismatches", eq.mismatches);
+    doc.set("equality", std::move(section));
+  }
+
+  // Scale demo: small run to establish the RSS floor, then the 10x run.
+  {
+    const hpas::runner::SweepGrid grid = demo_grid();
+    const std::uint64_t big_rows = quick ? 10000 : 100000;
+    const std::uint64_t small_rows = big_rows / 10;
+    const int threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+
+    const auto base = std::filesystem::temp_directory_path() /
+                      ("hpas_bench_dataset_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base);
+
+    const FactoryResult small =
+        bench_factory(grid, small_rows, threads, base / "small");
+    const FactoryResult big =
+        bench_factory(grid, big_rows, threads, base / "big");
+    std::filesystem::remove_all(base);
+
+    std::printf(
+        "factory: %llu rows in %.2fs (%.3g rows/s, %.1f bytes/row, "
+        "%llu samples streamed, peak %zu buffered values/row)\n",
+        static_cast<unsigned long long>(big.rows), big.wall_s,
+        big.rows_per_sec, big.bytes_per_row,
+        static_cast<unsigned long long>(big.samples_seen),
+        big.peak_buffered_values);
+    const double rss_delta_mib =
+        (static_cast<double>(big.peak_rss_after) -
+         static_cast<double>(small.peak_rss_after)) /
+        (1024.0 * 1024.0);
+    std::printf("factory: peak RSS %.1f MiB after %llux rows vs %.1f MiB "
+                "(delta %.1f MiB)\n",
+                static_cast<double>(big.peak_rss_after) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(big_rows / small_rows),
+                static_cast<double>(small.peak_rss_after) /
+                    (1024.0 * 1024.0),
+                rss_delta_mib);
+
+    if (!small.complete || !big.complete || big.rows != big_rows) {
+      std::fprintf(stderr, "FAIL: factory run incomplete (%llu/%llu rows)\n",
+                   static_cast<unsigned long long>(big.rows),
+                   static_cast<unsigned long long>(big_rows));
+      ++failures;
+    }
+    // Flat-memory contract: 10x the rows must not move peak RSS by more
+    // than a fixed allowance. The extraction/writer path is O(metrics x
+    // window) per in-flight row; what does scale with rows is the
+    // materialized plan row list itself (~350 B/spec), which the
+    // allowance covers at this scale. VmHWM is monotonic, so the delta
+    // isolates the big run's growth.
+    if (big.peak_rss_after != 0 && rss_delta_mib > 256.0) {
+      std::fprintf(stderr,
+                   "FAIL: peak RSS grew %.1f MiB between %llu and %llu "
+                   "rows -- memory is not flat in row count\n",
+                   rss_delta_mib,
+                   static_cast<unsigned long long>(small_rows),
+                   static_cast<unsigned long long>(big_rows));
+      ++failures;
+    }
+
+    hpas::Json section = hpas::Json::object();
+    section.set("rows", big.rows);
+    section.set("threads", threads);
+    section.set("wall_s", big.wall_s);
+    section.set("rows_per_sec", big.rows_per_sec);
+    section.set("bytes_per_row", big.bytes_per_row);
+    section.set("shard_bytes", big.shard_bytes);
+    section.set("samples_seen", big.samples_seen);
+    section.set("peak_buffered_values", big.peak_buffered_values);
+    section.set("small_rows", small.rows);
+    section.set("small_peak_rss_bytes", small.peak_rss_after);
+    section.set("peak_rss_delta_mib", rss_delta_mib);
+    doc.set("factory", std::move(section));
+  }
+
+  doc.set("peak_rss_bytes", hpas::peak_rss_bytes());
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(hpas::peak_rss_bytes()) / (1024.0 * 1024.0));
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << doc.dump(2);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/peak_rss.hpp"
 #include "runner/grid.hpp"
 #include "runner/runner.hpp"
 #include "sim/cluster.hpp"
@@ -317,6 +318,7 @@ int main(int argc, char** argv) {
 
   int failures = 0;
   hpas::Json doc = hpas::Json::object();
+  doc.set("suite", "engine");
   doc.set("quick", quick);
 
   // Raw engine: throughput and the zero-allocation contract.
@@ -457,6 +459,10 @@ int main(int argc, char** argv) {
     section.set("full_recompute_wall_s", full_wall);
     doc.set("sweep", std::move(section));
   }
+
+  doc.set("peak_rss_bytes", hpas::peak_rss_bytes());
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(hpas::peak_rss_bytes()) / (1024.0 * 1024.0));
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   if (!out) {

@@ -41,7 +41,7 @@ int main() {
   const auto fresh = hpas::ml::generate_diagnosis_dataset(unseen);
   int correct = 0;
   for (std::size_t i = 0; i < fresh.size(); ++i) {
-    const int predicted = forest.predict(fresh.features[i]);
+    const int predicted = forest.predict(fresh.row(i));
     if (predicted == fresh.labels[i]) ++correct;
   }
   std::printf("diagnosed %d/%zu unseen runs correctly\n", correct,

@@ -50,6 +50,7 @@
 #include "common/error.hpp"
 #include "common/shutdown.hpp"
 #include "common/units.hpp"
+#include "dataset/factory.hpp"
 #include "faultline/faultline.hpp"
 #include "runner/runner.hpp"
 #include "runner/thread_pool.hpp"
@@ -780,6 +781,196 @@ int run_submit_command(const std::vector<std::string>& argv) {
   return (failed == 0 && refused == 0) ? 0 : 1;
 }
 
+// Streaming ML dataset generation (bounded-memory feature extraction,
+// sharded checksummed output):
+//   hpas dataset grid.json --rows 100000 --shards 8 -j 8 -o data/
+//   hpas dataset space.json --rows 5000 -o data/     # sampled from a space
+//   hpas dataset --diagnosis -o data/                # the Fig. 9 sweep
+//   hpas dataset ... -o data/ --resume               # continue a killed run
+//   hpas dataset -o data/ --manifest-only            # re-verify from disk
+int run_dataset_command(const std::vector<std::string>& argv) {
+  hpas::CliParser parser(
+      "hpas dataset",
+      "generate a labeled ML dataset with streaming feature extraction, "
+      "sharded CRC-framed output and a checksummed manifest");
+  parser
+      .add({.long_name = "threads", .short_name = 'j', .value_name = "N",
+            .help = "worker threads; 0 = all hardware threads",
+            .default_value = "0"})
+      .add({.long_name = "out", .short_name = 'o', .value_name = "DIR",
+            .help = "dataset directory (shards + manifest.json + journal)",
+            .default_value = "dataset-out"})
+      .add({.long_name = "rows", .short_name = '\0', .value_name = "N",
+            .help = "rows to generate; a grid is cycled (fresh seeds per "
+                    "row), a space is sampled. 0 = one row per grid entry",
+            .default_value = "0"})
+      .add({.long_name = "shards", .short_name = '\0', .value_name = "N",
+            .help = "shard files; row i lands in shard i %% N (a layout "
+                    "knob: bytes are identical at any thread count)",
+            .default_value = "4"})
+      .add({.long_name = "checkpoint", .short_name = '\0', .value_name = "N",
+            .help = "rows per shard between durability checkpoints",
+            .default_value = "1024"})
+      .add({.long_name = "resume", .short_name = '\0', .value_name = "",
+            .help = "adopt DIR's journaled checkpoints, re-run only the "
+                    "missing rows (byte-identical to an uninterrupted run)",
+            .default_value = std::nullopt})
+      .add({.long_name = "manifest-only", .short_name = '\0',
+            .value_name = "",
+            .help = "verify DIR against its manifest (no generation); "
+                    "exit 3 on any mismatch",
+            .default_value = std::nullopt})
+      .add({.long_name = "csv", .short_name = '\0', .value_name = "",
+            .help = "also export dataset.csv (plan order)",
+            .default_value = std::nullopt})
+      .add({.long_name = "noise", .short_name = '\0', .value_name = "X",
+            .help = "relative sensor noise on feature series",
+            .default_value = "0.5"})
+      .add({.long_name = "warmup", .short_name = '\0', .value_name = "TIME",
+            .help = "simulated warmup excluded from the feature window",
+            .default_value = "5"})
+      .add({.long_name = "seed", .short_name = '\0', .value_name = "N",
+            .help = "override the plan's base seed",
+            .default_value = std::nullopt})
+      .add({.long_name = "diagnosis", .short_name = '\0', .value_name = "",
+            .help = "use the built-in diagnosis training sweep as the plan "
+                    "(no grid/space file)",
+            .default_value = std::nullopt})
+      .add({.long_name = "variants", .short_name = '\0', .value_name = "N",
+            .help = "--diagnosis: anomaly-intensity variants per app",
+            .default_value = "5"})
+      .add(fault_schedule_flag());
+  const auto args = parser.parse(argv);
+  if (args.flag("help")) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 0;
+  }
+  arm_fault_schedule_flag(args);
+  const std::string out_dir = args.value("out");
+
+  if (args.flag("manifest-only")) {
+    const auto report = hpas::dataset::verify_dataset(out_dir);
+    if (report.ok) {
+      std::printf("dataset %s: verified against manifest.json\n",
+                  out_dir.c_str());
+      return 0;
+    }
+    for (const auto& error : report.errors)
+      std::fprintf(stderr, "hpas: dataset %s: %s\n", out_dir.c_str(),
+                   error.c_str());
+    return 3;
+  }
+
+  const std::uint64_t rows = hpas::flag_u64(args, "rows");
+  const double warmup_s = hpas::flag_duration_seconds(args, "warmup");
+  const double noise = hpas::flag_double(args, "noise");
+  hpas::dataset::DatasetPlan plan;
+  if (args.flag("diagnosis")) {
+    if (!args.positional().empty()) {
+      std::fprintf(stderr,
+                   "hpas: --diagnosis uses the built-in plan; drop the "
+                   "grid/space file\n");
+      return 2;
+    }
+    hpas::ml::DiagnosisDataOptions options;
+    options.variants_per_app =
+        static_cast<int>(hpas::flag_u64(args, "variants"));
+    options.measurement_noise = noise;
+    options.warmup_s = warmup_s;
+    if (args.has("seed")) options.seed = hpas::flag_u64(args, "seed");
+    plan = hpas::dataset::plan_from_diagnosis(options);
+  } else {
+    if (args.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "usage: hpas dataset <grid.json|space.json> [--rows N] "
+                   "[--shards N] [-j N] [-o DIR]\n"
+                   "       hpas dataset --diagnosis [-o DIR]\n"
+                   "       hpas dataset -o DIR --manifest-only\n");
+      return 2;
+    }
+    const hpas::Json doc = load_json_file(args.positional()[0]);
+    if (doc.find("dimensions") != nullptr) {
+      auto space = hpas::search::ScenarioSpace::from_json(doc);
+      if (args.has("seed"))
+        space.set_base_seed(hpas::flag_u64(args, "seed"));
+      if (rows == 0)
+        throw hpas::ConfigError(
+            "hpas dataset: --rows is required for a scenario space");
+      plan = hpas::dataset::plan_from_space(space, rows, warmup_s, noise,
+                                            /*include_bandwidth=*/false);
+    } else {
+      auto grid = hpas::runner::expand_grid(doc);
+      if (args.has("seed")) {
+        grid.base_seed = hpas::flag_u64(args, "seed");
+      }
+      plan = hpas::dataset::plan_from_grid(grid, rows, warmup_s, noise,
+                                           /*include_bandwidth=*/false);
+    }
+  }
+
+  int threads = static_cast<int>(hpas::flag_u64(args, "threads"));
+  if (threads == 0)
+    threads = hpas::runner::WorkStealingPool::default_thread_count();
+  std::printf("dataset '%s': %zu rows x %zu features, %llu shards, "
+              "%d threads\n",
+              plan.name.c_str(), plan.rows.size(), plan.feature_names.size(),
+              static_cast<unsigned long long>(hpas::flag_u64(args, "shards")),
+              threads);
+
+  // Static lifetime: the watcher thread may still dereference the tokens
+  // while main unwinds after a signal near the end of the run.
+  static hpas::CancelToken graceful;
+  static hpas::CancelToken hard;
+  auto& shutdown = hpas::ShutdownController::instance();
+  shutdown.install();
+  ScopedShutdownSubscription on_signal([](int count) {
+    if (count == 1) {
+      graceful.cancel(hpas::CancelReason::kShutdown);
+      std::fprintf(stderr,
+                   "\nhpas: draining in-flight rows (checkpointing); "
+                   "signal again to cancel hard\n");
+    } else {
+      hard.cancel(hpas::CancelReason::kShutdown);
+    }
+  });
+
+  hpas::dataset::DatasetFactoryOptions options;
+  options.out_dir = out_dir;
+  options.shards = static_cast<std::uint32_t>(hpas::flag_u64(args, "shards"));
+  options.threads = threads;
+  options.checkpoint_rows = hpas::flag_u64(args, "checkpoint");
+  options.resume = args.flag("resume");
+  options.write_csv = args.flag("csv");
+  options.graceful = &graceful;
+  options.hard = &hard;
+
+  const auto result = hpas::dataset::run_dataset_factory(plan, options);
+  std::printf("dataset: %llu rows (%llu executed, %llu resumed), "
+              "%llu samples streamed, peak %zu buffered values/row\n",
+              static_cast<unsigned long long>(result.rows_total),
+              static_cast<unsigned long long>(result.rows_executed),
+              static_cast<unsigned long long>(result.rows_resumed),
+              static_cast<unsigned long long>(result.samples_seen),
+              result.peak_buffered_values);
+  if (result.complete)
+    std::printf("wrote %s\n", result.manifest_path.c_str());
+
+  if (shutdown.hard_requested()) {
+    std::fprintf(stderr,
+                 "hpas: dataset cancelled hard; journal is valid, resume "
+                 "with: hpas dataset ... -o %s --resume\n",
+                 out_dir.c_str());
+    return 130;
+  }
+  if (!result.complete) {
+    std::printf("hpas: dataset incomplete; resume with: hpas dataset ... "
+                "-o %s --resume\n",
+                out_dir.c_str());
+    return 5;
+  }
+  return 0;
+}
+
 void print_catalog() {
   std::printf("%-12s %-16s %-34s %s\n", "NAME", "SUBSYSTEM", "BEHAVIOR",
               "KNOBS");
@@ -869,6 +1060,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "search") {
       return run_search_command({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "dataset") {
+      return run_dataset_command({args.begin() + 1, args.end()});
     }
     if (args[0] == "serve") {
       return run_serve_command({args.begin() + 1, args.end()});

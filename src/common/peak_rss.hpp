@@ -1,0 +1,36 @@
+// Peak resident set size of the current process, header-only.
+//
+// Reads VmHWM ("high water mark") from /proc/self/status: the kernel's
+// own record of the largest resident set the process ever held. The
+// benchmarks record it in their BENCH_*.json so CI can gate memory
+// regressions alongside throughput -- in particular the dataset
+// factory's flat-memory contract (peak RSS independent of row count).
+// Note the value is monotonic for the process lifetime: to attribute
+// growth to a phase, snapshot before and after and compare.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace hpas {
+
+/// Peak RSS in bytes, or 0 when /proc/self/status is unavailable (the
+/// benches then report 0 and skip their memory gates rather than fail).
+inline std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu",
+                  reinterpret_cast<unsigned long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace hpas

@@ -1,0 +1,332 @@
+#include "dataset/factory.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "dataset/streaming.hpp"
+#include "runner/journal.hpp"
+#include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
+#include "search/space.hpp"
+#include "sim/world.hpp"
+
+namespace hpas::dataset {
+namespace {
+
+constexpr std::uint64_t kPlanSeed = 0x4450534554504c4eULL;  // "DPSETPLN"
+constexpr std::uint64_t kRowSeed = 0x44535452ULL;           // "DSTR"
+constexpr std::uint64_t kNoiseStream = 0x4e6f697365ULL;     // "Noise"
+
+/// splitmix-style combine, same shape as the journal key hash.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+}
+
+void mix_string(std::uint64_t& h, const std::string& s) {
+  mix(h, s.size());
+  mix(h, crc32(s));
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  mix(h, bits);
+}
+
+/// Class label from an anomaly name, growing the label map in
+/// first-appearance order (deterministic: plans are built serially).
+int label_of(std::vector<std::string>& class_names,
+             const std::string& anomaly) {
+  for (std::size_t i = 0; i < class_names.size(); ++i)
+    if (class_names[i] == anomaly) return static_cast<int>(i);
+  class_names.push_back(anomaly);
+  return static_cast<int>(class_names.size() - 1);
+}
+
+std::vector<std::string> feature_names_for(bool include_bandwidth) {
+  ml::DiagnosisDataOptions opts;
+  opts.include_bandwidth_metrics = include_bandwidth;
+  return ml::diagnosis_feature_names(opts);
+}
+
+StreamingExtractorConfig extractor_config(bool include_bandwidth,
+                                          double window_t0, double window_t1,
+                                          double noise) {
+  StreamingExtractorConfig cfg;
+  cfg.metrics = ml::diagnosis_feature_metrics(include_bandwidth);
+  cfg.gauge.reserve(cfg.metrics.size());
+  for (const metrics::MetricId& id : cfg.metrics)
+    cfg.gauge.push_back(ml::diagnosis_metric_is_gauge(id) ? 1 : 0);
+  cfg.window_t0 = window_t0;
+  cfg.window_t1 = window_t1;
+  cfg.noise = noise;
+  return cfg;
+}
+
+}  // namespace
+
+std::uint64_t DatasetPlan::digest() const {
+  std::uint64_t h = kPlanSeed;
+  mix_string(h, name);
+  mix(h, rows.size());
+  mix(h, feature_names.size());
+  mix(h, class_names.size());
+  for (const std::string& c : class_names) mix_string(h, c);
+  mix_double(h, warmup_s);
+  mix_double(h, noise);
+  mix(h, include_bandwidth ? 1 : 0);
+  for (const DatasetRowSpec& row : rows) {
+    mix(h, static_cast<std::uint64_t>(row.kind));
+    mix(h, static_cast<std::uint64_t>(row.label));
+    mix(h, row.key_hash);
+  }
+  return h;
+}
+
+DatasetMeta DatasetPlan::meta(std::uint32_t shards) const {
+  DatasetMeta meta;
+  meta.plan_digest = digest();
+  meta.rows = rows.size();
+  meta.num_features = static_cast<std::uint32_t>(feature_names.size());
+  meta.shards = shards;
+  meta.class_names = class_names;
+  meta.feature_names = feature_names;
+  return meta;
+}
+
+DatasetPlan plan_from_diagnosis(const ml::DiagnosisDataOptions& options) {
+  DatasetPlan plan;
+  plan.name = "diagnosis";
+  plan.class_names = options.classes;
+  plan.feature_names = ml::diagnosis_feature_names(options);
+  plan.diag_options = options;
+  plan.warmup_s = options.warmup_s;
+  plan.noise = options.measurement_noise;
+  plan.include_bandwidth = options.include_bandwidth_metrics;
+  std::uint64_t index = 0;
+  for (ml::DiagnosisRunPlan& run : ml::plan_diagnosis_runs(options)) {
+    DatasetRowSpec row;
+    row.kind = DatasetRowSpec::Kind::kDiagnosis;
+    row.label = run.label;
+    std::uint64_t h = kRowSeed;
+    mix(h, options.seed);
+    mix(h, index);
+    mix_string(h, run.app);
+    mix_string(h, run.anomaly);
+    mix(h, static_cast<std::uint64_t>(run.label));
+    mix_double(h, run.intensity);
+    row.key_hash = h;
+    row.diag = std::move(run);
+    plan.rows.push_back(std::move(row));
+    ++index;
+  }
+  return plan;
+}
+
+DatasetPlan plan_from_grid(const runner::SweepGrid& grid, std::uint64_t rows,
+                           double warmup_s, double noise,
+                           bool include_bandwidth) {
+  require(!grid.scenarios.empty(), "plan_from_grid: empty grid");
+  if (rows == 0) rows = grid.scenarios.size();
+  DatasetPlan plan;
+  plan.name = grid.name;
+  plan.feature_names = feature_names_for(include_bandwidth);
+  plan.warmup_s = warmup_s;
+  plan.noise = noise;
+  plan.include_bandwidth = include_bandwidth;
+  // The label map covers the whole grid up front, so the class list does
+  // not depend on how many rows the cycle was cut to.
+  for (const runner::ScenarioSpec& spec : grid.scenarios)
+    label_of(plan.class_names, spec.anomaly);
+  plan.rows.reserve(rows);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    DatasetRowSpec row;
+    row.kind = DatasetRowSpec::Kind::kGrid;
+    row.spec = grid.scenarios[r % grid.scenarios.size()];
+    if (row.spec.duration_s + 0.5 <= warmup_s)
+      throw ConfigError("plan_from_grid: scenario '" + row.spec.name +
+                        "' is shorter than the feature warmup window");
+    // Fresh stream per row: cycling the grid oversamples with new draws.
+    row.spec.seed = runner::derive_scenario_seed(grid.base_seed, r);
+    row.spec.name += "#" + std::to_string(r);
+    row.label = label_of(plan.class_names, row.spec.anomaly);
+    std::uint64_t h = kRowSeed;
+    mix(h, r);
+    mix(h, runner::scenario_key_hash(row.spec));
+    row.key_hash = h;
+    plan.rows.push_back(std::move(row));
+  }
+  return plan;
+}
+
+DatasetPlan plan_from_space(const search::ScenarioSpace& space,
+                            std::uint64_t rows, double warmup_s, double noise,
+                            bool include_bandwidth) {
+  require(rows > 0, "plan_from_space: need at least one row");
+  DatasetPlan plan;
+  plan.name = space.name();
+  plan.feature_names = feature_names_for(include_bandwidth);
+  plan.warmup_s = warmup_s;
+  plan.noise = noise;
+  plan.include_bandwidth = include_bandwidth;
+  // The anomaly axis (when present) fixes the label map up front; sampled
+  // rows can only draw from it, so the class list is row-count-invariant.
+  label_of(plan.class_names, space.base().anomaly);
+  for (const search::Dimension& dim : space.dimensions()) {
+    if (dim.field == "anomaly")
+      for (const std::string& v : dim.values) label_of(plan.class_names, v);
+  }
+  Rng rng(space.base_seed());
+  plan.rows.reserve(rows);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    DatasetRowSpec row;
+    row.kind = DatasetRowSpec::Kind::kGrid;
+    row.spec = space.materialize(space.sample(rng));
+    if (row.spec.duration_s + 0.5 <= warmup_s)
+      throw ConfigError("plan_from_space: scenario '" + row.spec.name +
+                        "' is shorter than the feature warmup window");
+    row.spec.name += "#" + std::to_string(r);
+    row.label = label_of(plan.class_names, row.spec.anomaly);
+    std::uint64_t h = kRowSeed;
+    mix(h, r);
+    mix(h, runner::scenario_key_hash(row.spec));
+    row.key_hash = h;
+    plan.rows.push_back(std::move(row));
+  }
+  return plan;
+}
+
+DatasetFactoryResult run_dataset_factory(const DatasetPlan& plan,
+                                         const DatasetFactoryOptions& options) {
+  require(!plan.rows.empty(), "run_dataset_factory: empty plan");
+  require(plan.feature_names.size() > 0,
+          "run_dataset_factory: plan has no features");
+  DatasetFactoryResult result;
+  result.rows_total = plan.rows.size();
+
+  DatasetWriterOptions writer_options;
+  writer_options.out_dir = options.out_dir;
+  writer_options.checkpoint_rows = options.checkpoint_rows;
+  writer_options.resume = options.resume;
+  DatasetWriter writer(plan.meta(options.shards), writer_options);
+  result.rows_resumed = writer.rows_durable();
+
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::size_t> peak{0};
+  std::atomic<bool> interrupted{false};
+
+  const auto stop_requested = [&] {
+    return (options.graceful != nullptr && options.graceful->cancelled()) ||
+           (options.hard != nullptr && options.hard->cancelled());
+  };
+
+  runner::PoolOptions pool_options;
+  pool_options.threads = options.threads;
+  runner::WorkStealingPool pool(pool_options);
+  const auto run_row = [&](std::size_t i) {
+    if (writer.row_durable(i)) return;
+    if (stop_requested()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const DatasetRowSpec& row = plan.rows[i];
+    std::vector<double> features;
+    std::size_t row_peak = 0;
+    std::uint64_t row_samples = 0;
+    if (row.kind == DatasetRowSpec::Kind::kDiagnosis) {
+      const ml::DiagnosisDataOptions& diag = plan.diag_options;
+      StreamingFeatureExtractor extractor(extractor_config(
+          diag.include_bandwidth_metrics, diag.warmup_s,
+          diag.run_duration_s + 0.5, diag.measurement_noise));
+      ml::DiagnosisScenario scenario = ml::begin_diagnosis_scenario(
+          row.diag, diag, &extractor, /*store_samples=*/false);
+      scenario.world->set_cancel_token(options.hard);
+      try {
+        scenario.world->run_until(diag.run_duration_s);
+      } catch (const CancelledError&) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;  // partial window: never written
+      }
+      Rng noise_rng = row.diag.noise_rng;
+      features = extractor.finalize(&noise_rng);
+      row_peak = extractor.peak_buffered_values();
+      row_samples = extractor.samples_seen();
+    } else {
+      StreamingFeatureExtractor extractor(extractor_config(
+          plan.include_bandwidth, plan.warmup_s, row.spec.duration_s + 0.5,
+          plan.noise));
+      const runner::ScenarioResult run = runner::run_scenario(
+          row.spec, /*capture_trace=*/false, options.hard, /*sim_shards=*/0,
+          {}, &extractor, /*store_samples=*/false);
+      if (run.status != runner::ScenarioStatus::kDone) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      Rng noise_rng(runner::derive_scenario_seed(row.key_hash, kNoiseStream));
+      features =
+          extractor.finalize(plan.noise > 0.0 ? &noise_rng : nullptr);
+      row_peak = extractor.peak_buffered_values();
+      row_samples = extractor.samples_seen();
+    }
+    std::size_t prev = peak.load(std::memory_order_relaxed);
+    while (row_peak > prev &&
+           !peak.compare_exchange_weak(prev, row_peak,
+                                       std::memory_order_relaxed)) {
+    }
+    samples.fetch_add(row_samples, std::memory_order_relaxed);
+    executed.fetch_add(1, std::memory_order_relaxed);
+    writer.append(i, row.label, features);
+  };
+
+  // The pool pops its own deque LIFO, so inside one parallel_for the
+  // OLDEST submitted index can starve until the queue drains -- an
+  // unbounded plan-order reorder that would park (and buffer) nearly the
+  // whole run in the writer's sequencer. Dispatching in fixed-size blocks
+  // restores a hard bound: a row can only complete out of order within
+  // its block, so pending rows per shard never exceed the block size, and
+  // shard bytes become durable incrementally as blocks retire. Blocks are
+  // far wider than the worker count, so the barrier between them costs
+  // nothing measurable.
+  constexpr std::size_t kRowBlock = 2048;
+  try {
+    for (std::size_t base = 0; base < plan.rows.size(); base += kRowBlock) {
+      if (stop_requested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::size_t count =
+          std::min(kRowBlock, plan.rows.size() - base);
+      runner::parallel_for(pool, count,
+                           [&](std::size_t i) { run_row(base + i); });
+    }
+  } catch (...) {
+    writer.abandon();  // checkpoint the completed prefix before unwinding
+    throw;
+  }
+
+  result.rows_executed = executed.load();
+  result.samples_seen = samples.load();
+  result.peak_buffered_values = peak.load();
+  result.interrupted = interrupted.load() || stop_requested();
+  const bool all_rows_written =
+      result.rows_resumed + result.rows_executed == result.rows_total;
+  if (!result.interrupted && all_rows_written) {
+    result.manifest_path = writer.finish(options.write_csv);
+    result.complete = true;
+  } else {
+    writer.abandon();
+  }
+  return result;
+}
+
+}  // namespace hpas::dataset

@@ -1,0 +1,125 @@
+// Streaming dataset factory: plans row lists and executes them at scale.
+//
+// A *plan* is the complete, ordered description of every labeled row the
+// dataset will contain -- which scenario to simulate, which class label
+// it gets, and a stable per-row key hash. Three planners feed it:
+//
+//   plan_from_diagnosis  the ML training sweep (classes x apps x
+//                        variants), labels = anomaly classes -- the
+//                        streaming twin of generate_diagnosis_dataset();
+//   plan_from_grid       a sweep grid, cycled until --rows rows (cycle
+//                        c re-derives every scenario's seed from
+//                        (base_seed, row index), so repeats are fresh
+//                        draws, not copies), labels = anomaly names in
+//                        first-appearance order;
+//   plan_from_space      --rows i.i.d. samples from a typed scenario
+//                        space, materialized through the space's
+//                        point-identity contract.
+//
+// Execution fans rows across a WorkStealingPool. Each row simulates a
+// fresh world with a StreamingFeatureExtractor attached as the
+// monitoring SampleSink and MetricStores disabled, so peak memory per
+// in-flight row is O(feature_metrics x window) -- independent of
+// scenario duration -- and appends its feature vector to the sharded,
+// checksummed DatasetWriter. Every row is a pure function of the plan,
+// so shards and manifest are byte-identical at any thread count and
+// across --resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "dataset/shards.hpp"
+#include "ml/diagnosis.hpp"
+#include "runner/grid.hpp"
+
+namespace hpas::search {
+class ScenarioSpace;
+}
+
+namespace hpas::dataset {
+
+/// One planned labeled row.
+struct DatasetRowSpec {
+  enum class Kind : int { kGrid = 0, kDiagnosis = 1 };
+  Kind kind = Kind::kGrid;
+  runner::ScenarioSpec spec;   ///< kGrid: the scenario to simulate
+  ml::DiagnosisRunPlan diag;   ///< kDiagnosis: the planned training run
+  int label = 0;               ///< class index
+  std::uint64_t key_hash = 0;  ///< stable row identity (digest input)
+};
+
+struct DatasetPlan {
+  std::string name = "dataset";
+  std::vector<DatasetRowSpec> rows;
+  std::vector<std::string> class_names;
+  std::vector<std::string> feature_names;
+  /// Execution parameters shared by every row.
+  ml::DiagnosisDataOptions diag_options;  ///< kDiagnosis rows only
+  double warmup_s = 5.0;   ///< kGrid rows: window = [warmup, duration+0.5)
+  double noise = 0.5;      ///< kGrid rows: sensor noise (see diagnosis)
+  bool include_bandwidth = false;
+
+  /// Stable digest of the whole plan (row count, feature/class shape,
+  /// every row's key hash) -- the journal plan-header identity that
+  /// --resume validates. Shard count and thread count are layout /
+  /// execution knobs and deliberately excluded.
+  std::uint64_t digest() const;
+
+  /// The plan's shard-file metadata.
+  DatasetMeta meta(std::uint32_t shards) const;
+};
+
+/// Diagnosis training sweep as a plan; rows == plan_diagnosis_runs order.
+DatasetPlan plan_from_diagnosis(const ml::DiagnosisDataOptions& options);
+
+/// Cycles `grid` until `rows` rows. Labels are the grid's anomaly names
+/// in first-appearance order. Scenario seeds are re-derived per row from
+/// (grid.base_seed, row index): cycling is oversampling with fresh
+/// streams, not duplication.
+DatasetPlan plan_from_grid(const runner::SweepGrid& grid, std::uint64_t rows,
+                           double warmup_s, double noise,
+                           bool include_bandwidth);
+
+/// Samples `rows` points from `space` with one serial Rng stream seeded
+/// by the space's base seed and materializes each.
+DatasetPlan plan_from_space(const search::ScenarioSpace& space,
+                            std::uint64_t rows, double warmup_s, double noise,
+                            bool include_bandwidth);
+
+struct DatasetFactoryOptions {
+  std::string out_dir;
+  std::uint32_t shards = 4;
+  int threads = 1;  ///< 0 = hardware concurrency
+  std::uint64_t checkpoint_rows = 1024;
+  bool resume = false;
+  bool write_csv = false;
+  /// Drain request: stop starting new rows, checkpoint what finished.
+  /// A later --resume completes the dataset byte-identically.
+  const CancelToken* graceful = nullptr;
+  /// Abort request: additionally cancel rows mid-simulation (their
+  /// partial features are discarded, never written).
+  const CancelToken* hard = nullptr;
+};
+
+struct DatasetFactoryResult {
+  std::uint64_t rows_total = 0;
+  std::uint64_t rows_executed = 0;  ///< simulated this invocation
+  std::uint64_t rows_resumed = 0;   ///< adopted from durable checkpoints
+  bool complete = false;            ///< all rows written, manifest present
+  bool interrupted = false;         ///< a cancel token cut the run short
+  std::string manifest_path;        ///< empty unless complete
+  /// Peak retained doubles in any single row's extractor -- the bounded-
+  /// memory claim under test (O(metrics x window), not O(duration)).
+  std::size_t peak_buffered_values = 0;
+  std::uint64_t samples_seen = 0;  ///< total monitoring samples streamed
+};
+
+/// Executes the plan. Throws ConfigError when resuming against a changed
+/// plan; propagates the lowest-indexed row failure.
+DatasetFactoryResult run_dataset_factory(const DatasetPlan& plan,
+                                         const DatasetFactoryOptions& options);
+
+}  // namespace hpas::dataset

@@ -1,0 +1,757 @@
+#include "dataset/shards.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "runner/journal.hpp"
+
+namespace hpas::dataset {
+namespace {
+
+constexpr char kShardMagic[8] = {'H', 'P', 'A', 'S', 'D', 'S', 'T', '1'};
+constexpr std::uint32_t kShardVersion = 1;
+constexpr std::size_t kShardHeaderSize = 24;  // magic + 4 x u32
+constexpr char kJournalName[] = "dataset.journal";
+constexpr char kManifestName[] = "manifest.json";
+constexpr char kCsvName[] = "dataset.csv";
+/// Parked out-of-order rows are structurally bounded by the pool's
+/// submission backpressure (queue capacity 256 + workers); anything near
+/// this cap means the sequencer invariant broke, not a big machine.
+constexpr std::size_t kMaxPendingRows = 8192;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const unsigned char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void write_all(int fd, const std::string& path, const char* data,
+               std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t w = ::write(fd, data + done, size - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError("dataset: write failed on " + path + ": " +
+                        std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+std::string shard_header_bytes(std::uint32_t index, std::uint32_t shard_count,
+                               std::uint32_t num_features) {
+  std::string h(kShardMagic, sizeof(kShardMagic));
+  put_u32(h, kShardVersion);
+  put_u32(h, index);
+  put_u32(h, shard_count);
+  put_u32(h, num_features);
+  return h;
+}
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+      throw SystemError("dataset: cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) throw SystemError("dataset: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw SystemError("dataset: rename " + tmp + " -> " + path + " failed: " +
+                      std::strerror(errno));
+}
+
+/// splitmix-style combine (same shape as the journal's key hash).
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+}
+
+// --- read-back scan ----------------------------------------------------
+
+struct FeatureAgg {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;  // Welford, fed in plan order -> deterministic
+  double m2 = 0.0;
+};
+
+struct ScanResult {
+  std::uint64_t rows = 0;
+  std::vector<std::uint64_t> shard_rows;
+  std::vector<std::uint64_t> shard_bytes;
+  std::vector<std::uint32_t> shard_crc;    // whole-file CRC32
+  std::vector<std::uint32_t> feature_crc;  // per-column CRC32, plan order
+  std::vector<FeatureAgg> stats;
+  std::vector<std::uint64_t> label_counts;
+  std::vector<std::string> errors;
+};
+
+struct ShardReader {
+  std::ifstream in;
+  std::string path;
+  std::uint32_t crc = 0;  // incremental, over every byte consumed
+  std::uint64_t bytes = 0;
+  bool exhausted = false;
+};
+
+/// Streams every shard, merging rows back into plan order (round-robin,
+/// since shard = row % S) and aggregating manifest facts. The merge
+/// doubles as verification: every frame CRC, row index, label range and
+/// the per-shard byte/row accounting are checked. Stops at the first
+/// structural error (frames cannot be realigned past corruption).
+ScanResult scan_shards(const std::string& dir, std::uint32_t shards,
+                       std::uint32_t num_features, std::size_t num_classes,
+                       std::ostream* csv) {
+  ScanResult r;
+  r.shard_rows.assign(shards, 0);
+  r.shard_bytes.assign(shards, 0);
+  r.shard_crc.assign(shards, 0);
+  r.feature_crc.assign(num_features, crc32_init());
+  r.stats.assign(num_features, FeatureAgg{});
+  r.label_counts.assign(num_classes, 0);
+
+  std::vector<ShardReader> readers(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ShardReader& rd = readers[s];
+    rd.path = dir + "/" + shard_file_name(s);
+    rd.in.open(rd.path, std::ios::binary);
+    if (!rd.in.is_open()) {
+      r.errors.push_back("missing shard file " + shard_file_name(s));
+      return r;
+    }
+    char header[kShardHeaderSize];
+    rd.in.read(header, sizeof(header));
+    if (rd.in.gcount() != static_cast<std::streamsize>(sizeof(header)) ||
+        std::memcmp(header, kShardMagic, sizeof(kShardMagic)) != 0) {
+      r.errors.push_back("bad header in " + shard_file_name(s));
+      return r;
+    }
+    const auto* h = reinterpret_cast<const unsigned char*>(header);
+    if (get_u32(h + 8) != kShardVersion || get_u32(h + 12) != s ||
+        get_u32(h + 16) != shards || get_u32(h + 20) != num_features) {
+      r.errors.push_back("header shape mismatch in " + shard_file_name(s));
+      return r;
+    }
+    rd.crc = crc32_init();
+    rd.crc = crc32_update(rd.crc, header, sizeof(header));
+    rd.bytes = sizeof(header);
+  }
+
+  const std::size_t payload_size = 12 + 8 * std::size_t{num_features};
+  std::string frame(8 + payload_size, '\0');
+  for (std::uint64_t row = 0;; ++row) {
+    ShardReader& rd = readers[shard_of_row(row, shards)];
+    if (rd.exhausted) break;
+    rd.in.read(frame.data(), static_cast<std::streamsize>(frame.size()));
+    const auto got = static_cast<std::size_t>(rd.in.gcount());
+    if (got == 0) {
+      rd.exhausted = true;
+      // All shards must run dry within one round-robin cycle; a shard
+      // with leftover rows after another hit EOF is a count mismatch.
+      break;
+    }
+    if (got != frame.size()) {
+      r.errors.push_back("torn frame at row " + std::to_string(row) + " in " +
+                         rd.path);
+      return r;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(frame.data());
+    const std::uint32_t len = get_u32(p);
+    if (len != payload_size) {
+      r.errors.push_back("bad frame length at row " + std::to_string(row) +
+                         " in " + rd.path);
+      return r;
+    }
+    const unsigned char* payload = p + 4;
+    const std::uint32_t stored = get_u32(payload + payload_size);
+    if (crc32(payload, payload_size) != stored) {
+      r.errors.push_back("frame CRC mismatch at row " + std::to_string(row) +
+                         " in " + rd.path);
+      return r;
+    }
+    const std::uint64_t row_index = get_u64(payload);
+    if (row_index != row) {
+      r.errors.push_back("row index " + std::to_string(row_index) +
+                         " out of order (expected " + std::to_string(row) +
+                         ") in " + rd.path);
+      return r;
+    }
+    const std::uint32_t label = get_u32(payload + 8);
+    if (label >= r.label_counts.size()) {
+      r.errors.push_back("label out of range at row " + std::to_string(row));
+      return r;
+    }
+    ++r.label_counts[label];
+    rd.crc = crc32_update(rd.crc, frame.data(), frame.size());
+    rd.bytes += frame.size();
+    ++r.shard_rows[shard_of_row(row, shards)];
+    ++r.rows;
+
+    if (csv != nullptr) {
+      *csv << row << ',' << label;
+    }
+    for (std::uint32_t f = 0; f < num_features; ++f) {
+      const unsigned char* cell = payload + 12 + 8 * std::size_t{f};
+      r.feature_crc[f] = crc32_update(r.feature_crc[f], cell, 8);
+      const double v = get_f64(cell);
+      FeatureAgg& agg = r.stats[f];
+      if (agg.count == 0) {
+        agg.min = v;
+        agg.max = v;
+      } else {
+        agg.min = std::min(agg.min, v);
+        agg.max = std::max(agg.max, v);
+      }
+      ++agg.count;
+      const double delta = v - agg.mean;
+      agg.mean += delta / static_cast<double>(agg.count);
+      agg.m2 += delta * (v - agg.mean);
+      if (csv != nullptr) *csv << ',' << json_number_to_string(v);
+    }
+    if (csv != nullptr) *csv << '\n';
+  }
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ShardReader& rd = readers[s];
+    // Trailing bytes past the last complete round-robin row (including a
+    // shard that still has rows when an earlier shard ran dry) are a
+    // count/order violation.
+    rd.in.clear();
+    rd.in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(rd.in.tellg());
+    if (file_size != rd.bytes) {
+      r.errors.push_back("unexpected trailing bytes in " + shard_file_name(s));
+      return r;
+    }
+    r.shard_bytes[s] = rd.bytes;
+    r.shard_crc[s] = crc32_final(rd.crc);
+  }
+  return r;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw SystemError("dataset: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace
+
+/// Owns the runner journal (kept out of the header so shards.hpp does
+/// not leak the runner dependency into every includer).
+class JournalHolder {
+ public:
+  JournalHolder(const std::string& path, bool truncate)
+      : writer(path, truncate) {}
+  runner::JournalWriter writer;
+};
+
+std::string shard_file_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03u.hpasds", index);
+  return buf;
+}
+
+std::uint64_t shard_row_count(std::uint64_t rows, std::uint32_t shards,
+                              std::uint32_t s) {
+  return rows / shards + (s < rows % shards ? 1 : 0);
+}
+
+std::uint64_t DatasetWriter::checkpoint_key(std::uint32_t index) const {
+  std::uint64_t h = meta_.plan_digest;
+  mix(h, 0x5348415244ULL);  // "SHARD"
+  mix(h, index);
+  return h;
+}
+
+DatasetWriter::DatasetWriter(DatasetMeta meta, DatasetWriterOptions options)
+    : meta_(std::move(meta)), options_(std::move(options)) {
+  require(meta_.shards >= 1, "DatasetWriter: need at least one shard");
+  require(meta_.num_features > 0, "DatasetWriter: zero-width rows");
+  require(meta_.num_features == meta_.feature_names.size(),
+          "DatasetWriter: feature name count mismatch");
+  require(options_.checkpoint_rows >= 1,
+          "DatasetWriter: checkpoint interval must be positive");
+  std::filesystem::create_directories(options_.out_dir);
+  const std::string journal_path = options_.out_dir + "/" + kJournalName;
+  shards_.resize(meta_.shards);
+
+  runner::JournalRecord header;
+  header.key_hash = meta_.plan_digest;
+  header.status = runner::JournalStatus::kDone;
+  header.name = "dataset-plan";
+  header.csv_crc = meta_.shards;
+  header.trace_crc = meta_.num_features;
+  header.trace_records = meta_.rows;
+
+  if (!options_.resume) {
+    for (std::uint32_t s = 0; s < meta_.shards; ++s)
+      create_fresh(shards_[s], s);
+    journal_ = std::make_unique<JournalHolder>(journal_path, true);
+    journal_->writer.append(header);
+    return;
+  }
+
+  // Resume: the journal's valid prefix names, per shard, the newest
+  // durable (fsync-before-journal) prefix. A torn tail is the expected
+  // post-crash state; the journal is rewritten below, so it self-heals.
+  const auto read = runner::read_journal(journal_path);
+  std::vector<std::vector<const runner::JournalRecord*>> checkpoints(
+      meta_.shards);
+  if (!read.records.empty()) {
+    const runner::JournalRecord& h = read.records.front();
+    if (h.key_hash != meta_.plan_digest || h.name != "dataset-plan" ||
+        h.csv_crc != meta_.shards || h.trace_crc != meta_.num_features ||
+        h.trace_records != meta_.rows) {
+      throw ConfigError(
+          "dataset --resume: plan changed since the journal was written "
+          "(digest/shape mismatch); use a fresh output directory");
+    }
+    for (std::size_t i = 1; i < read.records.size(); ++i) {
+      const runner::JournalRecord& rec = read.records[i];
+      for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+        if (rec.key_hash == checkpoint_key(s)) {
+          checkpoints[s].push_back(&rec);
+          break;
+        }
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    bool adopted = false;
+    for (auto it = checkpoints[s].rbegin(); it != checkpoints[s].rend();
+         ++it) {
+      adopt_or_reset(shards_[s], s, (*it)->trace_records,
+                     (*it)->app_iterations, (*it)->csv_crc);
+      if (shards_[s].fd >= 0) {
+        adopted = true;
+        break;
+      }
+    }
+    if (!adopted) create_fresh(shards_[s], s);
+  }
+  journal_ = std::make_unique<JournalHolder>(journal_path, true);
+  journal_->writer.append(header);
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    if (shards_[s].durable_rows > 0) checkpoint(shards_[s], s);
+  }
+}
+
+DatasetWriter::~DatasetWriter() {
+  for (Shard& shard : shards_) {
+    if (shard.fd >= 0) ::close(shard.fd);
+  }
+}
+
+void DatasetWriter::create_fresh(Shard& shard, std::uint32_t index) {
+  if (shard.fd >= 0) ::close(shard.fd);
+  shard.path = options_.out_dir + "/" + shard_file_name(index);
+  shard.fd = ::open(shard.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+  if (shard.fd < 0)
+    throw SystemError("dataset: cannot create " + shard.path + ": " +
+                      std::strerror(errno));
+  const std::string header =
+      shard_header_bytes(index, meta_.shards, meta_.num_features);
+  write_all(shard.fd, shard.path, header.data(), header.size());
+  shard.crc_state = crc32_update(crc32_init(), header.data(), header.size());
+  shard.bytes = header.size();
+  shard.rows = 0;
+  shard.checkpoint_rows = 0;
+  shard.durable_rows = 0;
+}
+
+void DatasetWriter::adopt_or_reset(Shard& shard, std::uint32_t index,
+                                   std::uint64_t ckpt_bytes,
+                                   std::uint64_t ckpt_rows,
+                                   std::uint32_t ckpt_crc) {
+  // Validates one checkpoint candidate against the bytes on disk; on any
+  // mismatch the shard is left closed (fd < 0) so the caller can try an
+  // older checkpoint or fall back to a fresh file.
+  if (shard.fd >= 0) {
+    ::close(shard.fd);
+    shard.fd = -1;
+  }
+  shard.path = options_.out_dir + "/" + shard_file_name(index);
+  if (ckpt_bytes < kShardHeaderSize) return;
+  std::ifstream in(shard.path, std::ios::binary);
+  if (!in.is_open()) return;
+  std::uint32_t state = crc32_init();
+  std::uint64_t left = ckpt_bytes;
+  char buf[1 << 16];
+  bool header_checked = false;
+  while (left > 0) {
+    const auto want = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(left, sizeof(buf)));
+    in.read(buf, want);
+    if (in.gcount() != want) return;  // file shorter than the checkpoint
+    if (!header_checked) {
+      if (std::memcmp(buf, kShardMagic, sizeof(kShardMagic)) != 0) return;
+      header_checked = true;
+    }
+    state = crc32_update(state, buf, static_cast<std::size_t>(want));
+    left -= static_cast<std::uint64_t>(want);
+  }
+  if (crc32_final(state) != ckpt_crc) return;
+  in.close();
+
+  // The prefix is intact: drop any non-durable tail and continue from it.
+  if (::truncate(shard.path.c_str(), static_cast<off_t>(ckpt_bytes)) != 0)
+    throw SystemError("dataset: truncate failed on " + shard.path + ": " +
+                      std::strerror(errno));
+  shard.fd = ::open(shard.path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (shard.fd < 0)
+    throw SystemError("dataset: cannot reopen " + shard.path + ": " +
+                      std::strerror(errno));
+  if (::lseek(shard.fd, 0, SEEK_END) < 0)
+    throw SystemError("dataset: seek failed on " + shard.path);
+  shard.crc_state = state;
+  shard.bytes = ckpt_bytes;
+  shard.rows = ckpt_rows;
+  shard.checkpoint_rows = ckpt_rows;
+  shard.durable_rows = ckpt_rows;
+}
+
+bool DatasetWriter::row_durable(std::uint64_t row) const {
+  const Shard& shard = shards_[shard_of_row(row, meta_.shards)];
+  return row / meta_.shards < shard.durable_rows;
+}
+
+std::uint64_t DatasetWriter::rows_durable() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.durable_rows;
+  return total;
+}
+
+void DatasetWriter::write_row(Shard& shard, std::uint32_t index,
+                              std::uint64_t row, int label,
+                              std::span<const double> features) {
+  std::string frame;
+  frame.reserve(8 + 12 + 8 * features.size());
+  put_u32(frame, static_cast<std::uint32_t>(12 + 8 * features.size()));
+  const std::size_t payload_begin = frame.size();
+  put_u64(frame, row);
+  put_u32(frame, static_cast<std::uint32_t>(label));
+  for (const double v : features) put_f64(frame, v);
+  put_u32(frame, crc32(frame.data() + payload_begin,
+                       frame.size() - payload_begin));
+  write_all(shard.fd, shard.path, frame.data(), frame.size());
+  shard.crc_state = crc32_update(shard.crc_state, frame.data(), frame.size());
+  shard.bytes += frame.size();
+  ++shard.rows;
+  (void)index;
+}
+
+void DatasetWriter::checkpoint(Shard& shard, std::uint32_t index) {
+  // Durability order is the resume contract: shard bytes reach disk
+  // BEFORE the journal record that describes them, so a validated
+  // checkpoint always names an intact prefix.
+  if (::fsync(shard.fd) != 0)
+    throw SystemError("dataset: fsync failed on " + shard.path + ": " +
+                      std::strerror(errno));
+  runner::JournalRecord rec;
+  rec.key_hash = checkpoint_key(index);
+  rec.status = runner::JournalStatus::kDone;
+  rec.name = "shard-" + std::to_string(index);
+  rec.output = shard_file_name(index);
+  rec.csv_crc = crc32_final(shard.crc_state);
+  rec.trace_records = shard.bytes;
+  rec.app_iterations = shard.rows;
+  journal_->writer.append(rec);
+  shard.checkpoint_rows = shard.rows;
+}
+
+void DatasetWriter::append(std::uint64_t row, int label,
+                           std::span<const double> features) {
+  require(features.size() == meta_.num_features,
+          "DatasetWriter: feature width mismatch");
+  require(row < meta_.rows, "DatasetWriter: row index out of plan");
+  require(label >= 0 &&
+              static_cast<std::size_t>(label) < meta_.class_names.size(),
+          "DatasetWriter: label out of range");
+  const std::uint32_t s = shard_of_row(row, meta_.shards);
+  const std::uint64_t ordinal = row / meta_.shards;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (abandoned_) return;  // cancellation already sealed the prefix
+  require(!finished_, "DatasetWriter: append after finish");
+  Shard& shard = shards_[s];
+  require(ordinal >= shard.rows, "DatasetWriter: duplicate row append");
+  if (ordinal != shard.rows) {
+    // Out-of-order completion: park until the plan-order predecessor
+    // lands. Bounded by pool backpressure; the cap catches logic bugs.
+    require(shard.pending.size() < kMaxPendingRows,
+            "DatasetWriter: sequencer reorder bound exceeded");
+    shard.pending.emplace(
+        ordinal,
+        PendingRow{label, std::vector<double>(features.begin(),
+                                              features.end())});
+    return;
+  }
+  write_row(shard, s, row, label, features);
+  auto next = shard.pending.begin();
+  while (next != shard.pending.end() && next->first == shard.rows) {
+    write_row(shard, s, next->first * meta_.shards + s, next->second.label,
+              next->second.features);
+    next = shard.pending.erase(next);
+  }
+  if (shard.rows - shard.checkpoint_rows >= options_.checkpoint_rows)
+    checkpoint(shard, s);
+}
+
+void DatasetWriter::abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (abandoned_ || finished_) return;
+  abandoned_ = true;
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    Shard& shard = shards_[s];
+    shard.pending.clear();  // non-contiguous rows are re-run on resume
+    if (shard.rows > shard.checkpoint_rows) checkpoint(shard, s);
+  }
+}
+
+std::string DatasetWriter::finish(bool write_csv) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(!abandoned_ && !finished_, "DatasetWriter: finish after stop");
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    Shard& shard = shards_[s];
+    require(shard.pending.empty(),
+            "DatasetWriter: finish with parked rows (missing predecessors)");
+    require(shard.rows == shard_row_count(meta_.rows, meta_.shards, s),
+            "DatasetWriter: finish with missing rows");
+    if (shard.rows > shard.checkpoint_rows) checkpoint(shard, s);
+  }
+  finished_ = true;
+
+  // Read-back pass: verifies every byte just written and aggregates the
+  // manifest facts in plan order (so the manifest, like the shards, is
+  // independent of thread count and resume history).
+  std::ofstream csv;
+  const std::string csv_path = options_.out_dir + "/" + kCsvName;
+  const std::string csv_tmp = csv_path + ".tmp";
+  if (write_csv) {
+    csv.open(csv_tmp, std::ios::binary | std::ios::trunc);
+    if (!csv.is_open()) throw SystemError("dataset: cannot write " + csv_tmp);
+    csv << "row,label";
+    for (const std::string& name : meta_.feature_names) csv << ',' << name;
+    csv << '\n';
+  }
+  ScanResult scan =
+      scan_shards(options_.out_dir, meta_.shards, meta_.num_features,
+                  meta_.class_names.size(), write_csv ? &csv : nullptr);
+  if (!scan.errors.empty())
+    throw SystemError("dataset: read-back verification failed: " +
+                      scan.errors.front());
+  require(scan.rows == meta_.rows, "dataset: read-back row count mismatch");
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    require(scan.shard_crc[s] == crc32_final(shards_[s].crc_state),
+            "dataset: read-back CRC diverged from incremental CRC");
+  }
+  if (write_csv) {
+    csv.close();
+    if (std::rename(csv_tmp.c_str(), csv_path.c_str()) != 0)
+      throw SystemError("dataset: rename " + csv_tmp + " -> " + csv_path +
+                        " failed: " + std::strerror(errno));
+  }
+
+  Json m = Json::object();
+  m.set("format", Json("hpas-dataset-v1"));
+  m.set("plan_digest", Json(hex64(meta_.plan_digest)));
+  m.set("rows", Json(static_cast<double>(meta_.rows)));
+  m.set("num_features", Json(static_cast<double>(meta_.num_features)));
+  m.set("shards", Json(static_cast<double>(meta_.shards)));
+  Json classes = Json::array();
+  for (const std::string& c : meta_.class_names) classes.push_back(Json(c));
+  m.set("class_names", std::move(classes));
+  Json label_counts = Json::array();
+  for (const std::uint64_t c : scan.label_counts)
+    label_counts.push_back(Json(static_cast<double>(c)));
+  m.set("label_counts", std::move(label_counts));
+  Json shard_files = Json::array();
+  for (std::uint32_t s = 0; s < meta_.shards; ++s) {
+    Json entry = Json::object();
+    entry.set("file", Json(shard_file_name(s)));
+    entry.set("rows", Json(static_cast<double>(scan.shard_rows[s])));
+    entry.set("bytes", Json(static_cast<double>(scan.shard_bytes[s])));
+    entry.set("crc32", Json(static_cast<double>(scan.shard_crc[s])));
+    shard_files.push_back(std::move(entry));
+  }
+  m.set("shard_files", std::move(shard_files));
+  Json names = Json::array();
+  for (const std::string& n : meta_.feature_names) names.push_back(Json(n));
+  m.set("feature_names", std::move(names));
+  Json feature_crcs = Json::array();
+  for (std::uint32_t f = 0; f < meta_.num_features; ++f)
+    feature_crcs.push_back(
+        Json(static_cast<double>(crc32_final(scan.feature_crc[f]))));
+  m.set("feature_crcs", std::move(feature_crcs));
+  Json feature_stats = Json::array();
+  for (std::uint32_t f = 0; f < meta_.num_features; ++f) {
+    const FeatureAgg& agg = scan.stats[f];
+    Json st = Json::object();
+    st.set("min", Json(agg.min));
+    st.set("max", Json(agg.max));
+    st.set("mean", Json(agg.mean));
+    st.set("stddev",
+           Json(agg.count > 1
+                    ? std::sqrt(agg.m2 / static_cast<double>(agg.count - 1))
+                    : 0.0));
+    feature_stats.push_back(std::move(st));
+  }
+  m.set("feature_stats", std::move(feature_stats));
+
+  const std::string manifest_path = options_.out_dir + "/" + kManifestName;
+  write_file_atomic(manifest_path, m.dump(2));
+  return manifest_path;
+}
+
+VerifyReport verify_dataset(const std::string& dir) {
+  VerifyReport report;
+  Json manifest;
+  try {
+    manifest = load_json_file(dir + "/" + kManifestName);
+  } catch (const std::exception& e) {
+    report.errors.push_back(std::string("manifest unreadable: ") + e.what());
+    return report;
+  }
+  const auto u64_field = [&](std::string_view key) {
+    return static_cast<std::uint64_t>(manifest.number_or(key, 0));
+  };
+  const std::uint64_t rows = u64_field("rows");
+  const auto num_features = static_cast<std::uint32_t>(u64_field("num_features"));
+  const auto shards = static_cast<std::uint32_t>(u64_field("shards"));
+  if (shards == 0 || num_features == 0) {
+    report.errors.push_back("manifest missing rows/num_features/shards");
+    return report;
+  }
+  const Json* class_names = manifest.find("class_names");
+  const std::size_t num_classes =
+      (class_names != nullptr && class_names->is_array())
+          ? class_names->as_array().size()
+          : 0;
+  if (num_classes == 0) {
+    report.errors.push_back("manifest missing class_names");
+    return report;
+  }
+
+  ScanResult scan = scan_shards(dir, shards, num_features, num_classes,
+                                nullptr);
+  report.errors.insert(report.errors.end(), scan.errors.begin(),
+                       scan.errors.end());
+  if (!report.errors.empty()) return report;
+
+  if (scan.rows != rows)
+    report.errors.push_back("row count mismatch: manifest " +
+                            std::to_string(rows) + ", shards " +
+                            std::to_string(scan.rows));
+  const Json* shard_files_json = manifest.find("shard_files");
+  if (shard_files_json == nullptr || !shard_files_json->is_array() ||
+      shard_files_json->as_array().size() != shards) {
+    report.errors.push_back("manifest shard_files count mismatch");
+    return report;
+  }
+  const auto& shard_files = shard_files_json->as_array();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const Json& entry = shard_files[s];
+    if (static_cast<std::uint64_t>(entry.number_or("rows", 0)) !=
+        scan.shard_rows[s])
+      report.errors.push_back("shard " + std::to_string(s) +
+                              " row count mismatch");
+    if (static_cast<std::uint64_t>(entry.number_or("bytes", 0)) !=
+        scan.shard_bytes[s])
+      report.errors.push_back("shard " + std::to_string(s) +
+                              " byte size mismatch");
+    if (static_cast<std::uint32_t>(entry.number_or("crc32", 0)) !=
+        scan.shard_crc[s])
+      report.errors.push_back("shard " + std::to_string(s) + " CRC mismatch");
+  }
+  const Json* feature_crcs_json = manifest.find("feature_crcs");
+  if (feature_crcs_json == nullptr || !feature_crcs_json->is_array() ||
+      feature_crcs_json->as_array().size() != num_features) {
+    report.errors.push_back("manifest feature_crcs count mismatch");
+  } else {
+    const auto& feature_crcs = feature_crcs_json->as_array();
+    for (std::uint32_t f = 0; f < num_features; ++f) {
+      if (static_cast<std::uint32_t>(feature_crcs[f].as_number()) !=
+          crc32_final(scan.feature_crc[f])) {
+        report.errors.push_back("feature column " + std::to_string(f) +
+                                " CRC mismatch");
+      }
+    }
+  }
+  if (const Json* counts_json = manifest.find("label_counts");
+      counts_json != nullptr && counts_json->is_array()) {
+    const auto& counts = counts_json->as_array();
+    for (std::size_t c = 0; c < counts.size() && c < scan.label_counts.size();
+         ++c) {
+      if (static_cast<std::uint64_t>(counts[c].as_number()) !=
+          scan.label_counts[c])
+        report.errors.push_back("label count mismatch for class " +
+                                std::to_string(c));
+    }
+  }
+  report.ok = report.errors.empty();
+  return report;
+}
+
+}  // namespace hpas::dataset

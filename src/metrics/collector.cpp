@@ -16,7 +16,8 @@ void Collector::add_sampler(std::shared_ptr<Sampler> sampler) {
 void Collector::collect(double timestamp) {
   for (const auto& sampler : samplers_) {
     for (const Sample& s : sampler->sample()) {
-      store_->record(s.id, timestamp, s.value);
+      if (store_enabled_) store_->record(s.id, timestamp, s.value);
+      if (sink_ != nullptr) sink_->on_sample(s.id, timestamp, s.value);
     }
   }
 }

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/sample_sink.hpp"
 #include "metrics/sampler.hpp"
 #include "metrics/store.hpp"
 
@@ -24,10 +25,22 @@ class Collector {
   /// Polls every sampler once, tagging all values with `timestamp`.
   void collect(double timestamp);
 
+  /// Streams every collected sample to `sink` in collection order, in
+  /// addition to (or, with set_store_enabled(false), instead of) the
+  /// store. Non-owning; nullptr detaches.
+  void set_sink(SampleSink* sink) { sink_ = sink; }
+
+  /// When disabled, collect() skips MetricStore::record entirely -- the
+  /// store stays empty and per-collector memory stays O(1). Used by the
+  /// streaming dataset path; storage is on by default.
+  void set_store_enabled(bool enabled) { store_enabled_ = enabled; }
+
   std::size_t sampler_count() const { return samplers_.size(); }
 
  private:
   MetricStore* store_;  // non-owning; outlives the collector by contract
+  SampleSink* sink_ = nullptr;  // non-owning streaming observer
+  bool store_enabled_ = true;
   std::vector<std::shared_ptr<Sampler>> samplers_;
 };
 

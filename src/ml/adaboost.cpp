@@ -31,7 +31,7 @@ void AdaBoost::fit(const Dataset& data) {
     double err = 0.0;
     std::vector<bool> wrong(n, false);
     for (std::size_t i = 0; i < n; ++i) {
-      if (tree.predict(data.features[i]) != data.labels[i]) {
+      if (tree.predict(data.row(i)) != data.labels[i]) {
         wrong[i] = true;
         err += weights[i];
       }
@@ -61,7 +61,7 @@ void AdaBoost::fit(const Dataset& data) {
   }
 }
 
-int AdaBoost::predict(const std::vector<double>& x) const {
+int AdaBoost::predict(std::span<const double> x) const {
   require(trained(), "AdaBoost: not trained");
   std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
   for (const auto& stage : stages_) {

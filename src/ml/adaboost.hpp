@@ -2,6 +2,7 @@
 // classifiers compared in the paper's diagnosis use case (Fig. 9).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
@@ -20,7 +21,7 @@ class AdaBoost {
 
   void fit(const Dataset& data);
 
-  int predict(const std::vector<double>& x) const;
+  int predict(std::span<const double> x) const;
 
   bool trained() const { return !stages_.empty(); }
   std::size_t stage_count() const { return stages_.size(); }

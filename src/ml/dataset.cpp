@@ -4,11 +4,12 @@
 
 namespace hpas::ml {
 
-void Dataset::add(std::vector<double> x, int y) {
-  require(features.empty() || x.size() == features.front().size(),
+void Dataset::add(std::span<const double> x, int y) {
+  require(labels.empty() || x.size() == stride_,
           "Dataset: inconsistent feature dimension");
   require(y >= 0 && y < num_classes(), "Dataset: label out of range");
-  features.push_back(std::move(x));
+  if (labels.empty()) stride_ = x.size();
+  values_.insert(values_.end(), x.begin(), x.end());
   labels.push_back(y);
 }
 
@@ -16,11 +17,13 @@ Dataset Dataset::select(const std::vector<std::size_t>& indices) const {
   Dataset out;
   out.class_names = class_names;
   out.feature_names = feature_names;
-  out.features.reserve(indices.size());
+  out.stride_ = stride_;
+  out.values_.reserve(indices.size() * stride_);
   out.labels.reserve(indices.size());
   for (const std::size_t i : indices) {
     require(i < size(), "Dataset::select: index out of range");
-    out.features.push_back(features[i]);
+    const auto r = row(i);
+    out.values_.insert(out.values_.end(), r.begin(), r.end());
     out.labels.push_back(labels[i]);
   }
   return out;

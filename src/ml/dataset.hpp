@@ -1,9 +1,16 @@
 // Labeled dataset container and cross-validation splits for the anomaly
 // diagnosis pipeline (paper Sec. 5.1: statistical features from
 // monitoring windows, labels = anomaly classes, 3-fold cross-validation).
+//
+// Rows live in ONE contiguous row-major buffer (stride = num_features):
+// no per-row heap allocation on ingest, cache-friendly column scans in
+// the tree learners, and a trivially CRC-able byte image for the dataset
+// factory's shard import/export. row(i) hands out a span view; iteration
+// semantics are unchanged from the historical vector-of-vectors layout.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,21 +19,37 @@
 namespace hpas::ml {
 
 struct Dataset {
-  std::vector<std::vector<double>> features;  ///< row-major samples
-  std::vector<int> labels;                    ///< class index per sample
+  std::vector<int> labels;  ///< class index per sample
   std::vector<std::string> class_names;
-  std::vector<std::string> feature_names;     ///< optional
+  std::vector<std::string> feature_names;  ///< optional
 
-  std::size_t size() const { return features.size(); }
-  std::size_t num_features() const {
-    return features.empty() ? 0 : features.front().size();
-  }
+  std::size_t size() const { return labels.size(); }
+  std::size_t num_features() const { return stride_; }
   int num_classes() const { return static_cast<int>(class_names.size()); }
 
-  void add(std::vector<double> x, int y);
+  /// Row `i` as a view into the contiguous buffer.
+  std::span<const double> row(std::size_t i) const {
+    return {values_.data() + i * stride_, stride_};
+  }
+  double at(std::size_t r, std::size_t c) const {
+    return values_[r * stride_ + c];
+  }
+
+  /// The whole row-major buffer (size() * num_features() doubles).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Appends one row. The first add fixes the feature dimension.
+  void add(std::span<const double> x, int y);
+  void add(std::initializer_list<double> x, int y) {
+    add(std::span<const double>(x.begin(), x.size()), y);
+  }
 
   /// Subset by row indices.
   Dataset select(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::vector<double> values_;  ///< row-major, size() * stride_
+  std::size_t stride_ = 0;
 };
 
 /// One train/test split.

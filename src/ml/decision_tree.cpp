@@ -81,7 +81,7 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
   std::vector<std::size_t> order(rows);
   for (const std::size_t f : candidates) {
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return data.features[a][f] < data.features[b][f];
+      return data.at(a, f) < data.at(b, f);
     });
     std::vector<double> left_counts(static_cast<std::size_t>(num_classes_), 0.0);
     double left_weight = 0.0;
@@ -90,8 +90,8 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
       const double w = weights.empty() ? 1.0 : weights[r];
       left_counts[static_cast<std::size_t>(data.labels[r])] += w;
       left_weight += w;
-      const double v = data.features[r][f];
-      const double v_next = data.features[order[i + 1]][f];
+      const double v = data.at(r, f);
+      const double v_next = data.at(order[i + 1], f);
       if (v == v_next) continue;  // no threshold between equal values
       const std::size_t n_left = i + 1;
       const std::size_t n_right = order.size() - n_left;
@@ -124,7 +124,7 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
 
   std::vector<std::size_t> left_rows, right_rows;
   for (const std::size_t r : rows) {
-    if (data.features[r][static_cast<std::size_t>(best_feature)] <=
+    if (data.at(r, static_cast<std::size_t>(best_feature)) <=
         best_threshold) {
       left_rows.push_back(r);
     } else {
@@ -168,7 +168,7 @@ void DecisionTree::fit(const Dataset& data,
 }
 
 std::vector<double> DecisionTree::predict_proba(
-    const std::vector<double>& x) const {
+    std::span<const double> x) const {
   require(trained(), "DecisionTree: not trained");
   int at = 0;
   while (nodes_[static_cast<std::size_t>(at)].feature >= 0) {
@@ -179,7 +179,7 @@ std::vector<double> DecisionTree::predict_proba(
   return nodes_[static_cast<std::size_t>(at)].class_weights;
 }
 
-int DecisionTree::predict(const std::vector<double>& x) const {
+int DecisionTree::predict(std::span<const double> x) const {
   const auto proba = predict_proba(x);
   return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
                           proba.begin());

@@ -3,6 +3,7 @@
 // feature subsampling (random forest).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -30,9 +31,9 @@ class DecisionTree {
            const std::vector<std::size_t>& indices = {},
            const std::vector<double>& weights = {}, Rng* rng = nullptr);
 
-  int predict(const std::vector<double>& x) const;
+  int predict(std::span<const double> x) const;
   /// Per-class weight distribution at the reached leaf (sums to 1).
-  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::vector<double> predict_proba(std::span<const double> x) const;
 
   bool trained() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }

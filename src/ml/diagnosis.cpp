@@ -71,17 +71,31 @@ std::vector<double> extract_window_features(const metrics::MetricStore& store,
   return features;
 }
 
-namespace {
+std::vector<metrics::MetricId> diagnosis_feature_metrics(
+    bool include_bandwidth) {
+  return feature_metrics(include_bandwidth);
+}
 
-/// Runs one (app, anomaly, intensity) scenario and extracts the feature
-/// vector from node 0's monitoring window.
-std::vector<double> run_one_scenario(const std::string& app_name,
-                                     const std::string& anomaly,
-                                     double intensity,
-                                     const DiagnosisDataOptions& options,
-                                     Rng& noise_rng) {
-  auto world = sim::make_voltrino_world();
-  world->enable_monitoring(1.0);
+bool diagnosis_metric_is_gauge(const metrics::MetricId& id) {
+  return is_gauge(id);
+}
+
+DiagnosisScenario::DiagnosisScenario() = default;
+DiagnosisScenario::DiagnosisScenario(DiagnosisScenario&&) noexcept = default;
+DiagnosisScenario& DiagnosisScenario::operator=(DiagnosisScenario&&) noexcept =
+    default;
+DiagnosisScenario::~DiagnosisScenario() = default;
+
+DiagnosisScenario begin_diagnosis_scenario(const DiagnosisRunPlan& plan,
+                                           const DiagnosisDataOptions& options,
+                                           metrics::SampleSink* sink,
+                                           bool store_samples) {
+  const std::string& anomaly = plan.anomaly;
+  const double intensity = plan.intensity;
+  DiagnosisScenario scenario;
+  scenario.world = sim::make_voltrino_world();
+  sim::World& world = *scenario.world;
+  world.enable_monitoring(1.0, sink, /*sink_node=*/0, store_samples);
 
   if (anomaly != "none") {
     // The busy anomalies (cpuoccupy/cachecopy/membw) colocate with rank 0
@@ -94,35 +108,33 @@ std::vector<double> run_one_scenario(const std::string& app_name,
     // overlap.
     const double duration = options.run_duration_s;
     if (anomaly == "cpuoccupy") {
-      simanom::inject_cpuoccupy(*world, 0, 0, 100.0 * intensity, duration);
+      simanom::inject_cpuoccupy(world, 0, 0, 100.0 * intensity, duration);
     } else if (anomaly == "cachecopy") {
       // Cycle the targeted level with the intensity knob: the suite is
       // exercised at L1, L2 and L3 working sets.
       const auto level = static_cast<simanom::SimCacheLevel>(
           1 + static_cast<int>(intensity * 977.0) % 3);
-      simanom::inject_cachecopy(*world, 0, 0, level,
+      simanom::inject_cachecopy(world, 0, 0, level,
                                 std::clamp(intensity, 0.4, 1.5), duration);
     } else if (anomaly == "membw") {
-      simanom::inject_membw(*world, 0, 0, duration,
+      simanom::inject_membw(world, 0, 0, duration,
                             std::clamp(intensity, 0.3, 1.0));
     } else {
-      simanom::inject_by_name(*world, anomaly, /*node=*/0, /*core=*/8,
+      simanom::inject_by_name(world, anomaly, /*node=*/0, /*core=*/8,
                               duration, intensity);
     }
   }
 
-  apps::AppSpec spec = apps::app_by_name(app_name);
+  apps::AppSpec spec = apps::app_by_name(plan.app);
   spec.iterations = 1000000;  // runs past the window; we only observe
-  apps::BspApp app(*world, spec,
-                   {.nodes = {0, 4}, .ranks_per_node = 4, .first_core = 0});
-  world->run_until(options.run_duration_s);
-
-  // Sensor noise: real LDMS data is jittery; the simulator is exact.
-  return extract_window_features(
-      world->node_store(0), options.warmup_s, options.run_duration_s + 0.5,
-      options.include_bandwidth_metrics, options.measurement_noise,
-      &noise_rng);
+  scenario.app = std::make_unique<apps::BspApp>(
+      world, spec,
+      apps::BspApp::Placement{
+          .nodes = {0, 4}, .ranks_per_node = 4, .first_core = 0});
+  return scenario;
 }
+
+namespace {
 
 double intensity_for_variant(const std::string& anomaly, int variant,
                              int variants, Rng& rng) {
@@ -174,9 +186,15 @@ std::vector<DiagnosisRunPlan> plan_diagnosis_runs(
 
 std::vector<double> run_diagnosis_scenario(const DiagnosisRunPlan& plan,
                                            const DiagnosisDataOptions& options) {
+  DiagnosisScenario scenario = begin_diagnosis_scenario(plan, options);
+  scenario.world->run_until(options.run_duration_s);
+
+  // Sensor noise: real LDMS data is jittery; the simulator is exact.
   Rng noise_rng = plan.noise_rng;  // private copy: the plan stays reusable
-  return run_one_scenario(plan.app, plan.anomaly, plan.intensity, options,
-                          noise_rng);
+  return extract_window_features(
+      scenario.world->node_store(0), options.warmup_s,
+      options.run_duration_s + 0.5, options.include_bandwidth_metrics,
+      options.measurement_noise, &noise_rng);
 }
 
 std::vector<std::string> diagnosis_feature_names(
@@ -208,7 +226,7 @@ std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
 
   struct Model {
     std::string name;
-    std::function<std::function<int(const std::vector<double>&)>(
+    std::function<std::function<int(std::span<const double>)>(
         const Dataset&)> train;
   };
   const std::vector<Model> models = {
@@ -217,7 +235,7 @@ std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
          auto tree = std::make_shared<DecisionTree>(TreeOptions{
              .max_depth = 12, .min_samples_leaf = 2, .min_samples_split = 4});
          tree->fit(train);
-         return [tree](const std::vector<double>& x) {
+         return [tree](std::span<const double> x) {
            return tree->predict(x);
          };
        }},
@@ -226,7 +244,7 @@ std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
          auto model = std::make_shared<AdaBoost>(
              AdaBoostOptions{.num_rounds = 40, .base_max_depth = 3});
          model->fit(train);
-         return [model](const std::vector<double>& x) {
+         return [model](std::span<const double> x) {
            return model->predict(x);
          };
        }},
@@ -235,7 +253,7 @@ std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
          auto forest = std::make_shared<RandomForest>(ForestOptions{
              .num_trees = 50, .max_depth = 14, .min_samples_leaf = 1});
          forest->fit(train);
-         return [forest](const std::vector<double>& x) {
+         return [forest](std::span<const double> x) {
            return forest->predict(x);
          };
        }},
@@ -248,7 +266,7 @@ std::vector<DiagnosisScores> evaluate_classifiers(const Dataset& data,
       const Dataset train = data.select(fold.train_indices);
       const auto predict = model.train(train);
       for (const std::size_t i : fold.test_indices) {
-        confusion.add(data.labels[i], predict(data.features[i]));
+        confusion.add(data.labels[i], predict(data.row(i)));
       }
     }
     DiagnosisScores scores;

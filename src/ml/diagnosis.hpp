@@ -21,9 +21,18 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "metrics/metric_id.hpp"
+#include "metrics/sample_sink.hpp"
 #include "metrics/store.hpp"
 #include "ml/dataset.hpp"
 #include "ml/random_forest.hpp"
+
+namespace hpas::sim {
+class World;
+}
+namespace hpas::apps {
+class BspApp;
+}
 
 namespace hpas::ml {
 
@@ -67,6 +76,42 @@ std::vector<DiagnosisRunPlan> plan_diagnosis_runs(
 /// extracts its feature vector. Thread-safe (no shared state).
 std::vector<double> run_diagnosis_scenario(const DiagnosisRunPlan& plan,
                                            const DiagnosisDataOptions& options);
+
+/// The metric channels feeding the classifier, in feature order (see the
+/// header comment for why DRAM_BYTES is excluded by default).
+std::vector<metrics::MetricId> diagnosis_feature_metrics(
+    bool include_bandwidth);
+
+/// True for metrics used as-is (gauges); counters are differenced into
+/// per-interval rates before feature extraction.
+bool diagnosis_metric_is_gauge(const metrics::MetricId& id);
+
+/// A diagnosis scenario that has been set up (world built, monitoring
+/// enabled, anomaly injected, application placed) but not yet advanced.
+/// Callers run `world->run_until(options.run_duration_s)` and then
+/// extract features however they observe samples (batch store or
+/// streaming sink).
+struct DiagnosisScenario {
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<apps::BspApp> app;
+
+  DiagnosisScenario();
+  DiagnosisScenario(DiagnosisScenario&&) noexcept;
+  DiagnosisScenario& operator=(DiagnosisScenario&&) noexcept;
+  ~DiagnosisScenario();
+};
+
+/// Sets up one planned run without advancing time: the single source of
+/// truth for the scenario construction both extraction modes share. With
+/// the defaults this is exactly the batch pipeline's setup; the streaming
+/// dataset factory passes a SampleSink (observing node 0, including the
+/// t=0 sample) and store_samples = false so the MetricStore never
+/// materializes. The simulated world is bit-identical either way -- the
+/// sink is observation-only.
+DiagnosisScenario begin_diagnosis_scenario(const DiagnosisRunPlan& plan,
+                                           const DiagnosisDataOptions& options,
+                                           metrics::SampleSink* sink = nullptr,
+                                           bool store_samples = true);
 
 /// Feature names in extraction order (metric x statistic).
 std::vector<std::string> diagnosis_feature_names(

@@ -42,7 +42,7 @@ void RandomForest::fit(const Dataset& data) {
 }
 
 std::vector<double> RandomForest::predict_proba(
-    const std::vector<double>& x) const {
+    std::span<const double> x) const {
   require(trained(), "RandomForest: not trained");
   std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
   for (const auto& tree : trees_) {
@@ -69,7 +69,7 @@ std::vector<double> RandomForest::feature_importances() const {
   return total;
 }
 
-int RandomForest::predict(const std::vector<double>& x) const {
+int RandomForest::predict(std::span<const double> x) const {
   const auto proba = predict_proba(x);
   return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
                           proba.begin());

@@ -2,6 +2,7 @@
 // The paper's best-performing diagnosis model (overall F1 ~ 0.94, Fig. 9).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
@@ -23,8 +24,8 @@ class RandomForest {
 
   void fit(const Dataset& data);
 
-  int predict(const std::vector<double>& x) const;
-  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  int predict(std::span<const double> x) const;
+  std::vector<double> predict_proba(std::span<const double> x) const;
 
   bool trained() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }

@@ -182,7 +182,8 @@ const char* scenario_status_name(ScenarioStatus status) {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace,
                             const CancelToken* cancel, int sim_shards,
-                            const std::function<void(sim::World&)>& inspect) {
+                            const std::function<void(sim::World&)>& inspect,
+                            metrics::SampleSink* sink, bool store_samples) {
   ScenarioResult result;
   result.spec = spec;
 
@@ -202,7 +203,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, bool capture_trace,
     capture.emplace();
     world->attach_tracer(&capture->tracer());
   }
-  world->enable_monitoring(spec.sample_period_s);
+  world->enable_monitoring(spec.sample_period_s, sink, /*sink_node=*/0,
+                           store_samples);
   world->set_cancel_token(cancel);
 
   try {

@@ -31,6 +31,9 @@
 namespace hpas::sim {
 class World;
 }
+namespace hpas::metrics {
+class SampleSink;
+}
 
 namespace hpas::runner {
 
@@ -137,10 +140,19 @@ struct SweepResult {
 /// probe-based search objectives (WBAS capacity ranks, classifier
 /// confidence). It must be deterministic and must not advance the
 /// simulation if the scenario's outputs are to stay reproducible.
+///
+/// `sink` (optional) observes node 0's monitoring samples as they are
+/// collected (including the t=0 sample) -- the streaming dataset
+/// factory's extraction hook. With `store_samples` false the per-node
+/// MetricStores stay empty (result.metrics_csv is then header-only), so
+/// a sink-only scenario runs in O(1) monitoring memory regardless of
+/// duration. Observation-only: the simulated world is bit-identical with
+/// or without a sink.
 ScenarioResult run_scenario(
     const ScenarioSpec& spec, bool capture_trace = false,
     const CancelToken* cancel = nullptr, int sim_shards = 0,
-    const std::function<void(sim::World&)>& inspect = {});
+    const std::function<void(sim::World&)>& inspect = {},
+    metrics::SampleSink* sink = nullptr, bool store_samples = true);
 
 /// Runs the whole grid across `options.threads` workers.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});

@@ -331,6 +331,14 @@ void Server::handle_submit(const std::shared_ptr<ClientConn>& conn,
   Json ack;
   Json result;
   bool have_result = false;
+  // Holding write_mu across waiter registration and the ack write
+  // guarantees the client sees "accepted" before its result frame.
+  // Registering the waiter makes the result deliverable, and delivery
+  // goes through this same mutex -- so without it a fast worker could
+  // write the result between the registration (under mu_) and the ack
+  // hitting the socket. Lock order is write_mu before mu_; no path
+  // acquires write_mu while holding mu_.
+  std::lock_guard<std::mutex> wlock(conn->write_mu);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.submissions;
@@ -364,8 +372,8 @@ void Server::handle_submit(const std::shared_ptr<ClientConn>& conn,
       ack.set("cached", false);
     }
   }
-  send_to(conn, ack);
-  if (have_result) send_to(conn, result);
+  send_locked(conn, ack);
+  if (have_result) send_locked(conn, result);
 }
 
 void Server::scheduler_loop() {
@@ -518,6 +526,11 @@ void Server::run_admitted(std::uint64_t key) {
 void Server::send_to(const std::shared_ptr<ClientConn>& conn,
                      const Json& frame) {
   std::lock_guard<std::mutex> g(conn->write_mu);
+  send_locked(conn, frame);
+}
+
+void Server::send_locked(const std::shared_ptr<ClientConn>& conn,
+                         const Json& frame) {
   if (conn->closed) return;
   try {
     write_json(conn->fd, frame);

@@ -154,6 +154,8 @@ class Server {
                      const Json& request);
   void run_admitted(std::uint64_t key);
   void send_to(const std::shared_ptr<ClientConn>& conn, const Json& frame);
+  /// send_to without taking write_mu; caller must already hold it.
+  void send_locked(const std::shared_ptr<ClientConn>& conn, const Json& frame);
   Json result_frame(const CachedResult& entry, std::uint64_t id) const;
   Json stats_json() const;
 

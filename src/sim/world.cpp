@@ -666,13 +666,18 @@ void World::update() {
   sync_all_domains();
 }
 
-void World::enable_monitoring(double period_s) {
+void World::enable_monitoring(double period_s, metrics::SampleSink* sink,
+                              int sink_node, bool store_samples) {
   require(period_s > 0.0, "enable_monitoring: period must be positive");
   require(stores_.empty(), "enable_monitoring: already enabled");
+  require(sink == nullptr || (sink_node >= 0 && sink_node < num_nodes()),
+          "enable_monitoring: sink_node out of range");
   for (int i = 0; i < num_nodes(); ++i) {
     stores_.push_back(std::make_unique<metrics::MetricStore>());
     auto collector = std::make_unique<metrics::Collector>(stores_.back().get());
     attach_node_samplers(*collector, *this, i);
+    collector->set_store_enabled(store_samples);
+    if (sink != nullptr && i == sink_node) collector->set_sink(sink);
     collectors_.push_back(std::move(collector));
   }
   sample_all(period_s);

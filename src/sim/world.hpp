@@ -112,7 +112,15 @@ class World {
 
   /// Starts LDMS-like monitoring: per-node procstat / meminfo / vmstat /
   /// spapiHASW / aries_nic_mmr samplers collected every `period_s`.
-  void enable_monitoring(double period_s);
+  ///
+  /// `sink` (optional, non-owning) streams node `sink_node`'s samples in
+  /// collection order, including the t=0 sample taken inside this call.
+  /// With `store_samples == false` the per-node MetricStores stay empty
+  /// (node_store() returns an empty store) -- the streaming dataset path
+  /// uses this so monitoring memory is O(1) in scenario duration.
+  void enable_monitoring(double period_s,
+                         metrics::SampleSink* sink = nullptr,
+                         int sink_node = 0, bool store_samples = true);
   metrics::MetricStore& node_store(int id);
 
   /// Attaches a structured tracer to the whole substrate: the engine's

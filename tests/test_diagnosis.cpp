@@ -1,5 +1,6 @@
 // End-to-end tests for the diagnosis pipeline (ml/diagnosis.hpp) on a
 // deliberately small configuration so the suite stays quick.
+#include <algorithm>
 #include "ml/diagnosis.hpp"
 
 #include <gtest/gtest.h>
@@ -29,7 +30,7 @@ TEST(DiagnosisData, ShapeAndDeterminism) {
   ASSERT_EQ(b.size(), a.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.labels[i], b.labels[i]);
-    EXPECT_EQ(a.features[i], b.features[i]);  // bit-identical runs
+    EXPECT_TRUE(std::ranges::equal(a.row(i), b.row(i)));  // bit-identical runs
   }
 }
 

@@ -1,5 +1,6 @@
 // Tests for the ML stack: dataset/folds, CART, random forest, AdaBoost,
 // and evaluation metrics.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -56,7 +57,7 @@ TEST(Dataset, SelectSubsets) {
   const Dataset subset = data.select({0, 2, 4});
   EXPECT_EQ(subset.size(), 3u);
   EXPECT_EQ(subset.labels[0], data.labels[0]);
-  EXPECT_EQ(subset.features[1], data.features[2]);
+  EXPECT_TRUE(std::ranges::equal(subset.row(1), data.row(2)));
   EXPECT_THROW(data.select({9999}), InvariantError);
 }
 
@@ -92,7 +93,7 @@ TEST(DecisionTree, PerfectOnSeparableData) {
   tree.fit(data);
   int correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (tree.predict(data.features[i]) == data.labels[i]) ++correct;
+    if (tree.predict(data.row(i)) == data.labels[i]) ++correct;
   }
   EXPECT_EQ(correct, static_cast<int>(data.size()));
 }
@@ -103,7 +104,7 @@ TEST(DecisionTree, SolvesXor) {
   tree.fit(data);
   int correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (tree.predict(data.features[i]) == data.labels[i]) ++correct;
+    if (tree.predict(data.row(i)) == data.labels[i]) ++correct;
   }
   EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()),
             0.95);
@@ -133,16 +134,16 @@ TEST(DecisionTree, SampleWeightsSteerTheFit) {
   data.add({0.0}, 1);
   DecisionTree tree;
   tree.fit(data, {}, {0.9, 0.1});
-  EXPECT_EQ(tree.predict({0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
   tree.fit(data, {}, {0.1, 0.9});
-  EXPECT_EQ(tree.predict({0.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 1);
 }
 
 TEST(DecisionTree, PredictProbaSumsToOne) {
   Dataset data = make_blobs(30, 2.0, 10);
   DecisionTree tree(TreeOptions{.max_depth = 3});
   tree.fit(data);
-  const auto proba = tree.predict_proba(data.features[0]);
+  const auto proba = tree.predict_proba(data.row(0));
   double sum = 0;
   for (const double p : proba) sum += p;
   EXPECT_NEAR(sum, 1.0, 1e-9);
@@ -150,7 +151,7 @@ TEST(DecisionTree, PredictProbaSumsToOne) {
 
 TEST(DecisionTree, UntrainedThrows) {
   DecisionTree tree;
-  EXPECT_THROW(tree.predict({1.0}), InvariantError);
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), InvariantError);
 }
 
 TEST(RandomForest, BeatsSingleStumpOnXor) {
@@ -160,7 +161,7 @@ TEST(RandomForest, BeatsSingleStumpOnXor) {
   forest.fit(train);
   int correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    if (forest.predict(test.features[i]) == test.labels[i]) ++correct;
+    if (forest.predict(test.row(i)) == test.labels[i]) ++correct;
   }
   EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()),
             0.9);
@@ -173,7 +174,7 @@ TEST(RandomForest, DeterministicForFixedSeed) {
   f1.fit(data);
   f2.fit(data);
   for (std::size_t i = 0; i < 50; ++i) {
-    EXPECT_EQ(f1.predict(data.features[i]), f2.predict(data.features[i]));
+    EXPECT_EQ(f1.predict(data.row(i)), f2.predict(data.row(i)));
   }
 }
 
@@ -185,14 +186,14 @@ TEST(AdaBoost, BoostsStumpsPastSingleStump) {
   stump.fit(train);
   int stump_correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    if (stump.predict(test.features[i]) == test.labels[i]) ++stump_correct;
+    if (stump.predict(test.row(i)) == test.labels[i]) ++stump_correct;
   }
 
   AdaBoost boosted(AdaBoostOptions{.num_rounds = 40, .base_max_depth = 2});
   boosted.fit(train);
   int boosted_correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    if (boosted.predict(test.features[i]) == test.labels[i])
+    if (boosted.predict(test.row(i)) == test.labels[i])
       ++boosted_correct;
   }
   EXPECT_GT(boosted_correct, stump_correct);

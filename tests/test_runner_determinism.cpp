@@ -150,11 +150,8 @@ TEST(DiagnosisSweep, ParallelMatchesSerialGenerator) {
   const auto serial = ml::generate_diagnosis_dataset(options);
   const auto parallel = generate_diagnosis_dataset_parallel(options, 4);
   EXPECT_EQ(serial.labels, parallel.labels);
-  ASSERT_EQ(serial.features.size(), parallel.features.size());
-  for (std::size_t i = 0; i < serial.features.size(); ++i) {
-    EXPECT_EQ(serial.features[i], parallel.features[i])
-        << "feature row " << i << " diverged";
-  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.values(), parallel.values()) << "feature rows diverged";
   EXPECT_EQ(serial.class_names, parallel.class_names);
   EXPECT_EQ(serial.feature_names, parallel.feature_names);
 }
